@@ -1,0 +1,162 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets. Each benchmark measures the real wall-clock cost of our
+// software implementation of the corresponding experiment; the
+// virtual-clock (paper-calibrated) numbers come from cmd/benchtab.
+package hardtape
+
+import (
+	"sync"
+	"testing"
+
+	"hardtape/internal/bench"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
+)
+
+var (
+	_benchEnvOnce sync.Once
+	_benchEnv     *bench.Env
+	_benchEnvErr  error
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	_benchEnvOnce.Do(func() {
+		cfg := bench.DefaultEnvConfig()
+		cfg.EOAs = 16
+		cfg.Tokens = 3
+		cfg.DEXes = 2
+		cfg.HEVMs = 3
+		_benchEnv, _benchEnvErr = bench.NewEnv(cfg)
+	})
+	if _benchEnvErr != nil {
+		b.Fatal(_benchEnvErr)
+	}
+	return _benchEnv
+}
+
+// benchBundles pre-builds n single-tx evaluation bundles.
+func benchBundles(b *testing.B, env *bench.Env, n int) []*types.Bundle {
+	b.Helper()
+	bundles, err := env.EvalBundles(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundles
+}
+
+// --- Table I ---
+
+// BenchmarkTableI measures the evaluation-set generation + statistics
+// pipeline that reproduces Table I.
+func BenchmarkTableI(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.TableI(env, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 4: one benchmark per bar ---
+
+func benchmarkConfig(b *testing.B, name string) {
+	env := benchEnv(b)
+	bundles := benchBundles(b, env, 16)
+	dev := env.Devices[name]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dev.Execute(bundles[i%len(bundles)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFig4Geth is the unprotected software baseline bar.
+func BenchmarkFig4Geth(b *testing.B) {
+	env := benchEnv(b)
+	bundles := benchBundles(b, env, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Geth.ExecuteBundle(bundles[i%len(bundles)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Raw .. BenchmarkFig4Full are HarDTAPE's bars.
+func BenchmarkFig4Raw(b *testing.B)  { benchmarkConfig(b, "-raw") }
+func BenchmarkFig4E(b *testing.B)    { benchmarkConfig(b, "-E") }
+func BenchmarkFig4ES(b *testing.B)   { benchmarkConfig(b, "-ES") }
+func BenchmarkFig4ESO(b *testing.B)  { benchmarkConfig(b, "-ESO") }
+func BenchmarkFig4Full(b *testing.B) { benchmarkConfig(b, "-full") }
+
+// --- Fig. 5: warm local execution per platform ---
+
+// BenchmarkFig5 regenerates the whole per-operation comparison.
+func BenchmarkFig5(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §VI-B correctness ---
+
+// BenchmarkCorrectness measures the trace-vs-ground-truth pipeline.
+func BenchmarkCorrectness(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Correctness(env, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Mismatches) != 0 {
+			b.Fatalf("mismatches: %v", rep.Mismatches)
+		}
+	}
+}
+
+// --- §VI-D scalability ---
+
+// BenchmarkScalability measures the full scalability estimation run
+// (including the real software-ORAM per-query measurement).
+func BenchmarkScalability(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Scalability(env, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- workload generation itself ---
+
+// BenchmarkEvalSetGeneration measures synthetic block production.
+func BenchmarkEvalSetGeneration(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.EOAs = 16
+	cfg.Tokens = 2
+	cfg.DEXes = 1
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.GenerateBlock(uint64(i+1), types.Hash{}, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

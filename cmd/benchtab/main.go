@@ -1,0 +1,139 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section (§VI) from the software simulation:
+//
+//	benchtab -all
+//	benchtab -fig4 -n 100
+//	benchtab -table1 -correctness -scalability -resources
+//
+// Virtual-clock timings use the calibration table in
+// internal/simclock (see DESIGN.md); shapes, not absolute values, are
+// the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hardtape/internal/bench"
+	"hardtape/internal/hevm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all         = flag.Bool("all", false, "run every experiment")
+		table1      = flag.Bool("table1", false, "Table I: workload distributions")
+		fig4        = flag.Bool("fig4", false, "Fig. 4: end-to-end per-tx time by configuration")
+		fig5        = flag.Bool("fig5", false, "Fig. 5: per-operation time, warm local data")
+		correctness = flag.Bool("correctness", false, "§VI-B: trace vs ground truth")
+		scalability = flag.Bool("scalability", false, "§VI-D: throughput and ORAM-server capacity")
+		resources   = flag.Bool("resources", false, "§VI-A: resource utility audit")
+		ablations   = flag.Bool("ablations", false, "design-choice ablations (noise, prefetch, grouping, ORAM depth)")
+		n           = flag.Int("n", 100, "transactions per experiment")
+		seed        = flag.Int64("seed", 19145194, "workload seed (paper's first block number)")
+		eoas        = flag.Int("eoas", 24, "synthetic EOA count")
+		tokens      = flag.Int("tokens", 4, "ERC-20 token count")
+		dexes       = flag.Int("dexes", 2, "DEX pool count")
+		hevms       = flag.Int("hevms", 3, "HEVM cores per device")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations =
+			true, true, true, true, true, true, true
+	}
+	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations) {
+		flag.Usage()
+		return fmt.Errorf("no experiment selected (try -all)")
+	}
+
+	fmt.Printf("Building evaluation environment (seed %d: %d EOAs, %d tokens, %d DEX pools)...\n\n",
+		*seed, *eoas, *tokens, *dexes)
+	env, err := bench.NewEnv(bench.EnvConfig{
+		Seed: *seed, EOAs: *eoas, Tokens: *tokens, DEXes: *dexes, HEVMs: *hevms,
+	})
+	if err != nil {
+		return err
+	}
+
+	section := func(body string) {
+		fmt.Println(body)
+		fmt.Println("────────────────────────────────────────────────────────────")
+	}
+
+	if *table1 {
+		out, err := bench.TableI(env, *n)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		section(out)
+	}
+	if *resources {
+		section(bench.Resources(hevm.DefaultConfig(), 30).Render())
+	}
+	if *correctness {
+		rep, err := bench.Correctness(env, *n)
+		if err != nil {
+			return fmt.Errorf("correctness: %w", err)
+		}
+		section(rep.Render())
+	}
+	if *fig4 {
+		rows, err := bench.Fig4(env, *n)
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
+		section(bench.RenderFig4(rows))
+	}
+	if *fig5 {
+		rows, err := bench.Fig5(env)
+		if err != nil {
+			return fmt.Errorf("fig5: %w", err)
+		}
+		section(bench.RenderFig5(rows))
+	}
+	if *fig4 {
+		rows, err := bench.Amortization(env, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return fmt.Errorf("amortization: %w", err)
+		}
+		section(bench.RenderAmortization(rows))
+	}
+	if *scalability {
+		rep, err := bench.Scalability(env, *n/4+1)
+		if err != nil {
+			return fmt.Errorf("scalability: %w", err)
+		}
+		section(rep.Render())
+	}
+	if *ablations {
+		noise, err := bench.RunNoiseAblation()
+		if err != nil {
+			return fmt.Errorf("ablation noise: %w", err)
+		}
+		section(noise.Render())
+		prefetch, err := bench.RunPrefetchAblation(env)
+		if err != nil {
+			return fmt.Errorf("ablation prefetch: %w", err)
+		}
+		section(prefetch.Render())
+		grouping, err := bench.RunGroupingAblation()
+		if err != nil {
+			return fmt.Errorf("ablation grouping: %w", err)
+		}
+		section(grouping.Render())
+		depth, err := bench.RunDepthAblation()
+		if err != nil {
+			return fmt.Errorf("ablation depth: %w", err)
+		}
+		section(depth.Render())
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command hardtape-client is the user side of the pre-execution
+// service: it connects to a hardtape server, verifies remote
+// attestation against the manufacturer credential, establishes the
+// secure channel, and pre-executes a demo bundle, printing the trace.
+//
+//	hardtape-client -addr 127.0.0.1:7337 -credentials mfr.pub -action swap
+//
+// The demo world is deterministic in -seed; use the server's seed so
+// locally constructed transactions are valid against its state.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"hardtape"
+	"hardtape/internal/uint256"
+	"hardtape/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape-client: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7337", "service address")
+		credFile = flag.String("credentials", "mfr.pub", "manufacturer public key file")
+		seed     = flag.Int64("seed", 19145194, "world seed (must match the server)")
+		eoas     = flag.Int("eoas", 16, "synthetic EOAs (must match the server)")
+		tokens   = flag.Int("tokens", 3, "tokens (must match the server)")
+		dexes    = flag.Int("dexes", 2, "DEX pools (must match the server)")
+		action   = flag.String("action", "transfer", "bundle to pre-execute: transfer|swap|deep")
+		sign     = flag.Bool("sign", true, "use the -ES signature layer (match server config)")
+	)
+	flag.Parse()
+
+	credHex, err := os.ReadFile(*credFile)
+	if err != nil {
+		return fmt.Errorf("read credentials: %w", err)
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(credHex)))
+	if err != nil {
+		return fmt.Errorf("decode credentials: %w", err)
+	}
+	verifier, err := hardtape.NewVerifierForKey(raw)
+	if err != nil {
+		return err
+	}
+
+	// Rebuild the deterministic demo world to construct valid txs.
+	world, err := workload.BuildWorld(workload.Config{
+		Seed: *seed, EOAs: *eoas, Tokens: *tokens, DEXes: *dexes,
+	})
+	if err != nil {
+		return err
+	}
+
+	bundle, describe, err := buildBundle(world, *action)
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	fmt.Printf("Attesting device at %s...\n", *addr)
+	client, err := hardtape.Dial(conn, verifier, *sign)
+	if err != nil {
+		return fmt.Errorf("attestation: %w", err)
+	}
+	fmt.Println("Attestation OK — secure channel established.")
+	fmt.Printf("Pre-executing: %s\n\n", describe)
+
+	res, err := client.PreExecute(bundle)
+	if err != nil {
+		return err
+	}
+	if res.AbortReason != "" {
+		fmt.Printf("Bundle ABORTED: %s\n", res.AbortReason)
+		return nil
+	}
+	for i, tx := range res.Trace.Txs {
+		status := "success"
+		if tx.Reverted {
+			status = "REVERTED"
+		}
+		if tx.Failed {
+			status = "FAILED"
+		}
+		fmt.Printf("tx %d: %s, gas %d, %d frames, max depth %d\n",
+			i, status, tx.GasUsed, len(tx.Calls), tx.MaxCallDepth)
+		if len(tx.ReturnData) > 0 {
+			fmt.Printf("  return: %s\n", new(uint256.Int).SetBytes(tx.ReturnData))
+		}
+		for _, c := range tx.Calls {
+			fmt.Printf("  %s %s → %s (gas used %d)\n", c.Kind, c.From, c.To, c.GasUsed)
+		}
+		for _, s := range tx.Storage {
+			op := "read "
+			if s.Write {
+				op = "write"
+			}
+			fmt.Printf("  storage %s %s[%s]\n", op, s.Address, s.Key)
+		}
+	}
+	fmt.Printf("\ndevice time (virtual): %v, total gas: %d\n", res.VirtualTime, res.GasUsed)
+	return nil
+}
+
+func buildBundle(world *workload.World, action string) (*hardtape.Bundle, string, error) {
+	from := world.EOAs[0]
+	switch action {
+	case "transfer":
+		token := world.Tokens[0]
+		tx, err := world.SignedTxAt(from, 0, &token, 0,
+			workload.CalldataTransfer(world.EOAs[1], 1000), 200_000)
+		if err != nil {
+			return nil, "", err
+		}
+		return &hardtape.Bundle{Txs: []*hardtape.Transaction{tx}},
+			fmt.Sprintf("ERC-20 transfer of 1000 units on token %s", token), nil
+	case "swap":
+		dex := world.DEXes[0]
+		tx, err := world.SignedTxAt(from, 0, &dex, 0, workload.CalldataSwap(5000), 400_000)
+		if err != nil {
+			return nil, "", err
+		}
+		return &hardtape.Bundle{Txs: []*hardtape.Transaction{tx}},
+			fmt.Sprintf("constant-product swap of 5000 units on DEX %s", dex), nil
+	case "deep":
+		dc := world.DeepCaller
+		tx, err := world.SignedTxAt(from, 0, &dc, 0, workload.CalldataUint(6), 2_000_000)
+		if err != nil {
+			return nil, "", err
+		}
+		return &hardtape.Bundle{Txs: []*hardtape.Transaction{tx}},
+			"depth-7 recursive call chain", nil
+	default:
+		return nil, "", fmt.Errorf("unknown action %q (transfer|swap|deep)", action)
+	}
+}

@@ -1,0 +1,95 @@
+// Command hardtape runs the service provider side: a synthetic world
+// and node, one HarDTAPE device, and the pre-execution service on a
+// TCP listener.
+//
+//	hardtape -addr :7337 -config full -credentials mfr.pub
+//
+// The manufacturer's public key is written to the credentials file;
+// distribute it to clients out of band (cmd/hardtape-client reads it).
+// The demo world is deterministic in -seed, so a client with the same
+// seed can construct valid signed transactions against it.
+package main
+
+import (
+	"crypto/elliptic"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"hardtape"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7337", "listen address")
+		cfgName = flag.String("config", "full", "feature set: raw|e|es|eso|full")
+		hevms   = flag.Int("hevms", 3, "HEVM cores")
+		seed    = flag.Int64("seed", 19145194, "world seed")
+		eoas    = flag.Int("eoas", 16, "synthetic EOAs")
+		tokens  = flag.Int("tokens", 3, "ERC-20 tokens")
+		dexes   = flag.Int("dexes", 2, "DEX pools")
+		credOut = flag.String("credentials", "mfr.pub", "file to write the manufacturer public key")
+	)
+	flag.Parse()
+
+	features, err := parseFeatures(*cfgName)
+	if err != nil {
+		return err
+	}
+
+	opts := hardtape.DefaultTestbedOptions()
+	opts.Seed = *seed
+	opts.EOAs = *eoas
+	opts.Tokens = *tokens
+	opts.DEXes = *dexes
+	opts.Features = features
+	opts.HEVMs = *hevms
+
+	fmt.Printf("Provisioning device and syncing world state (seed %d)...\n", *seed)
+	tb, err := hardtape.NewTestbed(opts)
+	if err != nil {
+		return err
+	}
+
+	// Publish the root of trust.
+	pub := tb.Manufacturer.PublicKey()
+	raw := elliptic.Marshal(elliptic.P256(), pub.X, pub.Y)
+	if err := os.WriteFile(*credOut, []byte(hex.EncodeToString(raw)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("write credentials: %w", err)
+	}
+	fmt.Printf("Manufacturer credential written to %s\n", *credOut)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("HarDTAPE service (%s, %d HEVMs) listening on %s\n",
+		features.Name(), *hevms, l.Addr())
+	return hardtape.NewService(tb.Device).ServeListener(l)
+}
+
+func parseFeatures(name string) (hardtape.Features, error) {
+	switch name {
+	case "raw":
+		return hardtape.ConfigRaw, nil
+	case "e":
+		return hardtape.ConfigE, nil
+	case "es":
+		return hardtape.ConfigES, nil
+	case "eso":
+		return hardtape.ConfigESO, nil
+	case "full":
+		return hardtape.ConfigFull, nil
+	default:
+		return hardtape.Features{}, fmt.Errorf("unknown config %q (raw|e|es|eso|full)", name)
+	}
+}

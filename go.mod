@@ -1,0 +1,3 @@
+module hardtape
+
+go 1.22

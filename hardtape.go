@@ -1,0 +1,185 @@
+// Package hardtape is the public API of the HarDTAPE reproduction: a
+// hardware-dedicated trusted transaction pre-executor (He et al.,
+// ICDCS 2025) built as a software simulation.
+//
+// A HarDTAPE deployment has four parties (paper §III-A):
+//
+//   - the Manufacturer provisions devices and anchors the chain of
+//     trust ([NewManufacturer]);
+//   - the Service Provider runs a [Device] (HEVM cores + Hypervisor)
+//     and the untrusted ORAM server, exposed as a [Service];
+//   - an Ethereum [Node] supplies Merkle-proof-authenticated world
+//     state;
+//   - the user connects with [Dial], verifies remote attestation, and
+//     submits transaction [Bundle]s for confidential pre-execution.
+//
+// The quickstart in examples/quickstart wires all four in-process;
+// cmd/hardtape and cmd/hardtape-client run them across TCP.
+package hardtape
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"fmt"
+	"io"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/core"
+	"hardtape/internal/node"
+	"hardtape/internal/state"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
+)
+
+// Re-exported core types. These aliases are the supported surface; the
+// internal packages may change without notice.
+type (
+	// Device is one HarDTAPE chip: Hypervisor + dedicated HEVM cores.
+	Device = core.Device
+	// Service exposes a Device over the authenticated message protocol.
+	Service = core.Service
+	// Client is the user side: attestation, secure channel, bundles.
+	Client = core.Client
+	// Config sizes a device; Features picks the Fig. 4 configuration.
+	Config   = core.Config
+	Features = core.Features
+	// BundleResult is a completed pre-execution (trace + virtual time).
+	BundleResult = core.BundleResult
+	// TraceResult is the client-side response for one bundle.
+	TraceResult = core.TraceResult
+
+	// Node is the simulated Ethereum full node.
+	Node = node.Node
+	// Manufacturer provisions trusted devices.
+	Manufacturer = attest.Manufacturer
+	// Verifier checks remote attestation reports on the user side.
+	Verifier = attest.Verifier
+
+	// Bundle is an ordered transaction sequence to pre-execute.
+	Bundle = types.Bundle
+	// Transaction is a signed Ethereum transaction.
+	Transaction = types.Transaction
+	// Address and Hash are the Ethereum primitive identifiers.
+	Address = types.Address
+	Hash    = types.Hash
+
+	// World is the synthetic evaluation world (workload generator).
+	World = workload.World
+)
+
+// The paper's named feature configurations (Fig. 4).
+var (
+	ConfigRaw  = core.ConfigRaw
+	ConfigE    = core.ConfigE
+	ConfigES   = core.ConfigES
+	ConfigESO  = core.ConfigESO
+	ConfigFull = core.ConfigFull
+)
+
+// DefaultConfig mirrors the paper's prototype (3 HEVMs, 1 MB L2,
+// 2 ms ORAM RTT, -full features).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewManufacturer creates a trusted device manufacturer.
+func NewManufacturer() (*Manufacturer, error) { return attest.NewManufacturer() }
+
+// NewNode wraps a canonical world state as a full node.
+func NewNode(genesis *state.WorldState) (*Node, error) { return node.New(genesis) }
+
+// NewDevice provisions and boots a HarDTAPE device attached to a node.
+// Pass a nil manufacturer to provision one internally (single-party
+// tests); production users share one Manufacturer and pin its key.
+func NewDevice(cfg Config, mfr *Manufacturer, chain *Node) (*Device, error) {
+	return core.NewDevice(cfg, mfr, chain)
+}
+
+// NewService exposes a device over the message protocol.
+func NewService(dev *Device) *Service { return core.NewService(dev) }
+
+// NewVerifier builds the user-side attestation verifier pinning the
+// manufacturer's public key and the expected Hypervisor measurement.
+func NewVerifier(mfr *Manufacturer) *Verifier {
+	return attest.NewVerifier(mfr.PublicKey(), core.ImageMeasurement())
+}
+
+// NewVerifierForKey builds a verifier from a marshaled (uncompressed
+// P-256) manufacturer public key, as distributed out of band to users.
+func NewVerifierForKey(raw []byte) (*Verifier, error) {
+	x, y := elliptic.Unmarshal(elliptic.P256(), raw)
+	if x == nil {
+		return nil, fmt.Errorf("hardtape: invalid manufacturer key")
+	}
+	pub := &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+	return attest.NewVerifier(pub, core.ImageMeasurement()), nil
+}
+
+// Dial attests a service over a stream and opens the secure channel.
+// sign must match the service's Features.Sign.
+func Dial(conn io.ReadWriter, verifier *Verifier, sign bool) (*Client, error) {
+	return core.Dial(conn, verifier, sign)
+}
+
+// Testbed is a fully wired single-process deployment: synthetic world,
+// node, manufacturer, and a synced device — the fastest way to try the
+// library (and what the examples build on).
+type Testbed struct {
+	World        *World
+	Chain        *Node
+	Manufacturer *Manufacturer
+	Device       *Device
+}
+
+// TestbedOptions size a testbed.
+type TestbedOptions struct {
+	Seed     int64
+	EOAs     int
+	Tokens   int
+	DEXes    int
+	Features Features
+	HEVMs    int
+}
+
+// DefaultTestbedOptions returns a laptop-scale -full testbed.
+func DefaultTestbedOptions() TestbedOptions {
+	return TestbedOptions{
+		Seed: 19145194, EOAs: 16, Tokens: 3, DEXes: 2,
+		Features: ConfigFull, HEVMs: 3,
+	}
+}
+
+// NewTestbed builds and syncs a testbed.
+func NewTestbed(opts TestbedOptions) (*Testbed, error) {
+	world, err := workload.BuildWorld(workload.Config{
+		Seed: opts.Seed, EOAs: opts.EOAs, Tokens: opts.Tokens, DEXes: opts.DEXes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: build world: %w", err)
+	}
+	chain, err := node.New(world.State)
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: node: %w", err)
+	}
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: manufacturer: %w", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Features = opts.Features
+	if opts.HEVMs > 0 {
+		cfg.HEVMs = opts.HEVMs
+	}
+	dev, err := core.NewDevice(cfg, mfr, chain)
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: device: %w", err)
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, fmt.Errorf("hardtape: sync: %w", err)
+	}
+	return &Testbed{World: world, Chain: chain, Manufacturer: mfr, Device: dev}, nil
+}
+
+// Verifier returns the attestation verifier for this testbed's
+// manufacturer.
+func (tb *Testbed) Verifier() *Verifier {
+	return NewVerifier(tb.Manufacturer)
+}

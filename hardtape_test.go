@@ -1,0 +1,91 @@
+package hardtape
+
+import (
+	"net"
+	"testing"
+
+	"hardtape/internal/uint256"
+	"hardtape/internal/workload"
+)
+
+func TestTestbedQuickstartFlow(t *testing.T) {
+	opts := DefaultTestbedOptions()
+	opts.EOAs = 8
+	opts.Tokens = 2
+	opts.DEXes = 1
+	opts.HEVMs = 2
+	tb, err := NewTestbed(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The full user flow over an in-process pipe.
+	userConn, spConn := net.Pipe()
+	defer userConn.Close()
+	svc := NewService(tb.Device)
+	go func() {
+		defer spConn.Close()
+		_ = svc.ServeConn(spConn)
+	}()
+
+	client, err := Dial(userConn, tb.Verifier(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	token := tb.World.Tokens[0]
+	tx, err := tb.World.SignedTxAt(tb.World.EOAs[0], 0, &token, 0,
+		workload.CalldataTransfer(tb.World.EOAs[1], 10), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.PreExecute(&Bundle{Txs: []*Transaction{tx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortReason != "" {
+		t.Fatalf("aborted: %s", res.AbortReason)
+	}
+	if len(res.Trace.Txs) != 1 || res.Trace.Txs[0].Reverted {
+		t.Fatalf("bad trace: %+v", res.Trace)
+	}
+	if got := new(uint256.Int).SetBytes(res.Trace.Txs[0].ReturnData); !got.Eq(uint256.NewInt(1)) {
+		t.Fatalf("transfer returned %s", got)
+	}
+}
+
+func TestDirectDeviceExecution(t *testing.T) {
+	opts := DefaultTestbedOptions()
+	opts.EOAs = 6
+	opts.Tokens = 1
+	opts.DEXes = 1
+	opts.Features = ConfigRaw
+	opts.HEVMs = 1
+	tb, err := NewTestbed(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := tb.World.EOAs[1]
+	tx, err := tb.World.SignedTxAt(tb.World.EOAs[0], 0, &to, 42, nil, 21_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Device.Execute(&Bundle{Txs: []*Transaction{tx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GasUsed != 21000 {
+		t.Fatalf("gas = %d", res.GasUsed)
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	for cfg, want := range map[Features]string{
+		ConfigRaw: "-raw", ConfigE: "-E", ConfigES: "-ES",
+		ConfigESO: "-ESO", ConfigFull: "-full",
+	} {
+		if cfg.Name() != want {
+			t.Errorf("Name() = %s, want %s", cfg.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package attest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+)
+
+var _testImage = []byte("hypervisor-firmware-v1.0")
+
+// fullHandshake provisions a device, boots it, and runs attestation.
+func fullHandshake(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	m, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Provision("HT-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := dev.SecureBoot(_testImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := NewVerifier(m.PublicKey(), sha256.Sum256(_testImage))
+	nonce, err := v.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, complete, err := booted.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userSession, userPub, err := v.Verify(report, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devSession, err := complete(userPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return userSession, devSession
+}
+
+func TestAttestationEstablishesSharedKey(t *testing.T) {
+	user, dev := fullHandshake(t)
+	if user.Key != dev.Key {
+		t.Fatal("DHKE produced different keys on each side")
+	}
+	if user.Key == ([32]byte{}) {
+		t.Fatal("session key is zero")
+	}
+}
+
+func TestSessionsAreUnique(t *testing.T) {
+	s1, _ := fullHandshake(t)
+	s2, _ := fullHandshake(t)
+	if s1.Key == s2.Key {
+		t.Fatal("two sessions derived the same key")
+	}
+}
+
+func TestRejectsWrongManufacturer(t *testing.T) {
+	// A1: fake pre-executor — device provisioned by a different
+	// (adversarial) manufacturer must fail certificate verification.
+	honest, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := evil.Provision("HT-EVIL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := dev.SecureBoot(_testImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(honest.PublicKey(), sha256.Sum256(_testImage))
+	nonce, _ := v.NewNonce()
+	report, _, err := booted.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Verify(report, nonce); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("evil device accepted: %v", err)
+	}
+}
+
+func TestRejectsWrongImage(t *testing.T) {
+	m, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Provision("HT-0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := dev.SecureBoot([]byte("malicious-firmware"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(m.PublicKey(), sha256.Sum256(_testImage))
+	nonce, _ := v.NewNonce()
+	report, _, err := booted.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Verify(report, nonce); !errors.Is(err, ErrBadMeasurement) {
+		t.Fatalf("wrong image accepted: %v", err)
+	}
+}
+
+func TestRejectsReplayedNonce(t *testing.T) {
+	m, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Provision("HT-0003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := dev.SecureBoot(_testImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(m.PublicKey(), sha256.Sum256(_testImage))
+	oldNonce, _ := v.NewNonce()
+	report, _, err := booted.Attest(oldNonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The user expects a fresh nonce; the adversary replays the old
+	// report.
+	freshNonce, _ := v.NewNonce()
+	if _, _, err := v.Verify(report, freshNonce); !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("replayed report accepted: %v", err)
+	}
+}
+
+func TestRejectsTamperedReport(t *testing.T) {
+	m, err := NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Provision("HT-0004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := dev.SecureBoot(_testImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(m.PublicKey(), sha256.Sum256(_testImage))
+	nonce, _ := v.NewNonce()
+	report, _, err := booted.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a MITM session key.
+	report.SessionPub = append([]byte(nil), report.SessionPub...)
+	report.SessionPub[10] ^= 0x01
+	if _, _, err := v.Verify(report, nonce); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("tampered report accepted: %v", err)
+	}
+}
+
+func TestPUFDeterminism(t *testing.T) {
+	fuse := bytes.Repeat([]byte{0xaa}, 32)
+	p1 := NewPUF("S1", fuse)
+	p2 := NewPUF("S1", fuse)
+	k1, err := p1.deviceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := p2.deviceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.D.Cmp(k2.D) != 0 {
+		t.Fatal("PUF-derived keys differ across boots")
+	}
+	// Different serials → different keys.
+	p3 := NewPUF("S2", fuse)
+	k3, err := p3.deviceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.D.Cmp(k3.D) == 0 {
+		t.Fatal("different devices derived the same key")
+	}
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"hardtape/internal/evm"
+	"hardtape/internal/types"
+	"hardtape/internal/uint256"
+	"hardtape/internal/workload"
+)
+
+func buildWorld(t testing.TB) *workload.World {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.EOAs = 8
+	cfg.Tokens = 2
+	cfg.DEXes = 1
+	w, err := workload.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func blockCtx() evm.BlockContext {
+	return evm.BlockContext{Number: 100, GasLimit: 30_000_000, ChainID: uint256.NewInt(1)}
+}
+
+func TestGethExecutesBundle(t *testing.T) {
+	w := buildWorld(t)
+	g := NewGeth(w.State, blockCtx())
+
+	token := w.Tokens[0]
+	tx1, err := w.SignedTx(w.EOAs[0], &token, 0, workload.CalldataTransfer(w.EOAs[1], 100), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := w.SignedTx(w.EOAs[0], &token, 0, workload.CalldataBalanceOf(w.EOAs[1]), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx1, tx2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Txs) != 2 {
+		t.Fatalf("trace txs = %d", len(res.Trace.Txs))
+	}
+	// Bundle semantics: tx2 sees tx1's write.
+	bal := new(uint256.Int).SetBytes(res.Trace.Txs[1].ReturnData)
+	if !bal.Eq(uint256.NewInt((1 << 40) + 100)) {
+		t.Fatalf("bundle visibility: balance = %s", bal)
+	}
+	if res.VirtualTime <= 0 || res.Steps == 0 || res.GasUsed == 0 {
+		t.Fatalf("timing: %+v", res)
+	}
+}
+
+func TestGethBundleIsTemporary(t *testing.T) {
+	w := buildWorld(t)
+	g := NewGeth(w.State, blockCtx())
+	token := w.Tokens[0]
+	tx, err := w.SignedTx(w.EOAs[0], &token, 0, workload.CalldataTransfer(w.EOAs[1], 100), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx}}); err != nil {
+		t.Fatal(err)
+	}
+	// The canonical state must be untouched.
+	key := types.BytesToHash(w.EOAs[1].Word().Bytes())
+	if got := w.State.Storage(token, key).Word().Uint64(); got != 1<<40 {
+		t.Fatalf("canonical state mutated: %d", got)
+	}
+}
+
+func TestTSCVEEExecutesSingleContract(t *testing.T) {
+	w := buildWorld(t)
+	token := w.Tokens[0]
+	v := NewTSCVEE(w.State, blockCtx(), token)
+	tx, err := w.SignedTx(w.EOAs[0], &token, 0, workload.CalldataTransfer(w.EOAs[1], 50), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualTime < 2_000_000 { // at least the prefetch cost
+		t.Fatalf("virtual time %v below prefetch floor", res.VirtualTime)
+	}
+}
+
+func TestTSCVEERejectsOtherContract(t *testing.T) {
+	w := buildWorld(t)
+	v := NewTSCVEE(w.State, blockCtx(), w.Tokens[0])
+	other := w.Tokens[1]
+	tx, err := w.SignedTx(w.EOAs[0], &other, 0, workload.CalldataBalanceOf(w.EOAs[0]), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx}}); !errors.Is(err, ErrCrossContractCall) {
+		t.Fatalf("foreign target: %v", err)
+	}
+}
+
+func TestTSCVEERejectsCrossContractCall(t *testing.T) {
+	w := buildWorld(t)
+	dex := w.DEXes[0]
+	// The DEX calls its token — TSC-VEE must refuse.
+	v := NewTSCVEE(w.State, blockCtx(), dex)
+	tx, err := w.SignedTx(w.EOAs[0], &dex, 0, workload.CalldataSwap(100), 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx}}); !errors.Is(err, ErrCrossContractCall) {
+		t.Fatalf("cross-contract call: %v", err)
+	}
+}
+
+func TestGethAndTSCVEEAgreeOnResults(t *testing.T) {
+	// Fig. 5's premise: with warm data the three platforms compute the
+	// same results; only timing differs. Execute the same tx on both
+	// and compare traces.
+	w1 := buildWorld(t)
+	w2 := buildWorld(t) // identical world, fresh nonce tracking
+	token1, token2 := w1.Tokens[0], w2.Tokens[0]
+	if token1 != token2 {
+		t.Fatal("worlds differ")
+	}
+	tx1, err := w1.SignedTx(w1.EOAs[0], &token1, 0, workload.CalldataTransfer(w1.EOAs[1], 7), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := w2.SignedTx(w2.EOAs[0], &token2, 0, workload.CalldataTransfer(w2.EOAs[1], 7), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := NewGeth(w1.State, blockCtx())
+	gres, err := g.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewTSCVEE(w2.State, blockCtx(), token2)
+	vres, err := v.ExecuteBundle(&types.Bundle{Txs: []*types.Transaction{tx2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.GasUsed != vres.GasUsed || gres.Steps != vres.Steps {
+		t.Fatalf("platforms diverge: geth gas=%d steps=%d, tscvee gas=%d steps=%d",
+			gres.GasUsed, gres.Steps, vres.GasUsed, vres.Steps)
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoiseAblation(t *testing.T) {
+	rep, err := RunNoiseAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IdenticalWithoutNoise {
+		t.Error("without noise, identical workloads should give identical swap sizes")
+	}
+	if rep.IdenticalWithNoise {
+		t.Error("with noise, swap sizes should differ across RNG seeds")
+	}
+	if rep.SwapEventsObserved == 0 {
+		t.Error("no swap traffic generated")
+	}
+	if !strings.Contains(rep.Render(), "noise ON") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPrefetchAblation(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := RunPrefetchAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without prefetching, code pages form long contiguous runs; with
+	// it, they interleave with K-V queries.
+	if rep.MaxCodeRunWithout <= rep.MaxCodeRunWith {
+		t.Errorf("code-run ablation inverted: with=%d without=%d",
+			rep.MaxCodeRunWith, rep.MaxCodeRunWithout)
+	}
+	if rep.QueriesWith == 0 || rep.QueriesWithout == 0 {
+		t.Error("no queries recorded")
+	}
+	if !strings.Contains(rep.Render(), "prefetch OFF") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestGroupingAblation(t *testing.T) {
+	rep, err := RunGroupingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// 1/page must cost 32 queries; 32/page must cost 1.
+	if rep.Rows[0].GroupSize != 1 || rep.Rows[0].ORAMQueries != 32 {
+		t.Errorf("ungrouped scan: %+v", rep.Rows[0])
+	}
+	if rep.Rows[2].GroupSize != 32 || rep.Rows[2].ORAMQueries != 1 {
+		t.Errorf("grouped scan: %+v", rep.Rows[2])
+	}
+	if rep.Rows[0].BytesMoved <= rep.Rows[2].BytesMoved {
+		t.Error("grouping should reduce bytes moved")
+	}
+	if !strings.Contains(rep.Render(), "records/page") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestDepthAblation(t *testing.T) {
+	rep, err := RunDepthAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Bytes per access must grow monotonically with capacity (O(log n)).
+	for i := 1; i < len(rep.Rows); i++ {
+		if rep.Rows[i].BytesPerAccess <= rep.Rows[i-1].BytesPerAccess {
+			t.Errorf("bytes/access not growing: %+v then %+v", rep.Rows[i-1], rep.Rows[i])
+		}
+		if rep.Rows[i].Depth <= rep.Rows[i-1].Depth {
+			t.Errorf("depth not growing with capacity")
+		}
+	}
+	// And the growth should be roughly linear in depth: ratio of
+	// (bytes/access)/depth stays within 2x across the sweep.
+	first := float64(rep.Rows[0].BytesPerAccess) / float64(rep.Rows[0].Depth)
+	last := float64(rep.Rows[len(rep.Rows)-1].BytesPerAccess) / float64(rep.Rows[len(rep.Rows)-1].Depth)
+	if last > 2*first || first > 2*last {
+		t.Errorf("bytes/access not ∝ depth: %f vs %f", first, last)
+	}
+	if !strings.Contains(rep.Render(), "O(log n)") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMaxCodeRun(t *testing.T) {
+	if got := maxCodeRun([]byte("kkcccck")); got != 4 {
+		t.Errorf("maxCodeRun = %d, want 4", got)
+	}
+	if got := maxCodeRun([]byte("ckckck")); got != 1 {
+		t.Errorf("interleaved maxCodeRun = %d, want 1", got)
+	}
+	if maxCodeRun(nil) != 0 {
+		t.Error("empty sequence")
+	}
+}

@@ -1,0 +1,300 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§VI): Table I (workload distributions), Fig. 4
+// (end-to-end per-transaction time by configuration), Fig. 5
+// (per-operation time with warm local data), the §VI-A resource
+// audit, the §VI-B correctness check, and the §VI-D scalability
+// estimate. cmd/benchtab and the repo-root benchmarks drive these.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hardtape/internal/baseline"
+	"hardtape/internal/core"
+	"hardtape/internal/evm"
+	"hardtape/internal/node"
+	"hardtape/internal/state"
+	"hardtape/internal/tracer"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
+)
+
+// Env is a fully provisioned experiment environment: one synthetic
+// world, its node, and one HarDTAPE device per Fig. 4 configuration.
+type Env struct {
+	World *workload.World
+	Chain *node.Node
+	// Devices maps configuration name (-raw, …, -full) to a device.
+	Devices map[string]*core.Device
+	// Geth is the unprotected baseline.
+	Geth *baseline.Geth
+}
+
+// EnvConfig scales the environment.
+type EnvConfig struct {
+	Seed   int64
+	EOAs   int
+	Tokens int
+	DEXes  int
+	// HEVMs per device.
+	HEVMs int
+}
+
+// DefaultEnvConfig returns a laptop-scale environment.
+func DefaultEnvConfig() EnvConfig {
+	return EnvConfig{Seed: 19145194, EOAs: 24, Tokens: 4, DEXes: 2, HEVMs: 3}
+}
+
+// NewEnv builds and syncs the environment.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	w, err := workload.BuildWorld(workload.Config{
+		Seed: cfg.Seed, EOAs: cfg.EOAs, Tokens: cfg.Tokens, DEXes: cfg.DEXes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		World:   w,
+		Chain:   chain,
+		Devices: make(map[string]*core.Device),
+		Geth:    baseline.NewGeth(w.State, workload.NewBlockContext(&chain.Head().Header)),
+	}
+	for _, feat := range []core.Features{
+		core.ConfigRaw, core.ConfigE, core.ConfigES, core.ConfigESO, core.ConfigFull,
+	} {
+		dcfg := core.DefaultConfig()
+		dcfg.Features = feat
+		dcfg.HEVMs = cfg.HEVMs
+		dev, err := core.NewDevice(dcfg, nil, chain)
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.Sync(); err != nil {
+			return nil, err
+		}
+		env.Devices[feat.Name()] = dev
+	}
+	return env, nil
+}
+
+// EvalBundles generates n single-transaction bundles from the
+// evaluation-set mix (the paper runs "each transaction as a separate
+// bundle"). Every bundle's sender signs with its canonical nonce.
+func (e *Env) EvalBundles(n int) ([]*types.Bundle, error) {
+	bundles := make([]*types.Bundle, 0, n)
+	// Track per-sender nonces so consecutive bundles from one EOA stay
+	// individually valid against the canonical state (nonce 0): use a
+	// fresh sender rotation instead.
+	for i := 0; i < n; i++ {
+		tx, _, err := e.World.GenerateTx()
+		if err != nil {
+			return nil, err
+		}
+		// GenerateTx tracks nonces as if the txs executed
+		// sequentially; rebuild at the canonical nonce since every
+		// bundle runs against the same pinned state.
+		sender, err := tx.Sender()
+		if err != nil {
+			return nil, err
+		}
+		nonce := uint64(0)
+		if acct, ok := e.Chain.State().Account(sender); ok {
+			nonce = acct.Nonce
+		}
+		rebuilt, err := e.World.SignedTxAt(sender, nonce, tx.To, tx.Value.Uint64(), tx.Data, tx.GasLimit)
+		if err != nil {
+			return nil, err
+		}
+		bundles = append(bundles, &types.Bundle{Txs: []*types.Transaction{rebuilt}})
+	}
+	return bundles, nil
+}
+
+// --- Table I ---
+
+// TableI executes n evaluation-set transactions on the reference
+// executor with the statistics collector attached and renders the
+// paper's Table I.
+func TableI(env *Env, n int) (string, error) {
+	sc := workload.NewStatsCollector()
+	// The run executes on a fresh overlay over canonical state, so the
+	// generator's nonce tracking must restart from canonical too (it
+	// drifts when earlier experiments generated unmined transactions).
+	env.World.SyncNonces(env.Chain.State())
+	overlay := state.NewOverlay(env.Chain.State())
+	e := evm.New(workload.NewBlockContext(&env.Chain.Head().Header), overlay)
+	e.Hooks = sc.Hooks()
+	for i := 0; i < n; i++ {
+		tx, _, err := env.World.GenerateTx()
+		if err != nil {
+			return "", err
+		}
+		sc.BeginTx()
+		if _, err := e.ApplyTransaction(tx); err != nil {
+			return "", fmt.Errorf("bench: table1 tx %d: %w", i, err)
+		}
+		sc.EndTx()
+	}
+	header := fmt.Sprintf("TABLE I — distributions over %d transactions / %d frames (synthetic evaluation set)\n\n",
+		len(sc.Txs), len(sc.Frames))
+	return header + sc.TableI(), nil
+}
+
+// --- Fig. 4 ---
+
+// Fig4Row is one bar of Fig. 4.
+type Fig4Row struct {
+	Config string
+	Mean   time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	N      int
+}
+
+// Fig4 measures end-to-end per-transaction time for Geth and each
+// HarDTAPE configuration over n single-tx bundles.
+func Fig4(env *Env, n int) ([]Fig4Row, error) {
+	bundles, err := env.EvalBundles(n)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig4Row
+
+	// Geth baseline.
+	var gethTimes []time.Duration
+	for _, b := range bundles {
+		res, err := env.Geth.ExecuteBundle(b)
+		if err != nil {
+			return nil, fmt.Errorf("bench: geth: %w", err)
+		}
+		gethTimes = append(gethTimes, res.VirtualTime)
+	}
+	rows = append(rows, summarize("Geth", gethTimes))
+
+	for _, name := range []string{"-raw", "-E", "-ES", "-ESO", "-full"} {
+		dev := env.Devices[name]
+		var times []time.Duration
+		for _, b := range bundles {
+			res, err := dev.Execute(b)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", name, err)
+			}
+			if res.Aborted != nil {
+				// Overflow aborts are excluded, as in the paper.
+				continue
+			}
+			times = append(times, res.VirtualTime)
+		}
+		rows = append(rows, summarize(name, times))
+	}
+	return rows, nil
+}
+
+func summarize(name string, times []time.Duration) Fig4Row {
+	if len(times) == 0 {
+		return Fig4Row{Config: name}
+	}
+	sorted := make([]time.Duration, len(times))
+	copy(sorted, times)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, t := range times {
+		total += t
+	}
+	return Fig4Row{
+		Config: name,
+		Mean:   total / time.Duration(len(times)),
+		P50:    sorted[len(sorted)/2],
+		P95:    sorted[len(sorted)*95/100],
+		N:      len(times),
+	}
+}
+
+// RenderFig4 produces the textual figure.
+func RenderFig4(rows []Fig4Row) string {
+	var sb strings.Builder
+	sb.WriteString("FIG. 4 — end-to-end per-transaction time (virtual clock)\n\n")
+	fmt.Fprintf(&sb, "%-8s %12s %12s %12s %6s\n", "config", "mean", "p50", "p95", "n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %12s %12s %12s %6d\n",
+			r.Config, round(r.Mean), round(r.P50), round(r.P95), r.N)
+	}
+	sb.WriteString("\npaper shape: Geth ≈ -raw ≪ -E ≪ -ES < -ESO < -full;\n")
+	sb.WriteString("signature ≈ +80 ms, ORAM ≈ +80 ms (30 ms K-V + 50 ms code); -full ≈ 164 ms\n")
+	return sb.String()
+}
+
+func round(d time.Duration) time.Duration {
+	if d < 100*time.Microsecond {
+		return d.Round(100 * time.Nanosecond)
+	}
+	return d.Round(10 * time.Microsecond)
+}
+
+// --- correctness (§VI-B) ---
+
+// CorrectnessReport summarizes the trace-diff run.
+type CorrectnessReport struct {
+	Total      int
+	Matched    int
+	Aborted    int
+	Mismatches []string
+}
+
+// Correctness pre-executes n evaluation transactions on the -full
+// device and diffs every trace against the reference executor.
+func Correctness(env *Env, n int) (*CorrectnessReport, error) {
+	bundles, err := env.EvalBundles(n)
+	if err != nil {
+		return nil, err
+	}
+	dev := env.Devices["-full"]
+	rep := &CorrectnessReport{Total: len(bundles)}
+	for i, b := range bundles {
+		res, err := dev.Execute(b)
+		if err != nil {
+			return nil, fmt.Errorf("bench: correctness bundle %d: %w", i, err)
+		}
+		if res.Aborted != nil {
+			rep.Aborted++
+			continue
+		}
+		ref, err := env.Geth.ExecuteBundle(b)
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for j := range b.Txs {
+			if diffs := tracer.Diff(res.Trace.Txs[j], ref.Trace.Txs[j]); len(diffs) > 0 {
+				ok = false
+				rep.Mismatches = append(rep.Mismatches,
+					fmt.Sprintf("bundle %d tx %d: %s", i, j, strings.Join(diffs, "; ")))
+			}
+		}
+		if ok {
+			rep.Matched++
+		}
+	}
+	return rep, nil
+}
+
+// Render produces the report text.
+func (r *CorrectnessReport) Render() string {
+	var sb strings.Builder
+	sb.WriteString("§VI-B — pre-execution correctness vs ground truth\n\n")
+	fmt.Fprintf(&sb, "bundles:          %d\n", r.Total)
+	fmt.Fprintf(&sb, "traces identical: %d\n", r.Matched)
+	fmt.Fprintf(&sb, "overflow aborts:  %d (roll-up-style frames, paper leaves these as future work)\n", r.Aborted)
+	fmt.Fprintf(&sb, "mismatches:       %d\n", len(r.Mismatches))
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(&sb, "  %s\n", m)
+	}
+	return sb.String()
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hardtape/internal/hevm"
+)
+
+// smallEnv builds a reduced environment once per test binary.
+func smallEnv(t testing.TB) *Env {
+	t.Helper()
+	cfg := DefaultEnvConfig()
+	cfg.EOAs = 12
+	cfg.Tokens = 2
+	cfg.DEXes = 1
+	cfg.HEVMs = 2
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestTableIRuns(t *testing.T) {
+	env := smallEnv(t)
+	out, err := TableI(env, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"code", "input", "memory", "return", "keys", "depth", "<1k", "2-5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4ShapeHolds(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := Fig4(env, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig4Row{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	// Paper shape assertions.
+	if byName["-raw"].Mean >= byName["-ES"].Mean {
+		t.Errorf("-raw (%v) should be far below -ES (%v)", byName["-raw"].Mean, byName["-ES"].Mean)
+	}
+	if byName["-ES"].Mean >= byName["-full"].Mean {
+		t.Errorf("-ES (%v) should be below -full (%v)", byName["-ES"].Mean, byName["-full"].Mean)
+	}
+	// Signature step ≈80 ms dominates encryption step ≈3 ms.
+	sigStep := byName["-ES"].Mean - byName["-E"].Mean
+	encStep := byName["-E"].Mean - byName["-raw"].Mean
+	if sigStep < 10*encStep {
+		t.Errorf("signature step %v should dominate encryption step %v", sigStep, encStep)
+	}
+	// -full stays within the paper's 600 ms usability bound.
+	if byName["-full"].Mean > 600*time.Millisecond {
+		t.Errorf("-full mean %v exceeds the 600 ms usability bound", byName["-full"].Mean)
+	}
+	out := RenderFig4(rows)
+	if !strings.Contains(out, "-full") || !strings.Contains(out, "Geth") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := Fig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Geth <= 0 || r.TSCVEE <= 0 || r.HarDTAPE < 0 {
+			t.Errorf("%s: non-positive per-op times: %+v", r.Benchmark, r)
+		}
+		// "No significant difference": within two orders of magnitude
+		// on the log-scale plot.
+		if r.HarDTAPE > 0 && (r.HarDTAPE > 100*r.Geth || r.Geth > 100*r.HarDTAPE) {
+			t.Errorf("%s: HarDTAPE %v vs Geth %v diverge beyond plot expectations",
+				r.Benchmark, r.HarDTAPE, r.Geth)
+		}
+	}
+	out := RenderFig5(rows)
+	if !strings.Contains(out, "Transfer") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestScalabilityReport(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := Scalability(env, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChipThroughput <= 0 {
+		t.Error("throughput must be positive")
+	}
+	if rep.SupportedHEVMs <= 0 {
+		t.Error("supported HEVMs must be positive")
+	}
+	if rep.MeanQueryGap <= 0 {
+		t.Error("query gap must be positive")
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "tx/s") || !strings.Contains(out, "HEVMs per ORAM server") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestCorrectnessAllMatch(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := Correctness(env, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matched+rep.Aborted != rep.Total {
+		t.Fatalf("accounting: %d + %d != %d (mismatches: %v)",
+			rep.Matched, rep.Aborted, rep.Total, rep.Mismatches)
+	}
+	if len(rep.Mismatches) != 0 {
+		t.Fatalf("trace mismatches: %v", rep.Mismatches)
+	}
+	if !strings.Contains(rep.Render(), "traces identical") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestResourcesReport(t *testing.T) {
+	rep := Resources(hevm.DefaultConfig(), 30)
+	if rep.PerHEVMOnChip < 1<<20 {
+		t.Fatalf("per-HEVM budget %d below the 1 MB L2 alone", rep.PerHEVMOnChip)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "103388 LUT") {
+		t.Fatal("paper constants missing from render")
+	}
+}
+
+func TestAmortizationFallsWithBundleSize(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := Amortization(env, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Per-tx cost must fall monotonically as the per-bundle ECDSA round
+	// amortizes.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PerTx >= rows[i-1].PerTx {
+			t.Fatalf("per-tx time not falling: %v then %v", rows[i-1], rows[i])
+		}
+	}
+	// At 16 txs/bundle the ~80 ms signature is <6 ms/tx of the total.
+	if rows[2].PerTx > rows[0].PerTx/2 {
+		t.Fatalf("amortization too weak: 1-tx %v vs 16-tx %v", rows[0].PerTx, rows[2].PerTx)
+	}
+	if !strings.Contains(RenderAmortization(rows), "bundle size") {
+		t.Fatal("render incomplete")
+	}
+}

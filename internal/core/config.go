@@ -1,0 +1,110 @@
+// Package core implements HarDTAPE itself: the trusted pre-execution
+// device of the paper (Fig. 3). It composes every substrate — the
+// EVM interpreter, the hardware-EVM shadow (3-layer memory), the
+// Path-ORAM-backed paged world state, the prefetcher, attestation, the
+// secure channel, and the tracer — into the bundle lifecycle
+// (steps 1–11) and exposes the feature toggles of the paper's Fig. 4
+// configurations (-raw, -E, -ES, -ESO, -full).
+package core
+
+import (
+	"hardtape/internal/hevm"
+	"hardtape/internal/simclock"
+)
+
+// Features selects the security mechanisms, mirroring Fig. 4.
+type Features struct {
+	// Encrypt protects user inputs and returned traces with AES-GCM
+	// over the session key (-E).
+	Encrypt bool
+	// Sign adds per-bundle ECDSA signature and verification (-ES).
+	Sign bool
+	// ORAMStorage serves K-V queries (account meta + storage records)
+	// through the Path ORAM (-ESO).
+	ORAMStorage bool
+	// ORAMCode serves contract code through the Path ORAM with
+	// pagewise prefetching (-full).
+	ORAMCode bool
+}
+
+// The paper's named configurations.
+var (
+	// ConfigRaw disables all off-chip data protections.
+	ConfigRaw = Features{}
+	// ConfigE enables encryption.
+	ConfigE = Features{Encrypt: true}
+	// ConfigES adds user data signature and verification.
+	ConfigES = Features{Encrypt: true, Sign: true}
+	// ConfigESO adds ORAM for storage.
+	ConfigESO = Features{Encrypt: true, Sign: true, ORAMStorage: true}
+	// ConfigFull adds ORAM for all world-state data. This is the
+	// configuration the SP deploys.
+	ConfigFull = Features{Encrypt: true, Sign: true, ORAMStorage: true, ORAMCode: true}
+)
+
+// Name renders the paper's label for a feature set.
+func (f Features) Name() string {
+	switch f {
+	case ConfigRaw:
+		return "-raw"
+	case ConfigE:
+		return "-E"
+	case ConfigES:
+		return "-ES"
+	case ConfigESO:
+		return "-ESO"
+	case ConfigFull:
+		return "-full"
+	default:
+		return "custom"
+	}
+}
+
+// Config sizes one HarDTAPE device.
+type Config struct {
+	Features Features
+	// HEVMs is the number of hardware EVM cores (the XCZU15EV fits 3).
+	HEVMs int
+	// Hardware is the per-HEVM memory geometry.
+	Hardware hevm.Config
+	// Calibration is the virtual-time cost table.
+	Calibration simclock.Calibration
+	// ORAMCapacity is the ORAM tree capacity in 1 KB blocks.
+	ORAMCapacity uint64
+	// NoiseSeed seeds the swap-noise RNG (reproducibility).
+	NoiseSeed int64
+	// CaptureSteps enables per-instruction traces (correctness runs).
+	CaptureSteps bool
+	// DisablePrefetch turns off pagewise code prefetching: all code
+	// pages of a frame are fetched in one burst. This is the ablation
+	// of §IV-D problem 3 — it leaks the query type via burst patterns
+	// and is for experiments only.
+	DisablePrefetch bool
+	// RecursivePositionMap stores the ORAM position map in a smaller
+	// parent ORAM instead of flat on-chip memory — the paper's
+	// "higher-level ORAMs recursively" extension (§II-C). Costs extra
+	// ORAM accesses per query; the default keeps the highest-level map
+	// on-chip as the prototype does.
+	RecursivePositionMap bool
+	// ORAMKey, when set, is the shared bucket-encryption key obtained
+	// from a sibling device via RequestORAMKey (paper §IV-D). Empty
+	// means "first device deployed": generate a fresh random key.
+	ORAMKey []byte
+	// RemoteORAMAddr, when non-empty, connects to a TCP ORAM server at
+	// this address instead of creating an in-process one — the paper's
+	// deployment shape (the SP runs one ORAM server over Ethernet for
+	// multiple HarDTAPE instances, §IV-D).
+	RemoteORAMAddr string
+}
+
+// DefaultConfig mirrors the paper's prototype.
+func DefaultConfig() Config {
+	return Config{
+		Features:     ConfigFull,
+		HEVMs:        3,
+		Hardware:     hevm.DefaultConfig(),
+		Calibration:  simclock.DefaultCalibration(),
+		ORAMCapacity: 1 << 16, // 64k pages ≙ 64 MB simulated world state
+		NoiseSeed:    1,
+	}
+}

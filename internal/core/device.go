@@ -1,0 +1,399 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/evm"
+	"hardtape/internal/hevm"
+	"hardtape/internal/node"
+	"hardtape/internal/oram"
+	"hardtape/internal/pager"
+	"hardtape/internal/simclock"
+	"hardtape/internal/state"
+	"hardtape/internal/tracer"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
+)
+
+// HypervisorImage is the measured firmware image (stand-in bytes whose
+// hash users pin for attestation).
+var HypervisorImage = []byte("hardtape-hypervisor-v1.0")
+
+// Errors.
+var (
+	ErrNotBooted   = errors.New("core: device not booted")
+	ErrBundleEmpty = errors.New("core: empty bundle")
+	ErrAborted     = errors.New("core: bundle aborted")
+)
+
+// slot is one HEVM core with its dedicated hardware set: machine
+// shadow, L1 world-state cache, prefetcher, virtual clock, and tracer.
+// A slot serves exactly one bundle at a time (the paper's
+// dedicated-hardware isolation).
+type slot struct {
+	id          int
+	clock       *simclock.Clock
+	machine     *hevm.Machine
+	wsCache     *hevm.WSCache
+	prefetcher  *pager.Prefetcher
+	oramQueries uint64
+	// queryTimes/queryKinds record the virtual time and kind ('k' for
+	// K-V, 'c' for code) of every ORAM query this bundle issued (for
+	// the prefetch ablation).
+	queryTimes []time.Duration
+	queryKinds []byte
+	// codeCache holds contract code fetched during this bundle (the
+	// paper's "all data can be found locally after first access",
+	// §VI-C); cleared with the rest of the on-chip state at release.
+	codeCache map[types.Hash][]byte
+}
+
+// reset clears every on-chip structure (step 10).
+func (s *slot) reset() {
+	s.machine.Reset()
+	s.wsCache.Clear()
+	s.prefetcher.Reset()
+	s.clock.Reset()
+	s.oramQueries = 0
+	s.queryTimes = nil
+	s.queryKinds = nil
+	s.codeCache = make(map[types.Hash][]byte)
+}
+
+// Device is one HarDTAPE chip: the Hypervisor plus cfg.HEVMs cores,
+// attached to a Node (for sync) and an ORAM server (run by the SP).
+type Device struct {
+	cfg    Config
+	booted *attest.BootedDevice
+
+	chain *node.Node
+
+	oramServer *oram.MemServer
+	oramStore  *pager.Store
+	mirror     *pager.Store
+	syncORAM   *node.Syncer
+	syncMirror *node.Syncer
+
+	slots    chan *slot
+	allSlots []*slot
+
+	mu       sync.Mutex
+	codeLens map[types.Hash]uint32
+	// oramKey is the shared bucket-encryption key (paper §IV-D "ORAM
+	// key protection"); OfferORAMKey transfers it to sibling devices.
+	oramKey []byte
+	// oramMu serializes the shared ORAM client (the Hypervisor
+	// serializes queries; Path ORAM clients are not concurrent-safe).
+	oramMu sync.Mutex
+}
+
+// NewDevice provisions, boots, and wires a device to its node. The
+// manufacturer is created internally when mfr is nil (tests); pass a
+// shared manufacturer when users must verify against a pinned root.
+func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device, error) {
+	if cfg.HEVMs <= 0 {
+		return nil, fmt.Errorf("core: need at least one HEVM, got %d", cfg.HEVMs)
+	}
+	if mfr == nil {
+		var err error
+		mfr, err = attest.NewManufacturer()
+		if err != nil {
+			return nil, err
+		}
+	}
+	provisioned, err := mfr.Provision(fmt.Sprintf("HT-%d", cfg.NoiseSeed))
+	if err != nil {
+		return nil, err
+	}
+	booted, err := provisioned.SecureBoot(HypervisorImage)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Device{
+		cfg:      cfg,
+		booted:   booted,
+		chain:    chain,
+		mirror:   pager.NewStore(pager.NewPlainBackend()),
+		codeLens: make(map[types.Hash]uint32),
+		slots:    make(chan *slot, cfg.HEVMs),
+	}
+
+	// ORAM server + shared client (the SP runs the server; the
+	// Hypervisor holds the client with its on-chip stash/position map).
+	if cfg.Features.ORAMStorage || cfg.Features.ORAMCode {
+		var server oram.Server
+		if cfg.RemoteORAMAddr != "" {
+			remote, err := oram.DialServer(cfg.RemoteORAMAddr)
+			if err != nil {
+				return nil, fmt.Errorf("core: remote oram: %w", err)
+			}
+			server = remote
+		} else {
+			mem, err := oram.NewMemServer(cfg.ORAMCapacity)
+			if err != nil {
+				return nil, err
+			}
+			d.oramServer = mem
+			server = mem
+		}
+		key := cfg.ORAMKey
+		if len(key) == 0 {
+			key = make([]byte, oram.KeySize)
+			if _, err := rand.Read(key); err != nil {
+				return nil, fmt.Errorf("core: oram key: %w", err)
+			}
+		} else if len(key) != oram.KeySize {
+			return nil, fmt.Errorf("core: ORAM key must be %d bytes", oram.KeySize)
+		}
+		d.oramKey = append([]byte(nil), key...)
+		var opts []oram.ClientOption
+		if cfg.RecursivePositionMap {
+			pmKey := make([]byte, oram.KeySize)
+			if _, err := rand.Read(pmKey); err != nil {
+				return nil, fmt.Errorf("core: posmap key: %w", err)
+			}
+			pm, err := oram.NewRecursivePositionMap(cfg.ORAMCapacity, pmKey)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, oram.WithPositionMap(pm))
+		}
+		client, err := oram.NewClient(server, key, opts...)
+		if err != nil {
+			return nil, err
+		}
+		d.oramStore = pager.NewStore(pager.NewORAMBackend(client))
+		d.syncORAM = node.NewSyncer(chain, d.oramStore)
+	}
+	d.syncMirror = node.NewSyncer(chain, d.mirror)
+
+	for i := 0; i < cfg.HEVMs; i++ {
+		clock := simclock.NewClock()
+		l3Key := make([]byte, 32)
+		if _, err := rand.Read(l3Key); err != nil {
+			return nil, fmt.Errorf("core: l3 key: %w", err)
+		}
+		machine, err := hevm.New(cfg.Hardware, clock, cfg.Calibration, l3Key, cfg.NoiseSeed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		s := &slot{
+			id:         i,
+			clock:      clock,
+			machine:    machine,
+			wsCache:    hevm.NewWSCache(cfg.Hardware.WSCacheEntries),
+			prefetcher: pager.NewPrefetcher(),
+			codeCache:  make(map[types.Hash][]byte),
+		}
+		d.allSlots = append(d.allSlots, s)
+		d.slots <- s
+	}
+	return d, nil
+}
+
+// Booted exposes the attestation endpoint (step 2).
+func (d *Device) Booted() *attest.BootedDevice { return d.booted }
+
+// ORAMServer exposes the SP-side server (adversary observation point).
+func (d *Device) ORAMServer() *oram.MemServer { return d.oramServer }
+
+// Sync pulls the node's world state — Merkle-verified — into the
+// device's stores (step 11 / initial full sync).
+func (d *Device) Sync() error {
+	if err := d.syncMirror.SyncAll(); err != nil {
+		return fmt.Errorf("core: mirror sync: %w", err)
+	}
+	if d.syncORAM != nil {
+		d.oramMu.Lock()
+		defer d.oramMu.Unlock()
+		if err := d.syncORAM.SyncAll(); err != nil {
+			return fmt.Errorf("core: oram sync: %w", err)
+		}
+	}
+	// Register code lengths from the chain (hypervisor bookkeeping,
+	// maintained during sync).
+	for _, addr := range d.chain.State().Addresses() {
+		if acct, ok := d.chain.State().Account(addr); ok {
+			if code := d.chain.State().Code(acct.CodeHash); code != nil {
+				d.registerCodeLen(acct.CodeHash, uint32(len(code)))
+			}
+		}
+	}
+	return nil
+}
+
+// registerCodeLen records a contract's code length (trusted metadata,
+// like the position map).
+func (d *Device) registerCodeLen(h types.Hash, n uint32) {
+	if h == types.EmptyCodeHash || h.IsZero() || n == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.codeLens[h] = n
+}
+
+func (d *Device) codeLen(h types.Hash) (uint32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.codeLens[h]
+	return n, ok
+}
+
+// BundleResult is what a pre-execution returns to the user (step 9).
+type BundleResult struct {
+	Trace *tracer.BundleTrace
+	// VirtualTime is the modeled end-to-end device time for the bundle
+	// (the quantity Fig. 4 reports).
+	VirtualTime time.Duration
+	// Aborted carries a Memory Overflow (or tamper) abort.
+	Aborted error
+	// Machine/query statistics.
+	HEVMStats   hevm.Stats
+	ORAMQueries uint64
+	GasUsed     uint64
+	// QueryTimes is the virtual timestamp of each ORAM query (the
+	// adversary-observable cadence); QueryKinds is the ground-truth
+	// kind per query ('k' K-V, 'c' code) for the prefetch ablation.
+	QueryTimes []time.Duration
+	QueryKinds []byte
+}
+
+// Execute runs a bundle on an exclusively assigned HEVM, blocking
+// until a core is idle (step 3's queue). It implements steps 3–10.
+func (d *Device) Execute(bundle *types.Bundle) (*BundleResult, error) {
+	if d.booted == nil {
+		return nil, ErrNotBooted
+	}
+	if bundle == nil || len(bundle.Txs) == 0 {
+		return nil, ErrBundleEmpty
+	}
+	s := <-d.slots // exclusive assignment
+	defer func() {
+		s.reset()
+		d.slots <- s
+	}()
+	s.reset()
+	return d.executeOn(s, bundle)
+}
+
+// executeOn runs the bundle on a specific slot.
+func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error) {
+	cal := d.cfg.Calibration
+	feat := d.cfg.Features
+
+	// Step 6: the user's message crosses the border. Charge the
+	// A.E.DMA decrypt and the per-bundle signature verification.
+	inputBytes := bundleSize(bundle)
+	if feat.Encrypt {
+		s.clock.Advance(time.Duration(inputBytes/1024+1) * cal.AESGCMPerKB)
+	}
+	if feat.Sign {
+		s.clock.Advance(cal.ECDSAVerify)
+	}
+
+	reader := d.newReader(s)
+	overlay := state.NewOverlay(reader)
+
+	head := d.chain.Head()
+	blockCtx := workload.NewBlockContext(&head.Header)
+	blockCtx.BlockHash = d.chain.BlockHash
+	e := evm.New(blockCtx, overlay)
+
+	tr := tracer.New(d.cfg.CaptureSteps)
+	e.Hooks = evm.CombineHooks(tr.Hooks(), s.machine.Hooks())
+
+	result := &BundleResult{}
+	err := d.runTxs(e, tr, s, bundle, result)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 9: trace leaves through the secure channel.
+	result.Trace = tr.Bundle()
+	traceBytes := traceSize(result.Trace)
+	if feat.Encrypt {
+		s.clock.Advance(time.Duration(traceBytes/1024+1) * cal.AESGCMPerKB)
+	}
+	if feat.Sign {
+		s.clock.Advance(cal.ECDSASign)
+	}
+	result.VirtualTime = s.clock.Now()
+	result.HEVMStats = s.machine.Stats()
+	result.ORAMQueries = s.oramQueries
+	result.QueryTimes = append([]time.Duration(nil), s.queryTimes...)
+	result.QueryKinds = append([]byte(nil), s.queryKinds...)
+	return result, nil
+}
+
+// runTxs executes the bundle's transactions, converting hardware
+// aborts (Memory Overflow, L3 tamper) into result errors.
+func (d *Device) runTxs(e *evm.EVM, tr *tracer.Tracer, s *slot, bundle *types.Bundle, result *BundleResult) (err error) {
+	// The ORAM client is shared across slots; serialize bundles that
+	// touch it. (Lock ordering: slots never nest bundle executions.)
+	if d.cfg.Features.ORAMStorage || d.cfg.Features.ORAMCode {
+		d.oramMu.Lock()
+		defer d.oramMu.Unlock()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rErr, ok := r.(error)
+			if !ok {
+				panic(r) // genuine bug, re-raise
+			}
+			var moe *hevm.MemoryOverflowError
+			switch {
+			case errors.As(rErr, &moe):
+				result.Aborted = rErr
+			case errors.Is(rErr, hevm.ErrL3Tampered):
+				result.Aborted = rErr
+			default:
+				err = fmt.Errorf("%w: %v", ErrAborted, rErr)
+			}
+		}
+	}()
+	for i, tx := range bundle.Txs {
+		tr.BeginTx(tx.Hash())
+		res, applyErr := e.ApplyTransaction(tx)
+		if applyErr != nil {
+			return fmt.Errorf("core: tx %d: %w", i, applyErr)
+		}
+		tr.EndTx(res)
+		result.GasUsed += res.GasUsed
+	}
+	return nil
+}
+
+// bundleSize approximates the wire size of a bundle.
+func bundleSize(b *types.Bundle) uint64 {
+	var n uint64
+	for _, tx := range b.Txs {
+		n += 128 + uint64(len(tx.Data))
+	}
+	return n
+}
+
+// traceSize approximates the wire size of a returned trace.
+func traceSize(tr *tracer.BundleTrace) uint64 {
+	if tr == nil {
+		return 0
+	}
+	var n uint64
+	for _, tx := range tr.Txs {
+		n += 64 + uint64(len(tx.ReturnData)) + uint64(len(tx.Calls))*64 +
+			uint64(len(tx.Storage))*72 + uint64(len(tx.Steps))*24
+	}
+	return n
+}
+
+// SlotCount reports the number of HEVM cores.
+func (d *Device) SlotCount() int { return d.cfg.HEVMs }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }

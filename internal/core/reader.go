@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hardtape/internal/hevm"
+	"hardtape/internal/pager"
+	"hardtape/internal/state"
+	"hardtape/internal/types"
+)
+
+// hvReader is the Hypervisor's world-state query path: the backing
+// Reader behind a bundle's overlay. Reads flow
+//
+//	L1 world-state cache → page store (ORAM or prefetched local),
+//
+// with a Hypervisor exception charged on every L1 miss (paper step 5)
+// and the code prefetcher notified on every real ORAM query (§IV-D).
+//
+// hvReader panics with a wrapped error on backend failures — the
+// executor converts this into a bundle failure, matching the hardware
+// behaviour of halting the HEVM on an unrecoverable exception.
+type hvReader struct {
+	dev  *Device
+	slot *slot
+	// kvStore serves account meta and storage records.
+	kvStore *pager.Store
+	// codeStore serves code pages; codeMirror provides the bytes when
+	// ORAM traffic is spread by the prefetcher (see DESIGN.md).
+	codeStore  *pager.Store
+	codeMirror *pager.Store
+	// kvORAM/codeORAM mark whether each store crosses the ORAM.
+	kvORAM, codeORAM bool
+}
+
+var _ state.Reader = (*hvReader)(nil)
+
+// chargeQuery advances the slot clock for one page fetch and drains
+// any due prefetches first.
+func (r *hvReader) chargeQuery(oramBacked bool) {
+	r.chargeQueryKind(oramBacked, 'k')
+}
+
+func (r *hvReader) chargeQueryKind(oramBacked bool, kind byte) {
+	cal := r.dev.cfg.Calibration
+	if oramBacked {
+		r.drainPrefetch()
+		now := r.slot.clock.Now()
+		r.slot.prefetcher.NotifyQuery(now)
+		r.slot.queryTimes = append(r.slot.queryTimes, now)
+		r.slot.queryKinds = append(r.slot.queryKinds, kind)
+		r.slot.clock.Advance(cal.ORAMLinkRTT + cal.ORAMServerPerQuery)
+		r.slot.oramQueries++
+		return
+	}
+	// Prefetched-to-untrusted-memory path: one A.E.DMA page move.
+	r.slot.clock.Advance(cal.L3SwapPerPage)
+}
+
+// drainPrefetch issues at most ONE code prefetch whose randomized
+// interval timer has expired (a real ORAM access whose data is
+// discarded). One per real query is the paper's design: "we insert a
+// prefetch query in the middle of every two original queries" — a
+// loop here would burst the queue and recreate the very pattern the
+// prefetcher exists to hide.
+func (r *hvReader) drainPrefetch() {
+	if !r.codeORAM {
+		return
+	}
+	cal := r.dev.cfg.Calibration
+	ref, ok := r.slot.prefetcher.PopDue(r.slot.clock.Now())
+	if !ok {
+		return
+	}
+	if _, err := r.codeStore.ReadCodePage(ref.CodeHash, ref.Index); err != nil &&
+		!errors.Is(err, pager.ErrPageNotFound) {
+		panic(fmt.Errorf("core: prefetch page %d: %w", ref.Index, err))
+	}
+	r.slot.queryTimes = append(r.slot.queryTimes, r.slot.clock.Now())
+	r.slot.queryKinds = append(r.slot.queryKinds, 'c')
+	r.slot.clock.Advance(cal.ORAMLinkRTT + cal.ORAMServerPerQuery)
+	r.slot.oramQueries++
+}
+
+// Account implements state.Reader via the account-meta page.
+func (r *hvReader) Account(addr types.Address) (*types.Account, bool) {
+	r.chargeQuery(r.kvORAM)
+	meta, err := r.kvStore.ReadAccountMeta(addr)
+	if errors.Is(err, pager.ErrPageNotFound) {
+		return nil, false
+	}
+	if err != nil {
+		panic(fmt.Errorf("core: account %s: %w", addr, err))
+	}
+	r.dev.registerCodeLen(meta.CodeHash, meta.CodeLen)
+	return &types.Account{
+		Nonce:    meta.Nonce,
+		Balance:  meta.Balance.Clone(),
+		CodeHash: meta.CodeHash,
+	}, true
+}
+
+// Storage implements state.Reader with the L1 world-state cache in
+// front of the page store.
+func (r *hvReader) Storage(addr types.Address, key types.Hash) types.Hash {
+	ck := hevm.WSCacheKey{Addr: addr, Key: key}
+	if v, ok := r.slot.wsCache.Get(ck); ok {
+		// L1 hit: same-cycle, no exception.
+		return types.Hash(v)
+	}
+	r.chargeQuery(r.kvORAM)
+	val, _, err := r.kvStore.ReadStorageRecord(addr, key)
+	if err != nil {
+		panic(fmt.Errorf("core: storage %s/%s: %w", addr, key, err))
+	}
+	r.slot.wsCache.Put(ck, val)
+	return val
+}
+
+// Code implements state.Reader. With ORAM-backed code, page 0 is
+// fetched obliviously now and the tail pages are queued on the
+// prefetcher's randomized interval timer; the bytes executed come from
+// the trusted-side mirror (simulation note in DESIGN.md — the
+// adversary-visible ORAM sequence is the faithful artifact).
+func (r *hvReader) Code(codeHash types.Hash) []byte {
+	if codeHash == types.EmptyCodeHash || codeHash.IsZero() {
+		return nil
+	}
+	// Bundle-local code cache: repeated calls to the same contract find
+	// the code on-chip (paper §VI-C's warm case).
+	if code, ok := r.slot.codeCache[codeHash]; ok {
+		return code
+	}
+	codeLen, ok := r.dev.codeLen(codeHash)
+	if !ok {
+		return nil
+	}
+	if r.codeORAM {
+		r.chargeQueryKind(true, 'c')
+		if _, err := r.codeStore.ReadCodePage(codeHash, 0); err != nil &&
+			!errors.Is(err, pager.ErrPageNotFound) {
+			panic(fmt.Errorf("core: code page 0 of %s: %w", codeHash, err))
+		}
+		if r.dev.cfg.DisablePrefetch {
+			// Ablation: burst-fetch all remaining pages immediately —
+			// the distinguishable pattern §IV-D problem 3 warns about.
+			for i := uint32(1); i < pager.CodePages(codeLen); i++ {
+				if _, err := r.codeStore.ReadCodePage(codeHash, i); err != nil &&
+					!errors.Is(err, pager.ErrPageNotFound) {
+					panic(fmt.Errorf("core: code page %d of %s: %w", i, codeHash, err))
+				}
+				r.slot.queryTimes = append(r.slot.queryTimes, r.slot.clock.Now())
+				r.slot.queryKinds = append(r.slot.queryKinds, 'c')
+				r.slot.clock.Advance(r.dev.cfg.Calibration.ORAMLinkRTT + r.dev.cfg.Calibration.ORAMServerPerQuery)
+				r.slot.oramQueries++
+			}
+		} else {
+			r.slot.prefetcher.QueueCode(codeHash, codeLen)
+		}
+		code, err := r.codeMirror.ReadCode(codeHash, codeLen)
+		if err != nil {
+			panic(fmt.Errorf("core: code mirror %s: %w", codeHash, err))
+		}
+		r.slot.codeCache[codeHash] = code
+		return code
+	}
+	// Local path: every page is one untrusted-memory move.
+	pages := pager.CodePages(codeLen)
+	r.slot.clock.Advance(time.Duration(pages) * r.dev.cfg.Calibration.L3SwapPerPage)
+	code, err := r.codeStore.ReadCode(codeHash, codeLen)
+	if err != nil {
+		panic(fmt.Errorf("core: code %s: %w", codeHash, err))
+	}
+	r.slot.codeCache[codeHash] = code
+	return code
+}
+
+// newReader wires a reader for the device's feature set.
+func (d *Device) newReader(s *slot) *hvReader {
+	r := &hvReader{dev: d, slot: s}
+	if d.cfg.Features.ORAMStorage {
+		r.kvStore, r.kvORAM = d.oramStore, true
+	} else {
+		r.kvStore = d.mirror
+	}
+	if d.cfg.Features.ORAMCode {
+		r.codeStore, r.codeORAM = d.oramStore, true
+		r.codeMirror = d.mirror
+	} else {
+		r.codeStore = d.mirror
+		r.codeMirror = d.mirror
+	}
+	return r
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/channel"
+	"hardtape/internal/tracer"
+	"hardtape/internal/types"
+)
+
+// Wire payloads (gob-encoded inside channel messages).
+
+// attestRequestMsg opens a session (plaintext: no keys exist yet).
+type attestRequestMsg struct {
+	Nonce [32]byte
+}
+
+// attestReportMsg carries the device's report plus the session id the
+// Hypervisor allocated.
+type attestReportMsg struct {
+	Report    attest.Report
+	SessionID uint64
+	// DevSigPub is the Hypervisor's per-session ECDSA public key
+	// (uncompressed), used when signatures are enabled.
+	DevSigPub []byte
+}
+
+// keyExchangeMsg completes DHKE (plaintext but integrity-bound to the
+// attested session key derivation: a tampered key simply yields a
+// non-working channel).
+type keyExchangeMsg struct {
+	SessionID  uint64
+	UserPub    []byte
+	UserSigPub []byte
+}
+
+// bundleMsg is the encrypted bundle submission.
+type bundleMsg struct {
+	Bundle types.Bundle
+}
+
+// traceMsg is the encrypted response.
+type traceMsg struct {
+	Trace       tracer.BundleTrace
+	VirtualTime time.Duration
+	AbortReason string
+	GasUsed     uint64
+}
+
+// Service errors.
+var (
+	ErrProtocol = errors.New("core: protocol violation")
+)
+
+// Service exposes a Device over the message protocol. One goroutine
+// per connection; sessions are independent.
+type Service struct {
+	dev       *Device
+	sessionID atomic.Uint64
+}
+
+// NewService wraps a device.
+func NewService(dev *Device) *Service {
+	return &Service{dev: dev}
+}
+
+// ServeListener accepts and serves connections until the listener
+// closes. It returns the first accept error (net.ErrClosed on normal
+// shutdown).
+func (s *Service) ServeListener(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one user session over a stream (steps 2–10).
+func (s *Service) ServeConn(conn io.ReadWriter) error {
+	// --- Step 2: remote attestation + DHKE ---
+	raw, err := channel.ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	hdr, body, err := parsePlain(raw, channel.MsgAttestRequest)
+	if err != nil {
+		return err
+	}
+	_ = hdr
+	var req attestRequestMsg
+	if err := gobDecode(body, &req); err != nil {
+		return err
+	}
+
+	report, complete, err := s.dev.Booted().Attest(req.Nonce)
+	if err != nil {
+		return err
+	}
+	sessionID := s.sessionID.Add(1)
+
+	devSigKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return fmt.Errorf("core: session sig key: %w", err)
+	}
+	resp := attestReportMsg{
+		Report:    *report,
+		SessionID: sessionID,
+		DevSigPub: elliptic.Marshal(elliptic.P256(), devSigKey.PublicKey.X, devSigKey.PublicKey.Y),
+	}
+	if err := writePlain(conn, channel.MsgAttestReport, sessionID, &resp); err != nil {
+		return err
+	}
+
+	raw, err = channel.ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	_, body, err = parsePlain(raw, channel.MsgKeyExchange)
+	if err != nil {
+		return err
+	}
+	var kx keyExchangeMsg
+	if err := gobDecode(body, &kx); err != nil {
+		return err
+	}
+	session, err := complete(kx.UserPub)
+	if err != nil {
+		return err
+	}
+	secure, err := channel.NewSecureChannel(session.Key, sessionID)
+	if err != nil {
+		return err
+	}
+	if s.dev.cfg.Features.Sign {
+		userPub, err := unmarshalPub(kx.UserSigPub)
+		if err != nil {
+			return err
+		}
+		secure.EnableSigning(devSigKey, userPub)
+	}
+
+	// --- Steps 3–10: bundle loop ---
+	for {
+		raw, err := channel.ReadMessage(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		hdr, payload, err := secure.Open(raw)
+		if err != nil {
+			return err
+		}
+		if hdr.Type != channel.MsgBundle {
+			return fmt.Errorf("%w: expected bundle, got %d", ErrProtocol, hdr.Type)
+		}
+		var bm bundleMsg
+		if err := gobDecode(payload, &bm); err != nil {
+			return err
+		}
+		res, err := s.dev.Execute(&bm.Bundle)
+		var out traceMsg
+		if err != nil {
+			out.AbortReason = err.Error()
+		} else {
+			out.Trace = *res.Trace
+			out.VirtualTime = res.VirtualTime
+			out.GasUsed = res.GasUsed
+			if res.Aborted != nil {
+				out.AbortReason = res.Aborted.Error()
+			}
+		}
+		sealed, err := secure.Seal(channel.MsgTrace, gobEncode(&out))
+		if err != nil {
+			return err
+		}
+		if err := channel.WriteMessage(conn, sealed); err != nil {
+			return err
+		}
+	}
+}
+
+// Client is the user side of the pre-execution service: it attests the
+// device, establishes the secure channel, and submits bundles.
+type Client struct {
+	conn    io.ReadWriter
+	secure  *channel.SecureChannel
+	session uint64
+}
+
+// Dial attests a service over an established stream. The verifier must
+// pin the manufacturer key and the expected Hypervisor measurement;
+// sign toggles the -ES signature layer and must match the service.
+func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, error) {
+	nonce, err := verifier.NewNonce()
+	if err != nil {
+		return nil, err
+	}
+	if err := writePlain(conn, channel.MsgAttestRequest, 0, &attestRequestMsg{Nonce: nonce}); err != nil {
+		return nil, err
+	}
+	raw, err := channel.ReadMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	_, body, err := parsePlain(raw, channel.MsgAttestReport)
+	if err != nil {
+		return nil, err
+	}
+	var rep attestReportMsg
+	if err := gobDecode(body, &rep); err != nil {
+		return nil, err
+	}
+	session, userPub, err := verifier.Verify(&rep.Report, nonce)
+	if err != nil {
+		return nil, fmt.Errorf("core: attestation failed: %w", err)
+	}
+
+	userSigKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	kx := keyExchangeMsg{
+		SessionID:  rep.SessionID,
+		UserPub:    userPub,
+		UserSigPub: elliptic.Marshal(elliptic.P256(), userSigKey.PublicKey.X, userSigKey.PublicKey.Y),
+	}
+	if err := writePlain(conn, channel.MsgKeyExchange, rep.SessionID, &kx); err != nil {
+		return nil, err
+	}
+
+	secure, err := channel.NewSecureChannel(session.Key, rep.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	if sign {
+		devPub, err := unmarshalPub(rep.DevSigPub)
+		if err != nil {
+			return nil, err
+		}
+		secure.EnableSigning(userSigKey, devPub)
+	}
+	return &Client{conn: conn, secure: secure, session: rep.SessionID}, nil
+}
+
+// PreExecute submits a bundle and waits for its trace.
+func (c *Client) PreExecute(bundle *types.Bundle) (*TraceResult, error) {
+	sealed, err := c.secure.Seal(channel.MsgBundle, gobEncode(&bundleMsg{Bundle: *bundle}))
+	if err != nil {
+		return nil, err
+	}
+	if err := channel.WriteMessage(c.conn, sealed); err != nil {
+		return nil, err
+	}
+	raw, err := channel.ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	hdr, payload, err := c.secure.Open(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Type != channel.MsgTrace {
+		return nil, fmt.Errorf("%w: expected trace, got %d", ErrProtocol, hdr.Type)
+	}
+	var tm traceMsg
+	if err := gobDecode(payload, &tm); err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Trace:       &tm.Trace,
+		VirtualTime: tm.VirtualTime,
+		AbortReason: tm.AbortReason,
+		GasUsed:     tm.GasUsed,
+	}, nil
+}
+
+// TraceResult is the client-side view of a pre-execution response.
+type TraceResult struct {
+	Trace       *tracer.BundleTrace
+	VirtualTime time.Duration
+	AbortReason string
+	GasUsed     uint64
+}
+
+// --- plumbing ---
+
+// writePlain frames an unencrypted protocol message (pre-session).
+func writePlain(w io.Writer, t channel.MsgType, session uint64, v any) error {
+	payload := gobEncode(v)
+	h := channel.Header{Type: t, Session: session, Length: uint32(len(payload))}
+	hdr := h.Marshal()
+	msg := append(hdr[:], payload...)
+	return channel.WriteMessage(w, msg)
+}
+
+// parsePlain validates an unencrypted protocol message.
+func parsePlain(raw []byte, want channel.MsgType) (*channel.Header, []byte, error) {
+	if len(raw) < channel.HeaderSize {
+		return nil, nil, channel.ErrBadHeader
+	}
+	hdr, err := channel.ParseHeader(raw[:channel.HeaderSize])
+	if err != nil {
+		return nil, nil, err
+	}
+	if hdr.Type != want {
+		return nil, nil, fmt.Errorf("%w: expected type %d, got %d", ErrProtocol, want, hdr.Type)
+	}
+	body := raw[channel.HeaderSize:]
+	if uint32(len(body)) != hdr.Length {
+		return nil, nil, channel.ErrBadHeader
+	}
+	return hdr, body, nil
+}
+
+func gobEncode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("core: gob encode: %v", err)) // programming error
+	}
+	return buf.Bytes()
+}
+
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("core: decode: %w", err)
+	}
+	return nil
+}
+
+func unmarshalPub(raw []byte) (*ecdsa.PublicKey, error) {
+	x, y := elliptic.Unmarshal(elliptic.P256(), raw)
+	if x == nil {
+		return nil, fmt.Errorf("%w: bad public key", ErrProtocol)
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}
+
+// ImageMeasurement returns the hash users pin for attestation.
+func ImageMeasurement() [32]byte {
+	return sha256.Sum256(HypervisorImage)
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"hardtape/internal/channel"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/node"
+	"hardtape/internal/types"
+	"hardtape/internal/uint256"
+	"hardtape/internal/workload"
+)
+
+// serviceRig wires a device behind a Service with a shared
+// manufacturer so the client can pin the root of trust.
+type serviceRig struct {
+	*rig
+	mfr *attest.Manufacturer
+	svc *Service
+}
+
+func buildServiceRig(t testing.TB, features Features) *serviceRig {
+	t.Helper()
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.EOAs = 8
+	wcfg.Tokens = 2
+	wcfg.DEXes = 1
+	w, err := workload.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Features = features
+	cfg.HEVMs = 2
+	dev, err := NewDevice(cfg, mfr, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return &serviceRig{
+		rig: &rig{world: w, chain: chain, device: dev},
+		mfr: mfr,
+		svc: NewService(dev),
+	}
+}
+
+func (sr *serviceRig) verifier() *attest.Verifier {
+	return attest.NewVerifier(sr.mfr.PublicKey(), ImageMeasurement())
+}
+
+func TestServiceEndToEndOverPipe(t *testing.T) {
+	sr := buildServiceRig(t, ConfigFull)
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer server.Close()
+		_ = sr.svc.ServeConn(server)
+	}()
+
+	c, err := Dial(client, sr.verifier(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := sr.transferBundle(t, 77)
+	res, err := c.PreExecute(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortReason != "" {
+		t.Fatalf("aborted: %s", res.AbortReason)
+	}
+	if len(res.Trace.Txs) != 1 || res.Trace.Txs[0].Reverted {
+		t.Fatalf("trace: %+v", res.Trace)
+	}
+	if got := new(uint256.Int).SetBytes(res.Trace.Txs[0].ReturnData); !got.Eq(uint256.NewInt(1)) {
+		t.Fatalf("return = %s", got)
+	}
+	if res.VirtualTime <= 0 {
+		t.Fatal("no virtual time reported")
+	}
+
+	// A second bundle reuses the session.
+	res2, err := c.PreExecute(sr.transferBundleFrom(t, 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Trace.Txs) != 1 {
+		t.Fatal("second bundle failed")
+	}
+}
+
+func TestServiceOverTCP(t *testing.T) {
+	sr := buildServiceRig(t, ConfigES)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = sr.svc.ServeListener(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := Dial(conn, sr.verifier(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PreExecute(sr.transferBundle(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Txs) != 1 {
+		t.Fatal("TCP round trip failed")
+	}
+}
+
+func TestServiceRejectsWrongManufacturer(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	evil, err := attest.NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer server.Close()
+		_ = sr.svc.ServeConn(server)
+	}()
+	wrongVerifier := attest.NewVerifier(evil.PublicKey(), ImageMeasurement())
+	if _, err := Dial(client, wrongVerifier, false); err == nil {
+		t.Fatal("client accepted a device from an unknown manufacturer")
+	} else if !strings.Contains(err.Error(), "attestation failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestServiceReportsAborts(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer server.Close()
+		_ = sr.svc.ServeConn(server)
+	}()
+	c, err := Dial(client, sr.verifier(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog := sr.world.MemoryHog
+	tx, err := sr.world.SignedTxAt(sr.world.EOAs[0], 0, &hog, 0,
+		workload.CalldataUint(600_000), 25_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PreExecute(&types.Bundle{Txs: []*types.Transaction{tx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.AbortReason, "memory overflow") {
+		t.Fatalf("abort reason: %q", res.AbortReason)
+	}
+}
+
+func TestServiceRejectsProtocolViolations(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+
+	t.Run("garbage first message", func(t *testing.T) {
+		client, server := net.Pipe()
+		defer client.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			defer server.Close()
+			errCh <- sr.svc.ServeConn(server)
+		}()
+		// A framed message with a bogus header.
+		if err := channel.WriteMessage(client, []byte("not a protocol message at all....")); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; err == nil {
+			t.Fatal("service accepted garbage")
+		}
+	})
+
+	t.Run("wrong message type first", func(t *testing.T) {
+		client, server := net.Pipe()
+		defer client.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			defer server.Close()
+			errCh <- sr.svc.ServeConn(server)
+		}()
+		h := channel.Header{Type: channel.MsgTrace, Length: 0}
+		raw := h.Marshal()
+		if err := channel.WriteMessage(client, raw[:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; !errors.Is(err, ErrProtocol) {
+			t.Fatalf("wrong-type open: %v", err)
+		}
+	})
+}
+
+func TestClientSessionEndsCleanly(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	client, server := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer server.Close()
+		errCh <- sr.svc.ServeConn(server)
+	}()
+	c, err := Dial(client, sr.verifier(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PreExecute(sr.transferBundle(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the connection ends the session loop without error.
+	client.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("session did not end cleanly: %v", err)
+	}
+}
+
+func TestSecondClientGetsFreshSession(t *testing.T) {
+	sr := buildServiceRig(t, ConfigES)
+	runOne := func(amount uint64) uint64 {
+		client, server := net.Pipe()
+		defer client.Close()
+		go func() {
+			defer server.Close()
+			_ = sr.svc.ServeConn(server)
+		}()
+		c, err := Dial(client, sr.verifier(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.PreExecute(sr.transferBundle(t, amount)); err != nil {
+			t.Fatal(err)
+		}
+		return c.session
+	}
+	s1 := runOne(1)
+	s2 := runOne(2)
+	if s1 == s2 {
+		t.Fatal("sessions must be unique per connection")
+	}
+}

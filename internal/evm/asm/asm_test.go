@@ -1,0 +1,141 @@
+package asm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hardtape/internal/evm"
+	"hardtape/internal/state"
+	"hardtape/internal/types"
+	"hardtape/internal/uint256"
+)
+
+// execute runs assembled code in a fresh EVM and returns (ret, err).
+func execute(t *testing.T, code []byte, input []byte) ([]byte, error) {
+	t.Helper()
+	contract := types.MustAddress("0xc0de00000000000000000000000000000000c0de")
+	caller := types.MustAddress("0xca11e4000000000000000000000000000000ca11")
+	o := state.NewOverlay(state.NewWorldState())
+	o.CreateAccount(caller)
+	o.AddBalance(caller, uint256.NewInt(1<<40))
+	o.CreateAccount(contract)
+	o.SetCode(contract, code)
+	e := evm.New(evm.BlockContext{Number: 1, GasLimit: 30_000_000}, o)
+	ret, _, err := e.Call(caller, contract, input, 5_000_000, new(uint256.Int))
+	return ret, err
+}
+
+func TestPushEncoding(t *testing.T) {
+	code := New().Push(0).MustAssemble()
+	if !bytes.Equal(code, []byte{byte(evm.PUSH0)}) {
+		t.Fatalf("Push(0) = %x", code)
+	}
+	code = New().Push(0xff).MustAssemble()
+	if !bytes.Equal(code, []byte{byte(evm.PUSH1), 0xff}) {
+		t.Fatalf("Push(0xff) = %x", code)
+	}
+	code = New().Push(0x1234).MustAssemble()
+	if !bytes.Equal(code, []byte{byte(evm.PUSH1) + 1, 0x12, 0x34}) {
+		t.Fatalf("Push(0x1234) = %x", code)
+	}
+}
+
+func TestPushBytesValidation(t *testing.T) {
+	if _, err := New().PushBytes(nil).Assemble(); err == nil {
+		t.Error("empty PushBytes should fail")
+	}
+	if _, err := New().PushBytes(make([]byte, 33)).Assemble(); err == nil {
+		t.Error("33-byte PushBytes should fail")
+	}
+}
+
+func TestLabelsAndJumps(t *testing.T) {
+	// Count down from 3 in a loop, then return 0x77.
+	code := New().
+		Push(3).
+		Label("loop").
+		Push(1).Op(evm.SWAP1, evm.SUB).
+		Op(evm.DUP1).
+		JumpI("loop").
+		Op(evm.POP).
+		Push(0x77).Push(0).Op(evm.MSTORE).
+		ReturnData(0, 32).
+		MustAssemble()
+	ret, err := execute(t, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0x77)) {
+		t.Fatalf("loop result = %s", got)
+	}
+}
+
+func TestUnknownAndDuplicateLabels(t *testing.T) {
+	if _, err := New().Jump("nowhere").Assemble(); !errors.Is(err, ErrUnknownLabel) {
+		t.Errorf("unknown label: %v", err)
+	}
+	if _, err := New().Label("a").Label("a").Assemble(); !errors.Is(err, ErrDuplicateLabel) {
+		t.Errorf("duplicate label: %v", err)
+	}
+}
+
+func TestSStoreHelper(t *testing.T) {
+	code := New().
+		SStore(5, 0xabc).
+		Push(5).Op(evm.SLOAD).
+		Push(0).Op(evm.MSTORE).
+		ReturnData(0, 32).
+		MustAssemble()
+	ret, err := execute(t, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0xabc)) {
+		t.Fatalf("SStore helper = %s", got)
+	}
+}
+
+func TestDeployWrapper(t *testing.T) {
+	runtime := New().
+		Push(0x99).Push(0).Op(evm.MSTORE).
+		ReturnData(0, 32).
+		MustAssemble()
+	initCode := DeployWrapper(runtime)
+
+	caller := types.MustAddress("0xca11e4000000000000000000000000000000ca11")
+	o := state.NewOverlay(state.NewWorldState())
+	o.CreateAccount(caller)
+	o.AddBalance(caller, uint256.NewInt(1<<40))
+	e := evm.New(evm.BlockContext{Number: 1}, o)
+	_, addr, _, err := e.Create(caller, initCode, 5_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(o.GetCode(addr), runtime) {
+		t.Fatalf("deployed %x want %x", o.GetCode(addr), runtime)
+	}
+	ret, _, err := e.Call(caller, addr, nil, 100_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0x99)) {
+		t.Fatalf("deployed contract returned %s", got)
+	}
+}
+
+func TestPushAddrRoundTrip(t *testing.T) {
+	addr := types.MustAddress("0x00112233445566778899aabbccddeeff00112233")
+	code := New().
+		PushAddr(addr).
+		Push(0).Op(evm.MSTORE).
+		ReturnData(0, 32).
+		MustAssemble()
+	ret, err := execute(t, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types.BytesToAddress(ret[12:]) != addr {
+		t.Fatalf("PushAddr = %x", ret)
+	}
+}

@@ -1,0 +1,629 @@
+package evm
+
+import (
+	"errors"
+	"testing"
+
+	"hardtape/internal/state"
+	"hardtape/internal/types"
+	"hardtape/internal/uint256"
+)
+
+var (
+	testContract = types.MustAddress("0xc0de00000000000000000000000000000000c0de")
+	testCaller   = types.MustAddress("0xca11e4000000000000000000000000000000ca11")
+)
+
+// newTestEVM deploys code at testContract and funds testCaller.
+func newTestEVM(t testing.TB, code []byte) *EVM {
+	t.Helper()
+	w := state.NewWorldState()
+	o := state.NewOverlay(w)
+	o.CreateAccount(testCaller)
+	o.AddBalance(testCaller, uint256.NewInt(1_000_000_000))
+	if len(code) > 0 {
+		o.CreateAccount(testContract)
+		o.SetCode(testContract, code)
+	}
+	e := New(BlockContext{
+		Number:    100,
+		Timestamp: 1700000000,
+		GasLimit:  30_000_000,
+		Coinbase:  types.MustAddress("0x5555555555555555555555555555555555555555"),
+		BaseFee:   uint256.NewInt(7),
+		ChainID:   uint256.NewInt(1),
+	}, o)
+	return e
+}
+
+// runCode executes code and returns (ret, leftGas, err).
+func runCode(t testing.TB, code []byte, input []byte, gas uint64) ([]byte, uint64, error) {
+	t.Helper()
+	e := newTestEVM(t, code)
+	return e.Call(testCaller, testContract, input, gas, new(uint256.Int))
+}
+
+// push builds a minimal PUSH instruction sequence for a uint64.
+func push(v uint64) []byte {
+	if v == 0 {
+		return []byte{byte(PUSH0)}
+	}
+	var b []byte
+	for x := v; x > 0; x >>= 8 {
+		b = append([]byte{byte(x)}, b...)
+	}
+	return append([]byte{byte(PUSH1) + byte(len(b)-1)}, b...)
+}
+
+// cat concatenates byte slices.
+func cat(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// returnTop is a code suffix that returns the top of stack as 32 bytes.
+var returnTop = cat(push(0), []byte{byte(MSTORE)}, push(32), push(0), []byte{byte(RETURN)})
+
+// evalBinary runs "PUSH y, PUSH x, OP, return top".
+func evalBinary(t *testing.T, op OpCode, x, y *uint256.Int) *uint256.Int {
+	t.Helper()
+	xb, yb := x.Bytes32(), y.Bytes32()
+	code := cat(
+		[]byte{byte(PUSH32)}, yb[:],
+		[]byte{byte(PUSH32)}, xb[:],
+		[]byte{byte(op)},
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("%s(%s, %s): %v", op, x, y, err)
+	}
+	return new(uint256.Int).SetBytes(ret)
+}
+
+func TestArithmeticOpcodes(t *testing.T) {
+	u := uint256.NewInt
+	neg := func(v uint64) *uint256.Int {
+		return new(uint256.Int).Neg(u(v))
+	}
+	tests := []struct {
+		op   OpCode
+		x, y *uint256.Int
+		want *uint256.Int
+	}{
+		{ADD, u(3), u(4), u(7)},
+		{MUL, u(5), u(6), u(30)},
+		{SUB, u(10), u(4), u(6)},
+		{SUB, u(4), u(10), neg(6)},
+		{DIV, u(20), u(6), u(3)},
+		{DIV, u(20), u(0), u(0)},
+		{SDIV, neg(20), u(5), neg(4)},
+		{MOD, u(17), u(5), u(2)},
+		{MOD, u(17), u(0), u(0)},
+		{SMOD, neg(17), u(5), neg(2)},
+		{EXP, u(2), u(10), u(1024)},
+		{EXP, u(0), u(0), u(1)},
+		{LT, u(1), u(2), u(1)},
+		{LT, u(2), u(1), u(0)},
+		{GT, u(2), u(1), u(1)},
+		{SLT, neg(1), u(1), u(1)},
+		{SGT, u(1), neg(1), u(1)},
+		{EQ, u(9), u(9), u(1)},
+		{EQ, u(9), u(8), u(0)},
+		{AND, u(0b1100), u(0b1010), u(0b1000)},
+		{OR, u(0b1100), u(0b1010), u(0b1110)},
+		{XOR, u(0b1100), u(0b1010), u(0b0110)},
+		{BYTE, u(31), u(0xff), u(0xff)},
+		{BYTE, u(30), u(0xff), u(0)},
+		{SHL, u(4), u(1), u(16)},
+		{SHR, u(4), u(16), u(1)},
+		{SHR, u(300), u(16), u(0)},
+		{SAR, u(2), neg(8), neg(2)},
+		{SIGNEXTEND, u(0), u(0xff), neg(1)},
+	}
+	for _, tt := range tests {
+		got := evalBinary(t, tt.op, tt.x, tt.y)
+		if !got.Eq(tt.want) {
+			t.Errorf("%s(%s, %s) = %s, want %s", tt.op, tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestTernaryOpcodes(t *testing.T) {
+	u := uint256.NewInt
+	eval3 := func(op OpCode, x, y, m uint64) *uint256.Int {
+		code := cat(push(m), push(y), push(x), []byte{byte(op)}, returnTop)
+		ret, _, err := runCode(t, code, nil, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		return new(uint256.Int).SetBytes(ret)
+	}
+	if got := eval3(ADDMOD, 10, 10, 7); !got.Eq(u(6)) {
+		t.Errorf("ADDMOD = %s", got)
+	}
+	if got := eval3(MULMOD, 10, 10, 7); !got.Eq(u(2)) {
+		t.Errorf("MULMOD = %s", got)
+	}
+	if got := eval3(ADDMOD, 10, 10, 0); !got.IsZero() {
+		t.Errorf("ADDMOD mod 0 = %s", got)
+	}
+}
+
+func TestUnaryAndStackOps(t *testing.T) {
+	// ISZERO / NOT / POP / DUP / SWAP
+	code := cat(
+		push(0), []byte{byte(ISZERO)}, // 1
+		push(5),                // [1, 5]
+		[]byte{byte(DUP1 + 1)}, // [1, 5, 1]
+		[]byte{byte(SWAP1)},    // [1, 1, 5]
+		[]byte{byte(POP)},      // [1, 1]
+		[]byte{byte(ADD)},      // [2]
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(2)) {
+		t.Fatalf("stack ops result = %s", got)
+	}
+}
+
+func TestPushTruncatedAtCodeEnd(t *testing.T) {
+	// PUSH32 with only 1 immediate byte: pads with zeros on the right.
+	code := []byte{byte(PUSH32), 0xff}
+	// Falls off the end → implicit STOP, no error.
+	_, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatalf("truncated push should not error: %v", err)
+	}
+}
+
+func TestJumpAndLoop(t *testing.T) {
+	// for (i = 5; i != 0; i--) {} then return 42.
+	// Layout:
+	// 0: PUSH1 5
+	// 2: JUMPDEST           ; loop
+	// 3: PUSH1 1, SWAP1, SUB ; i-1 ... wait ordering
+	// simpler: i on stack; loop: DUP1, PUSH jump-taken...
+	code := cat(
+		push(5),                                 // i
+		[]byte{byte(JUMPDEST)},                  // offset 2
+		push(1), []byte{byte(SWAP1), byte(SUB)}, // i = i - 1
+		[]byte{byte(DUP1)},
+		push(2), []byte{byte(JUMPI)}, // loop while i != 0
+		[]byte{byte(POP)},
+		push(42), returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(42)) {
+		t.Fatalf("loop result = %s", got)
+	}
+}
+
+func TestInvalidJumpTargets(t *testing.T) {
+	// Jump to non-JUMPDEST.
+	code := cat(push(1), []byte{byte(JUMP)})
+	if _, _, err := runCode(t, code, nil, 100_000); !errors.Is(err, ErrInvalidJump) {
+		t.Errorf("jump to non-dest: %v", err)
+	}
+	// Jump into PUSH immediate that contains a 0x5b byte.
+	code = cat(
+		push(3), []byte{byte(JUMP)},
+		[]byte{byte(PUSH1), byte(JUMPDEST)}, // 0x5b is immediate data at offset 3? recompute below
+	)
+	// offsets: 0:PUSH1 1:3 2:JUMP 3:PUSH1 4:0x5b — jump to 3 is PUSH1 (not a dest)
+	if _, _, err := runCode(t, code, nil, 100_000); !errors.Is(err, ErrInvalidJump) {
+		t.Errorf("jump to push opcode: %v", err)
+	}
+	// Jump to immediate byte that looks like JUMPDEST (offset 4).
+	code = cat(
+		push(4), []byte{byte(JUMP)},
+		[]byte{byte(PUSH1), byte(JUMPDEST)},
+	)
+	if _, _, err := runCode(t, code, nil, 100_000); !errors.Is(err, ErrInvalidJump) {
+		t.Errorf("jump into immediate: %v", err)
+	}
+	// Out of range.
+	code = cat(push(1000), []byte{byte(JUMP)})
+	if _, _, err := runCode(t, code, nil, 100_000); !errors.Is(err, ErrInvalidJump) {
+		t.Errorf("jump out of range: %v", err)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	// MSTORE8 + MLOAD + MSIZE.
+	code := cat(
+		push(0xab), push(31), []byte{byte(MSTORE8)},
+		push(0), []byte{byte(MLOAD)},
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0xab)) {
+		t.Fatalf("MSTORE8/MLOAD = %s", got)
+	}
+
+	// MSIZE grows in words.
+	code = cat(
+		push(1), push(100), []byte{byte(MSTORE8)},
+		[]byte{byte(MSIZE)},
+		returnTop,
+	)
+	ret, _, err = runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(128)) {
+		t.Fatalf("MSIZE = %s, want 128", got)
+	}
+}
+
+func TestMCopy(t *testing.T) {
+	code := cat(
+		push(0xdeadbeef), push(0), []byte{byte(MSTORE)},
+		// copy [0,32) to [32,64)
+		push(32), push(0), push(32), []byte{byte(MCOPY)},
+		push(32), []byte{byte(MLOAD)},
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0xdeadbeef)) {
+		t.Fatalf("MCOPY = %s", got)
+	}
+}
+
+func TestKeccakOpcode(t *testing.T) {
+	// keccak256 of empty: well-known constant.
+	code := cat(push(0), push(0), []byte{byte(KECCAK256)}, returnTop)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types.BytesToHash(ret) != types.EmptyCodeHash {
+		t.Fatalf("KECCAK256(empty) = %x", ret)
+	}
+}
+
+func TestStorageOps(t *testing.T) {
+	code := cat(
+		push(0x1234), push(7), []byte{byte(SSTORE)},
+		push(7), []byte{byte(SLOAD)},
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0x1234)) {
+		t.Fatalf("SSTORE/SLOAD = %s", got)
+	}
+}
+
+func TestTransientStorageOps(t *testing.T) {
+	code := cat(
+		push(0x99), push(1), []byte{byte(TSTORE)},
+		push(1), []byte{byte(TLOAD)},
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0x99)) {
+		t.Fatalf("TSTORE/TLOAD = %s", got)
+	}
+}
+
+func TestSloadGasColdWarm(t *testing.T) {
+	// Two SLOADs of the same key: first cold (2100), second warm (100).
+	code := cat(
+		push(5), []byte{byte(SLOAD), byte(POP)},
+		push(5), []byte{byte(SLOAD), byte(POP)},
+		[]byte{byte(STOP)},
+	)
+	gas := uint64(100_000)
+	_, left, err := runCode(t, code, nil, gas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := gas - left
+	// 2x (PUSH 3 + POP 2) + 2100 + 100 = 10 + 2200 = 2210.
+	if used != 2210 {
+		t.Fatalf("cold+warm SLOAD gas = %d, want 2210", used)
+	}
+}
+
+func TestSstoreGasAndRefund(t *testing.T) {
+	e := newTestEVM(t, cat(
+		push(1), push(0), []byte{byte(SSTORE)}, // set 0→1: 20000+2100(cold)
+		push(0), push(0), []byte{byte(SSTORE)}, // clear 1→0 (dirty): 100, refund 19900
+		[]byte{byte(STOP)},
+	))
+	gas := uint64(100_000)
+	_, left, err := e.Call(testCaller, testContract, nil, gas, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := gas - left
+	// pushes: PUSH1(3) + 3×PUSH0(2) = 9; SSTORE1 = 2100 + 20000; SSTORE2 = 100.
+	want := uint64(9 + 22100 + 100)
+	if used != want {
+		t.Fatalf("SSTORE gas = %d, want %d", used, want)
+	}
+	if refund := e.State.GetRefund(); refund != sstoreSetGas-WarmStorageReadGas {
+		t.Fatalf("refund = %d, want %d", refund, sstoreSetGas-WarmStorageReadGas)
+	}
+}
+
+func TestEnvironmentOpcodes(t *testing.T) {
+	returnOp := func(op OpCode) *uint256.Int {
+		code := cat([]byte{byte(op)}, returnTop)
+		ret, _, err := runCode(t, code, nil, 100_000)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		return new(uint256.Int).SetBytes(ret)
+	}
+	if got := returnOp(ADDRESS); !got.Eq(testContract.Word()) {
+		t.Errorf("ADDRESS = %s", got.Hex())
+	}
+	if got := returnOp(CALLER); !got.Eq(testCaller.Word()) {
+		t.Errorf("CALLER = %s", got.Hex())
+	}
+	if got := returnOp(ORIGIN); !got.IsZero() {
+		// Origin is unset when calling Call directly (not ApplyTransaction).
+		t.Errorf("ORIGIN = %s", got.Hex())
+	}
+	if got := returnOp(NUMBER); !got.Eq(uint256.NewInt(100)) {
+		t.Errorf("NUMBER = %s", got)
+	}
+	if got := returnOp(TIMESTAMP); !got.Eq(uint256.NewInt(1700000000)) {
+		t.Errorf("TIMESTAMP = %s", got)
+	}
+	if got := returnOp(GASLIMIT); !got.Eq(uint256.NewInt(30_000_000)) {
+		t.Errorf("GASLIMIT = %s", got)
+	}
+	if got := returnOp(CHAINID); !got.Eq(uint256.NewInt(1)) {
+		t.Errorf("CHAINID = %s", got)
+	}
+	if got := returnOp(BASEFEE); !got.Eq(uint256.NewInt(7)) {
+		t.Errorf("BASEFEE = %s", got)
+	}
+	if got := returnOp(CALLVALUE); !got.IsZero() {
+		t.Errorf("CALLVALUE = %s", got)
+	}
+	if got := returnOp(CODESIZE); got.IsZero() {
+		t.Errorf("CODESIZE = %s", got)
+	}
+}
+
+func TestCalldataOpcodes(t *testing.T) {
+	input := make([]byte, 36)
+	input[3] = 0xaa
+	input[35] = 0xbb
+	// CALLDATALOAD at 4 returns bytes [4,36).
+	code := cat(push(4), []byte{byte(CALLDATALOAD)}, returnTop)
+	ret, _, err := runCode(t, code, input, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[31] != 0xbb {
+		t.Errorf("CALLDATALOAD = %x", ret)
+	}
+	// CALLDATASIZE.
+	code = cat([]byte{byte(CALLDATASIZE)}, returnTop)
+	ret, _, err = runCode(t, code, input, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(36)) {
+		t.Errorf("CALLDATASIZE = %s", got)
+	}
+	// CALLDATACOPY with out-of-range source zero-pads.
+	code = cat(
+		push(64), push(100), push(0), []byte{byte(CALLDATACOPY)},
+		push(0), []byte{byte(MLOAD)}, returnTop,
+	)
+	ret, _, err = runCode(t, code, input, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.IsZero() {
+		t.Errorf("CALLDATACOPY pad = %s", got)
+	}
+}
+
+func TestLogs(t *testing.T) {
+	e := newTestEVM(t, cat(
+		push(0xfeed), push(0), []byte{byte(MSTORE)},
+		push(0x11), push(0x22), // topics (LOG2 pops topic1 then topic2)
+		push(32), push(0), // size, offset — stack order: offset, size on top
+		[]byte{byte(LOG2)},
+		[]byte{byte(STOP)},
+	))
+	// LOG2 stack: [offset, size, topic1, topic2] popped as offset, size, t1, t2.
+	// Our code pushed in order 0x11, 0x22, 32(size), 0(offset) → pops offset=0, size=32, t1=0x22, t2=0x11.
+	_, _, err := e.Call(testCaller, testContract, nil, 100_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := e.State.Logs()
+	if len(logs) != 1 {
+		t.Fatalf("logs = %d", len(logs))
+	}
+	l := logs[0]
+	if l.Address != testContract || len(l.Topics) != 2 {
+		t.Fatalf("log = %+v", l)
+	}
+	if l.Topics[0].Word().Uint64() != 0x22 || l.Topics[1].Word().Uint64() != 0x11 {
+		t.Fatalf("topics = %v", l.Topics)
+	}
+	if new(uint256.Int).SetBytes(l.Data).Uint64() != 0xfeed {
+		t.Fatalf("data = %x", l.Data)
+	}
+}
+
+func TestStackErrors(t *testing.T) {
+	if _, _, err := runCode(t, []byte{byte(ADD)}, nil, 100_000); !errors.Is(err, ErrStackUnderflow) {
+		t.Errorf("underflow: %v", err)
+	}
+	// Overflow: push 1025 values.
+	var code []byte
+	for i := 0; i < StackLimit+1; i++ {
+		code = append(code, byte(PUSH0))
+	}
+	if _, _, err := runCode(t, code, nil, 10_000_000); !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("overflow: %v", err)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	code := cat(push(1), push(2), []byte{byte(ADD)}, []byte{byte(STOP)})
+	_, left, err := runCode(t, code, nil, 5)
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("err = %v", err)
+	}
+	if left != 0 {
+		t.Fatalf("OOG should burn all gas, left %d", left)
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	if _, _, err := runCode(t, []byte{0x0c}, nil, 100_000); !errors.Is(err, ErrInvalidOpcode) {
+		t.Errorf("undefined opcode: %v", err)
+	}
+	if _, _, err := runCode(t, []byte{byte(INVALID)}, nil, 100_000); !errors.Is(err, ErrInvalidOpcode) {
+		t.Errorf("INVALID: %v", err)
+	}
+}
+
+func TestRevertReturnsDataAndGas(t *testing.T) {
+	code := cat(
+		push(0xbad), push(0), []byte{byte(MSTORE)},
+		push(32), push(0), []byte{byte(REVERT)},
+	)
+	ret, left, err := runCode(t, code, nil, 100_000)
+	if !errors.Is(err, ErrExecutionReverted) {
+		t.Fatalf("err = %v", err)
+	}
+	if left == 0 {
+		t.Fatal("REVERT should refund remaining gas")
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0xbad)) {
+		t.Fatalf("revert data = %s", got)
+	}
+}
+
+func TestRevertUndoesState(t *testing.T) {
+	e := newTestEVM(t, cat(
+		push(1), push(0), []byte{byte(SSTORE)},
+		push(0), push(0), []byte{byte(REVERT)},
+	))
+	_, _, err := e.Call(testCaller, testContract, nil, 100_000, new(uint256.Int))
+	if !errors.Is(err, ErrExecutionReverted) {
+		t.Fatal(err)
+	}
+	if !e.State.GetStorage(testContract, types.Hash{}).IsZero() {
+		t.Fatal("storage write survived revert")
+	}
+}
+
+func TestBalanceAndSelfBalance(t *testing.T) {
+	e := newTestEVM(t, cat([]byte{byte(SELFBALANCE)}, returnTop))
+	e.State.AddBalance(testContract, uint256.NewInt(12345))
+	ret, _, err := e.Call(testCaller, testContract, nil, 100_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(12345)) {
+		t.Fatalf("SELFBALANCE = %s", got)
+	}
+
+	// BALANCE of the caller via opcode.
+	code := cat([]byte{byte(PUSH1 + 19)}, testCaller[:], []byte{byte(BALANCE)}, returnTop)
+	e2 := newTestEVM(t, code)
+	ret, _, err = e2.Call(testCaller, testContract, nil, 100_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(1_000_000_000)) {
+		t.Fatalf("BALANCE = %s", got)
+	}
+}
+
+func TestValueTransferViaCall(t *testing.T) {
+	e := newTestEVM(t, nil) // EOA target
+	target := types.MustAddress("0x9999999999999999999999999999999999999999")
+	_, _, err := e.Call(testCaller, target, nil, 100_000, uint256.NewInt(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.State.GetBalance(target); !got.Eq(uint256.NewInt(250)) {
+		t.Fatalf("target balance = %s", got)
+	}
+	if got := e.State.GetBalance(testCaller); !got.Eq(uint256.NewInt(1_000_000_000 - 250)) {
+		t.Fatalf("caller balance = %s", got)
+	}
+	// Insufficient balance fails without state change.
+	_, _, err = e.Call(testCaller, target, nil, 100_000, uint256.NewInt(1<<62))
+	if !errors.Is(err, ErrInsufficientBalance) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlockhashWindow(t *testing.T) {
+	e := newTestEVM(t, cat(push(99), []byte{byte(BLOCKHASH)}, returnTop))
+	e.Block.BlockHash = func(n uint64) types.Hash {
+		var h types.Hash
+		h[31] = byte(n)
+		return h
+	}
+	ret, _, err := e.Call(testCaller, testContract, nil, 100_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret[31] != 99 {
+		t.Fatalf("BLOCKHASH(99) = %x", ret)
+	}
+	// Out of the 256-block window (current=100, ask for 100).
+	e2 := newTestEVM(t, cat(push(100), []byte{byte(BLOCKHASH)}, returnTop))
+	e2.Block.BlockHash = e.Block.BlockHash
+	ret, _, err = e2.Call(testCaller, testContract, nil, 100_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if new(uint256.Int).SetBytes(ret).Sign() != 0 {
+		t.Fatalf("BLOCKHASH(current) should be zero: %x", ret)
+	}
+}
+
+func TestGasOpcodeAndMemoryExpansionCost(t *testing.T) {
+	// Expanding memory to 1 MB should cost ~3M gas; verify quadratic
+	// component is charged: expansion to 32768 words = 3*32768 + 32768^2/512.
+	size := uint64(1 << 20)
+	code := cat(push(0xff), push(size-1), []byte{byte(MSTORE8)}, []byte{byte(STOP)})
+	gas := uint64(10_000_000)
+	_, left, err := runCode(t, code, nil, gas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := (size + 31) / 32
+	wantMem := words*3 + words*words/512
+	used := gas - left
+	if used < wantMem || used > wantMem+20 {
+		t.Fatalf("memory expansion gas = %d, want ≈ %d", used, wantMem)
+	}
+}

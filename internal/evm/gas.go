@@ -1,0 +1,101 @@
+package evm
+
+// Gas schedule constants (Shanghai-era values).
+const (
+	// Transaction-level.
+	TxGas               uint64 = 21000
+	TxGasContractCreate uint64 = 53000
+	TxDataZeroGas       uint64 = 4
+	TxDataNonZeroGas    uint64 = 16
+	// MaxRefundQuotient caps refunds at gasUsed/5 (EIP-3529).
+	MaxRefundQuotient uint64 = 5
+
+	// Memory.
+	memoryGasPerWord uint64 = 3
+	quadCoeffDiv     uint64 = 512
+	copyGasPerWord   uint64 = 3
+	keccakGasPerWord uint64 = 6
+
+	// EXP dynamic.
+	expByteGas uint64 = 50
+
+	// EIP-2929 access costs.
+	ColdAccountAccessGas uint64 = 2600
+	ColdSloadGas         uint64 = 2100
+	WarmStorageReadGas   uint64 = 100
+
+	// SSTORE (EIP-2200 + 3529).
+	sstoreSetGas      uint64 = 20000
+	sstoreResetGas    uint64 = 2900 // 5000 - ColdSloadGas
+	sstoreClearRefund uint64 = 4800
+	sstoreSentryGas   uint64 = 2300
+
+	// Calls.
+	callValueTransferGas uint64 = 9000
+	callNewAccountGas    uint64 = 25000
+	callStipend          uint64 = 2300
+
+	// Creates.
+	createDataGas   uint64 = 200 // per byte of deployed code
+	initCodeWordGas uint64 = 2   // EIP-3860
+	MaxCodeSize            = 24576
+	MaxInitCodeSize        = 2 * MaxCodeSize
+
+	// Logs.
+	logTopicGas uint64 = 375
+	logDataGas  uint64 = 8
+
+	// Selfdestruct.
+	selfdestructRefund uint64 = 0 // removed by EIP-3529
+)
+
+// memoryGasCost returns the total gas for a memory of the given byte
+// size: 3w + w^2/512.
+func memoryGasCost(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	words := (size + 31) / 32
+	// Overflow guard: words^2 must fit.
+	if words > 0xffffffff {
+		return 0, ErrGasUintOverflow
+	}
+	return words*memoryGasPerWord + words*words/quadCoeffDiv, nil
+}
+
+// wordCount rounds a byte size up to 32-byte words.
+func wordCount(size uint64) uint64 {
+	return (size + 31) / 32
+}
+
+// IntrinsicGas computes the transaction-level upfront gas.
+func IntrinsicGas(data []byte, isCreate bool) (uint64, error) {
+	gas := TxGas
+	if isCreate {
+		gas = TxGasContractCreate
+	}
+	var zeros, nonZeros uint64
+	for _, b := range data {
+		if b == 0 {
+			zeros++
+		} else {
+			nonZeros++
+		}
+	}
+	gas += zeros * TxDataZeroGas
+	gas += nonZeros * TxDataNonZeroGas
+	if isCreate {
+		gas += wordCount(uint64(len(data))) * initCodeWordGas
+	}
+	return gas, nil
+}
+
+// callGasCap applies the EIP-150 63/64 rule: at most available -
+// available/64 can be forwarded.
+func callGasCap(available, requested uint64) uint64 {
+	cap := available - available/64
+	if requested < cap {
+		return requested
+	}
+	return cap
+}

@@ -1,0 +1,367 @@
+package evm
+
+import (
+	"testing"
+
+	"hardtape/internal/secp256k1"
+	"hardtape/internal/state"
+	"hardtape/internal/types"
+	"hardtape/internal/uint256"
+)
+
+func TestIntrinsicGas(t *testing.T) {
+	tests := []struct {
+		name     string
+		data     []byte
+		isCreate bool
+		want     uint64
+	}{
+		{"plain transfer", nil, false, 21000},
+		{"one zero byte", []byte{0}, false, 21004},
+		{"one nonzero byte", []byte{1}, false, 21016},
+		{"mixed", []byte{0, 1, 0, 2}, false, 21000 + 2*4 + 2*16},
+		{"create empty", nil, true, 53000},
+		// create with 32 bytes: +1 initcode word (EIP-3860).
+		{"create word", make([]byte, 32), true, 53000 + 32*4 + 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := IntrinsicGas(tt.data, tt.isCreate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Fatalf("IntrinsicGas = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCallGasCap63_64(t *testing.T) {
+	// EIP-150: at most available - available/64 forwarded.
+	if got := callGasCap(6400, 1<<62); got != 6400-100 {
+		t.Fatalf("cap = %d, want %d", got, 6400-100)
+	}
+	// A modest request passes through.
+	if got := callGasCap(6400, 1000); got != 1000 {
+		t.Fatalf("small request = %d", got)
+	}
+}
+
+func TestChildOOGDoesNotKillParent(t *testing.T) {
+	// Parent calls callee with a tiny gas budget; callee runs out of
+	// gas. The parent sees status 0 and continues.
+	calleeLoop := cat(
+		[]byte{byte(JUMPDEST)},
+		push(0), []byte{byte(JUMP)},
+	)
+	var code []byte
+	code = append(code, push(0)...) // outSize
+	code = append(code, push(0)...) // outOff
+	code = append(code, push(0)...) // inSize
+	code = append(code, push(0)...) // inOff
+	code = append(code, push(0)...) // value
+	code = append(code, byte(PUSH1)+19)
+	code = append(code, calleeAddr[:]...)
+	code = append(code, push(5000)...) // small gas for an infinite loop
+	code = append(code, byte(CALL))
+	code = append(code, returnTop...) // return status
+
+	e := newTestEVM(t, code)
+	deployAt(e, calleeAddr, calleeLoop)
+	ret, left, err := e.Call(testCaller, testContract, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatalf("parent must survive child OOG: %v", err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.IsZero() {
+		t.Fatalf("status = %s, want 0", got)
+	}
+	if left == 0 {
+		t.Fatal("parent should retain most of its gas (63/64 reserve)")
+	}
+}
+
+func TestCallStipendAllowsLogging(t *testing.T) {
+	// A value transfer grants the 2300 stipend; the callee can run a
+	// few cheap ops even when the caller forwards 0 gas.
+	calleeCode := cat(push(1), push(2), []byte{byte(ADD), byte(POP), byte(STOP)})
+	var code []byte
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(5)...) // value > 0 → stipend
+	code = append(code, byte(PUSH1)+19)
+	code = append(code, calleeAddr[:]...)
+	code = append(code, push(0)...) // forward zero gas
+	code = append(code, byte(CALL))
+	code = append(code, returnTop...)
+
+	e := newTestEVM(t, code)
+	e.State.AddBalance(testContract, uint256.NewInt(100))
+	deployAt(e, calleeAddr, calleeCode)
+	ret, _, err := e.Call(testCaller, testContract, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(1)) {
+		t.Fatalf("stipend call status = %s, want 1", got)
+	}
+}
+
+func TestRefundCappedAtFifthOfGasUsed(t *testing.T) {
+	// EIP-3529: refund ≤ gasUsed/5 at transaction level. Pre-set many
+	// slots, clear them in the tx; the refund would exceed the cap.
+	priv, err := secp256k1.GenerateKey([]byte("refund cap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := types.Address(priv.Public.Address())
+
+	w := state.NewWorldState()
+	contract := types.MustAddress("0xaaaa0000000000000000000000000000000000aa")
+	// Code: clear slots 0..9.
+	var code []byte
+	for i := uint64(0); i < 10; i++ {
+		code = append(code, push(0)...)
+		code = append(code, push(i)...)
+		code = append(code, byte(SSTORE))
+	}
+	code = append(code, byte(STOP))
+
+	acct := types.NewAccount()
+	acct.CodeHash = w.SetCode(code)
+	if err := w.SetAccount(contract, acct); err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 10; i++ {
+		if err := w.SetStorage(contract, types.Hash{31: i}, types.Hash{31: 0xff}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sAcct := types.NewAccount()
+	sAcct.Balance.SetUint64(1 << 40)
+	if err := w.SetAccount(sender, sAcct); err != nil {
+		t.Fatal(err)
+	}
+
+	o := state.NewOverlay(w)
+	e := New(BlockContext{Number: 1}, o)
+	tx := &types.Transaction{
+		Nonce: 0, GasPrice: uint256.NewInt(1), GasLimit: 200_000,
+		To: &contract, Value: new(uint256.Int),
+	}
+	if err := tx.Sign(priv); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ApplyTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw usage ≈ intrinsic 21000 + 10 clears (≈5005 each) ≈ 71000;
+	// uncapped refund would be 10 × 4800 = 48000, far above the cap
+	// raw/5 ≈ 14200. With cap = raw/5 and raw = reported + applied,
+	// the applied refund must equal reported/4 — and be well below the
+	// uncapped 48000.
+	const uncappedRefund = uint64(10 * 4800)
+	applied := res.GasUsed / 4
+	rawUsed := res.GasUsed + applied
+	if applied >= uncappedRefund {
+		t.Fatalf("cap did not bind: applied %d >= uncapped %d", applied, uncappedRefund)
+	}
+	if rawUsed/5 != applied {
+		t.Fatalf("applied refund %d != raw/5 = %d (gasUsed %d)", applied, rawUsed/5, res.GasUsed)
+	}
+	// Sanity: raw usage in the expected ballpark.
+	if rawUsed < 65_000 || rawUsed > 80_000 {
+		t.Fatalf("raw usage %d outside expected range", rawUsed)
+	}
+}
+
+func TestExtcodeOpsOnEOA(t *testing.T) {
+	// EXTCODESIZE of an EOA is 0; EXTCODEHASH of an existing EOA is
+	// the empty-code hash; of a non-existent account, 0.
+	existing := testCaller // created and funded by newTestEVM
+	missing := types.MustAddress("0x00000000000000000000000000000000000000ff")
+
+	run := func(op OpCode, target types.Address) *uint256.Int {
+		code := cat([]byte{byte(PUSH1) + 19}, target[:], []byte{byte(op)}, returnTop)
+		ret, _, err := runCode(t, code, nil, 100_000)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		return new(uint256.Int).SetBytes(ret)
+	}
+	if got := run(EXTCODESIZE, existing); !got.IsZero() {
+		t.Errorf("EXTCODESIZE(EOA) = %s", got)
+	}
+	if got := run(EXTCODEHASH, existing); !got.Eq(types.EmptyCodeHash.Word()) {
+		t.Errorf("EXTCODEHASH(EOA) = %s", got.Hex())
+	}
+	if got := run(EXTCODEHASH, missing); !got.IsZero() {
+		t.Errorf("EXTCODEHASH(missing) = %s", got.Hex())
+	}
+}
+
+func TestTransientStorageRevertsWithFrame(t *testing.T) {
+	// TSTORE inside a reverting callee must not leak to the caller's
+	// later TLOAD (transient storage is journaled).
+	calleeCode := cat(
+		push(0x55), push(1), []byte{byte(TSTORE)},
+		push(0), push(0), []byte{byte(REVERT)},
+	)
+	var code []byte
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, byte(PUSH1)+19)
+	code = append(code, testContract[:]...) // self-call... need callee address
+	code = code[:0]
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, push(0)...)
+	code = append(code, byte(PUSH1)+19)
+	code = append(code, calleeAddr[:]...)
+	code = append(code, push(100_000)...)
+	code = append(code, byte(CALL), byte(POP))
+	// TLOAD slot 1 of the CALLEE's transient space is not ours; load
+	// our own slot 1 (unset → 0). To check cross-frame leakage we must
+	// read the callee's space — use a second, non-reverting call that
+	// TLOADs and returns it.
+	code = append(code, push(32)...) // outSize
+	code = append(code, push(0)...)  // outOff
+	code = append(code, push(1)...)  // inSize=1 marks "read mode"
+	code = append(code, push(0)...)  // inOff
+	code = append(code, push(0)...)  // value
+	code = append(code, byte(PUSH1)+19)
+	code = append(code, calleeAddr[:]...)
+	code = append(code, push(100_000)...)
+	code = append(code, byte(CALL), byte(POP))
+	code = append(code, push(32)...)
+	code = append(code, push(0)...)
+	code = append(code, byte(RETURN))
+
+	// Callee: if calldata present → return TLOAD(1); else TSTORE+revert.
+	calleeCode = cat(
+		[]byte{byte(CALLDATASIZE)},
+		push(10), []byte{byte(JUMPI)}, // jump to read branch at offset 10
+		// write branch (offsets 0..9 must place JUMPDEST at 10)
+		push(0x55), push(1), []byte{byte(TSTORE)},
+		push(0), push(0), []byte{byte(REVERT)},
+	)
+	// Compute the read-branch offset dynamically instead of hand
+	// counting: rebuild with the asm-style two-pass by padding.
+	// offsets: CALLDATASIZE(1) PUSH1 10(2) JUMPI(1) = 4 bytes, then
+	// write branch: PUSH1 0x55(2) PUSH1 1(2)? push(1) emits PUSH1 01
+	// (2 bytes) TSTORE(1) PUSH0(1) PUSH0(1) REVERT(1) = 8 → JUMPDEST
+	// lands at 12, not 10. Rebuild with correct target:
+	calleeCode = cat(
+		[]byte{byte(CALLDATASIZE)},           // 0
+		[]byte{byte(PUSH1), 12, byte(JUMPI)}, // 1..3
+		[]byte{byte(PUSH1), 0x55},            // 4..5
+		[]byte{byte(PUSH1), 1},               // 6..7
+		[]byte{byte(TSTORE)},                 // 8
+		[]byte{byte(PUSH0), byte(PUSH0)},     // 9..10
+		[]byte{byte(REVERT)},                 // 11
+		[]byte{byte(JUMPDEST)},               // 12
+		[]byte{byte(PUSH1), 1, byte(TLOAD)},  // 13..15
+		[]byte{byte(PUSH0), byte(MSTORE)},    // 16..17
+		[]byte{byte(PUSH1), 32, byte(PUSH0)}, // 18..20
+		[]byte{byte(RETURN)},                 // 21
+	)
+
+	e := newTestEVM(t, code)
+	deployAt(e, calleeAddr, calleeCode)
+	ret, _, err := e.Call(testCaller, testContract, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.IsZero() {
+		t.Fatalf("transient store leaked through revert: %s", got)
+	}
+}
+
+func TestCallValueVisibleToCallee(t *testing.T) {
+	// The callee's CALLVALUE must equal the transferred amount.
+	e := newTestEVM(t, callOpcode(CALL, 777))
+	e.State.AddBalance(testContract, uint256.NewInt(10_000))
+	deployAt(e, calleeAddr, cat([]byte{byte(CALLVALUE)}, returnTop))
+	ret, _, err := e.Call(testCaller, testContract, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(777)) {
+		t.Fatalf("callee CALLVALUE = %s", got)
+	}
+	if bal := e.State.GetBalance(calleeAddr); !bal.Eq(uint256.NewInt(777)) {
+		t.Fatalf("callee balance = %s", bal)
+	}
+}
+
+func TestCallcodeKeepsBalanceContext(t *testing.T) {
+	// CALLCODE runs foreign code with the CALLER contract's storage
+	// AND address: SELFBALANCE must report the proxy's balance.
+	e := newTestEVM(t, callOpcode(CALLCODE, 0))
+	e.State.AddBalance(testContract, uint256.NewInt(4242))
+	deployAt(e, calleeAddr, cat([]byte{byte(SELFBALANCE)}, returnTop))
+	e.State.AddBalance(calleeAddr, uint256.NewInt(1))
+	ret, _, err := e.Call(testCaller, testContract, nil, 1_000_000, new(uint256.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(4242)) {
+		t.Fatalf("CALLCODE SELFBALANCE = %s, want proxy's 4242", got)
+	}
+}
+
+func TestPrecompileViaCallOpcode(t *testing.T) {
+	// Call the identity precompile (0x04) from bytecode.
+	var code []byte
+	// Put 0xbeef into memory as input.
+	code = append(code, push(0xbeef)...)
+	code = append(code, push(0)...)
+	code = append(code, byte(MSTORE))
+	code = append(code, push(32)...) // outSize
+	code = append(code, push(64)...) // outOff
+	code = append(code, push(32)...) // inSize
+	code = append(code, push(0)...)  // inOff
+	code = append(code, push(0)...)  // value
+	code = append(code, push(4)...)  // identity precompile address
+	code = append(code, push(100_000)...)
+	code = append(code, byte(CALL), byte(POP))
+	code = append(code, push(64)...)
+	code = append(code, byte(MLOAD))
+	code = append(code, returnTop...)
+	ret, _, err := runCode(t, code, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(0xbeef)) {
+		t.Fatalf("identity via CALL = %s", got)
+	}
+}
+
+func TestGasOpcodeReflectsConsumption(t *testing.T) {
+	// GAS; PUSH/ADD work; GAS; difference equals charged gas.
+	code := cat(
+		[]byte{byte(GAS)}, // g1
+		push(1), push(2), []byte{byte(ADD), byte(POP)},
+		[]byte{byte(GAS)}, // g2
+		// return g1 - g2
+		[]byte{byte(SWAP1)},
+		[]byte{byte(SUB)},
+		returnTop,
+	)
+	ret, _, err := runCode(t, code, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between the GAS reads: PUSH1(3)+PUSH1(3)+ADD(3)+POP(2)+GAS(2) = 13.
+	if got := new(uint256.Int).SetBytes(ret); !got.Eq(uint256.NewInt(13)) {
+		t.Fatalf("gas delta = %s, want 13", got)
+	}
+}

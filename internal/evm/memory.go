@@ -1,0 +1,73 @@
+package evm
+
+import "hardtape/internal/uint256"
+
+// Memory is the EVM's byte-addressed volatile memory, growing in
+// 32-byte words. Expansion gas is charged by the interpreter before
+// resize is called.
+type Memory struct {
+	data []byte
+}
+
+// newMemory returns an empty memory.
+func newMemory() *Memory {
+	return &Memory{}
+}
+
+// Len returns the current size in bytes (always a multiple of 32).
+func (m *Memory) Len() int { return len(m.data) }
+
+// resize grows memory to at least size bytes, rounded up to words.
+func (m *Memory) resize(size uint64) {
+	if uint64(len(m.data)) >= size {
+		return
+	}
+	words := (size + 31) / 32
+	m.data = append(m.data, make([]byte, words*32-uint64(len(m.data)))...)
+}
+
+// set writes value to [offset, offset+len(value)).
+func (m *Memory) set(offset uint64, value []byte) {
+	if len(value) == 0 {
+		return
+	}
+	copy(m.data[offset:offset+uint64(len(value))], value)
+}
+
+// setByte writes a single byte.
+func (m *Memory) setByte(offset uint64, b byte) {
+	m.data[offset] = b
+}
+
+// set32 writes a 256-bit word big-endian at offset.
+func (m *Memory) set32(offset uint64, v *uint256.Int) {
+	b := v.Bytes32()
+	copy(m.data[offset:offset+32], b[:])
+}
+
+// get returns a copy of [offset, offset+size).
+func (m *Memory) get(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	out := make([]byte, size)
+	copy(out, m.data[offset:offset+size])
+	return out
+}
+
+// view returns a direct slice (no copy); callers must not retain it
+// across mutations.
+func (m *Memory) view(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	return m.data[offset : offset+size]
+}
+
+// copyWithin implements MCOPY semantics (overlapping-safe).
+func (m *Memory) copyWithin(dst, src, size uint64) {
+	if size == 0 {
+		return
+	}
+	copy(m.data[dst:dst+size], m.data[src:src+size])
+}

@@ -1,0 +1,59 @@
+package evm
+
+import (
+	"hardtape/internal/uint256"
+)
+
+// StackLimit is the EVM runtime stack depth limit.
+const StackLimit = 1024
+
+// Stack is the EVM's 1024-slot 256-bit operand stack. Slots are stored
+// by value; peek returns pointers into the backing array that are valid
+// until the next mutation.
+type Stack struct {
+	data []uint256.Int
+}
+
+// newStack returns an empty stack with modest preallocated capacity.
+func newStack() *Stack {
+	return &Stack{data: make([]uint256.Int, 0, 64)}
+}
+
+// Len returns the current depth.
+func (s *Stack) Len() int { return len(s.data) }
+
+// push appends a copy of v. Depth checks happen in the interpreter.
+func (s *Stack) push(v *uint256.Int) {
+	s.data = append(s.data, *v)
+}
+
+// pop removes and returns the top value.
+func (s *Stack) pop() uint256.Int {
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v
+}
+
+// peek returns a pointer to the n'th element from the top (0 = top).
+func (s *Stack) peek(n int) *uint256.Int {
+	return &s.data[len(s.data)-1-n]
+}
+
+// swap exchanges the top with the n'th element below it (1-based).
+func (s *Stack) swap(n int) {
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+}
+
+// dup pushes a copy of the n'th element from the top (1-based).
+func (s *Stack) dup(n int) {
+	s.data = append(s.data, s.data[len(s.data)-n])
+}
+
+// Snapshot returns a copy of the stack contents, bottom first
+// (tracer support).
+func (s *Stack) Snapshot() []uint256.Int {
+	out := make([]uint256.Int, len(s.data))
+	copy(out, s.data)
+	return out
+}

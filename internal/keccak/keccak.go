@@ -1,0 +1,177 @@
+// Package keccak implements the Keccak-256 hash function as used by
+// Ethereum (the original Keccak submission padding, not the final
+// SHA3-256 FIPS-202 padding).
+package keccak
+
+import "hash"
+
+const (
+	// Size is the digest size of Keccak-256 in bytes.
+	Size = 32
+	// rate is the sponge rate for Keccak-256: 1600/8 - 2*Size.
+	rate = 136
+)
+
+// roundConstants are the 24 keccak-f[1600] iota round constants.
+var _roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets are the rho rotation offsets indexed by lane (x + 5y).
+var _rotationOffsets = [25]uint{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// state is a keccak sponge absorbing into a 1600-bit state.
+type state struct {
+	a      [25]uint64
+	buf    [rate]byte
+	bufLen int
+}
+
+var _ hash.Hash = (*state)(nil)
+
+// New256 returns a new Keccak-256 hash.Hash.
+func New256() hash.Hash {
+	return &state{}
+}
+
+// Sum256 computes the Keccak-256 digest of data.
+func Sum256(data []byte) [Size]byte {
+	var s state
+	_, _ = s.Write(data)
+	var out [Size]byte
+	s.sumInto(out[:])
+	return out
+}
+
+// Hash computes the Keccak-256 digest of the concatenation of the
+// provided byte slices and returns it as a 32-byte slice.
+func Hash(data ...[]byte) []byte {
+	var s state
+	for _, d := range data {
+		_, _ = s.Write(d)
+	}
+	out := make([]byte, Size)
+	s.sumInto(out)
+	return out
+}
+
+// Write absorbs p into the sponge. It never fails.
+func (s *state) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := rate - s.bufLen
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(s.buf[s.bufLen:], p[:space])
+		s.bufLen += space
+		p = p[space:]
+		if s.bufLen == rate {
+			s.absorbBlock()
+		}
+	}
+	return n, nil
+}
+
+// Sum appends the digest to b and returns the result. It does not
+// modify the underlying sponge state.
+func (s *state) Sum(b []byte) []byte {
+	var out [Size]byte
+	clone := *s
+	clone.sumInto(out[:])
+	return append(b, out[:]...)
+}
+
+// Reset resets the sponge to its initial state.
+func (s *state) Reset() {
+	*s = state{}
+}
+
+// Size returns the digest size in bytes.
+func (s *state) Size() int { return Size }
+
+// BlockSize returns the sponge rate in bytes.
+func (s *state) BlockSize() int { return rate }
+
+// sumInto finalizes the sponge (destructively) and writes the digest.
+func (s *state) sumInto(out []byte) {
+	// Keccak (pre-FIPS) padding: 0x01 ... 0x80.
+	s.buf[s.bufLen] = 0x01
+	for i := s.bufLen + 1; i < rate; i++ {
+		s.buf[i] = 0
+	}
+	s.buf[rate-1] |= 0x80
+	s.bufLen = rate
+	s.absorbBlock()
+
+	for i := 0; i < Size; i++ {
+		out[i] = byte(s.a[i/8] >> (8 * uint(i%8)))
+	}
+}
+
+// absorbBlock XORs the buffered block into the state and permutes.
+func (s *state) absorbBlock() {
+	for i := 0; i < rate/8; i++ {
+		var lane uint64
+		for j := 7; j >= 0; j-- {
+			lane = lane<<8 | uint64(s.buf[i*8+j])
+		}
+		s.a[i] ^= lane
+	}
+	s.bufLen = 0
+	keccakF1600(&s.a)
+}
+
+// rotl64 rotates x left by n bits.
+func rotl64(x uint64, n uint) uint64 {
+	return x<<n | x>>(64-n)
+}
+
+// keccakF1600 applies the 24-round keccak-f[1600] permutation.
+func keccakF1600(a *[25]uint64) {
+	var c [5]uint64
+	var d [5]uint64
+	var b [25]uint64
+
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl64(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// Rho and Pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl64(a[x+5*y], _rotationOffsets[x+5*y])
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= _roundConstants[round]
+	}
+}

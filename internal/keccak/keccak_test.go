@@ -1,0 +1,142 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer tests from the Ethereum ecosystem.
+func TestKnownAnswers(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		// Empty string: the famous Ethereum empty-hash constant.
+		{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+		// keccak256("abc")
+		{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+		// keccak256("testing")
+		{"testing", "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02"},
+		// keccak256("The quick brown fox jumps over the lazy dog")
+		{"The quick brown fox jumps over the lazy dog",
+			"4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+	}
+	for _, tt := range tests {
+		got := Sum256([]byte(tt.in))
+		if hex.EncodeToString(got[:]) != tt.want {
+			t.Errorf("Sum256(%q) = %x, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+// keccak256 of a full rate block boundary and beyond.
+func TestBlockBoundaries(t *testing.T) {
+	for _, n := range []int{1, 135, 136, 137, 271, 272, 273, 1000, 4096} {
+		data := bytes.Repeat([]byte{0xa5}, n)
+		// Hash in one shot vs incremental writes must agree.
+		oneShot := Sum256(data)
+		h := New256()
+		for i := 0; i < n; i += 7 {
+			end := i + 7
+			if end > n {
+				end = n
+			}
+			if _, err := h.Write(data[i:end]); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		if got := h.Sum(nil); !bytes.Equal(got, oneShot[:]) {
+			t.Errorf("n=%d: incremental %x != one-shot %x", n, got, oneShot)
+		}
+	}
+}
+
+func TestSumDoesNotMutate(t *testing.T) {
+	h := New256()
+	if _, err := h.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	d1 := h.Sum(nil)
+	d2 := h.Sum(nil)
+	if !bytes.Equal(d1, d2) {
+		t.Error("Sum mutated sponge state")
+	}
+	if _, err := h.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	want := Sum256([]byte("hello world"))
+	if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("continued write after Sum: got %x want %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	if _, err := h.Write([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	h.Reset()
+	if _, err := h.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	want := Sum256([]byte("abc"))
+	if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("after reset: got %x want %x", got, want)
+	}
+}
+
+func TestHashVariadic(t *testing.T) {
+	want := Sum256([]byte("foobarbaz"))
+	got := Hash([]byte("foo"), []byte("bar"), []byte("baz"))
+	if !bytes.Equal(got, want[:]) {
+		t.Errorf("Hash variadic: got %x want %x", got, want)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	h := New256()
+	if h.Size() != 32 {
+		t.Errorf("Size = %d", h.Size())
+	}
+	if h.BlockSize() != 136 {
+		t.Errorf("BlockSize = %d", h.BlockSize())
+	}
+}
+
+// Property: splitting the input at any point yields the same digest.
+func TestQuickSplitInvariance(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		i := int(split)
+		if i > len(data) {
+			i = len(data)
+		}
+		h := New256()
+		_, _ = h.Write(data[:i])
+		_, _ = h.Write(data[i:])
+		whole := Sum256(data)
+		return bytes.Equal(h.Sum(nil), whole[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum256_1KB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkSum256_32B(b *testing.B) {
+	data := make([]byte, 32)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

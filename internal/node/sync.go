@@ -1,0 +1,106 @@
+package node
+
+import (
+	"fmt"
+
+	"hardtape/internal/keccak"
+	"hardtape/internal/pager"
+	"hardtape/internal/types"
+)
+
+// Syncer implements workflow step 11: after new blocks execute, the
+// world state is pulled from the (untrusted) Node with Merkle proofs,
+// verified on the trusted side, and written — re-paged — into the
+// pre-executor's page store (the ORAM in the -full configuration).
+// Sync traffic needs no obliviousness (blocks are public), only
+// integrity.
+type Syncer struct {
+	node  *Node
+	store *pager.Store
+	// stats
+	accounts, records, codePages uint64
+}
+
+// NewSyncer wires a node to a page store.
+func NewSyncer(n *Node, store *pager.Store) *Syncer {
+	return &Syncer{node: n, store: store}
+}
+
+// SyncAccount fetches, verifies, and re-pages one account: its meta
+// page, all its storage records, and its code pages.
+func (s *Syncer) SyncAccount(stateRoot types.Hash, addr types.Address) error {
+	proof, err := s.node.ProveAccount(addr)
+	if err != nil {
+		return err
+	}
+	acct, err := VerifyAccountProof(stateRoot, proof)
+	if err != nil {
+		return fmt.Errorf("node: sync %s: %w", addr, err)
+	}
+	if acct == nil {
+		return nil // absent account, nothing to page
+	}
+
+	// Code, authenticated by its hash.
+	var codeLen uint32
+	if acct.CodeHash != types.EmptyCodeHash && !acct.CodeHash.IsZero() {
+		code := s.node.Code(acct.CodeHash)
+		if types.Hash(keccak.Sum256(code)) != acct.CodeHash {
+			return fmt.Errorf("node: sync %s: code hash mismatch", addr)
+		}
+		if err := s.store.WriteCode(acct.CodeHash, code); err != nil {
+			return err
+		}
+		codeLen = uint32(len(code))
+		s.codePages += uint64(pager.CodePages(codeLen))
+	}
+
+	meta := &pager.AccountMeta{
+		Balance:  acct.Balance.Clone(),
+		Nonce:    acct.Nonce,
+		CodeLen:  codeLen,
+		CodeHash: acct.CodeHash,
+	}
+	if err := s.store.WriteAccountMeta(addr, meta); err != nil {
+		return err
+	}
+	s.accounts++
+
+	// Storage records, each verified against the account's storage
+	// root before paging.
+	for _, key := range s.node.State().StorageKeys(addr) {
+		sp, err := s.node.ProveStorage(addr, key)
+		if err != nil {
+			return err
+		}
+		if sp.Root != acct.StorageRoot {
+			return fmt.Errorf("node: sync %s: storage root mismatch", addr)
+		}
+		val, err := VerifyStorageProof(acct.StorageRoot, sp)
+		if err != nil {
+			return fmt.Errorf("node: sync %s key %s: %w", addr, key, err)
+		}
+		if err := s.store.WriteStorageRecord(addr, key, val); err != nil {
+			return err
+		}
+		s.records++
+	}
+	return nil
+}
+
+// SyncAll re-pages the node's entire world state (the initial "full
+// sync" of the paper's 1.1 TB state, at simulation scale).
+func (s *Syncer) SyncAll() error {
+	root := s.node.Head().Header.StateRoot
+	for _, addr := range s.node.State().Addresses() {
+		if err := s.SyncAccount(root, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports (accounts, storage records, code pages) synced.
+func (s *Syncer) Stats() (uint64, uint64, uint64) {
+	return s.accounts, s.records, s.codePages
+}

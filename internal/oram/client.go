@@ -1,0 +1,247 @@
+package oram
+
+import (
+	"fmt"
+	"time"
+
+	"hardtape/internal/simclock"
+)
+
+// Op is the logical operation of an Access.
+type Op int
+
+// Access operations.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+)
+
+// stashSafetyFactor bounds the stash at factor*depth blocks; Path ORAM
+// guarantees O(log n)·ω(1) with overwhelming probability, so hitting
+// this bound indicates a protocol bug rather than bad luck.
+const stashSafetyFactor = 16
+
+// Client is the trusted Path ORAM client (on-chip in the Hypervisor).
+// It is NOT safe for concurrent use: the paper dedicates one client
+// per Hypervisor and serializes its queries.
+type Client struct {
+	server Server
+	crypt  *cryptor
+	pos    PositionMap
+	stash  map[BlockID]*block
+	depth  int
+	leaves uint64
+	clock  *simclock.Clock
+	cal    simclock.Calibration
+	timed  bool
+	// stats
+	accesses   uint64
+	maxStash   int
+	bytesMoved uint64
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClock makes the client charge virtual time per access (link RTT,
+// server processing, per-block client work).
+func WithClock(clock *simclock.Clock, cal simclock.Calibration) ClientOption {
+	return func(c *Client) {
+		c.clock = clock
+		c.cal = cal
+		c.timed = true
+	}
+}
+
+// WithPositionMap substitutes a custom position map (e.g. recursive).
+func WithPositionMap(pm PositionMap) ClientOption {
+	return func(c *Client) { c.pos = pm }
+}
+
+// NewClient creates a client over a server with the shared ORAM key.
+func NewClient(server Server, key []byte, opts ...ClientOption) (*Client, error) {
+	crypt, err := newCryptor(key)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		server: server,
+		crypt:  crypt,
+		stash:  make(map[BlockID]*block),
+		depth:  server.Depth(),
+		leaves: server.Leaves(),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.pos == nil {
+		c.pos = NewFlatPositionMap(c.leaves)
+	}
+	return c, nil
+}
+
+// Read fetches a block. Missing blocks return ErrNotFound after a full
+// (oblivious) path access, so lookups are indistinguishable.
+func (c *Client) Read(id BlockID) ([]byte, error) {
+	data, err := c.access(OpRead, id, nil)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// Write stores a block (padding data to BlockSize).
+func (c *Client) Write(id BlockID, data []byte) error {
+	if len(data) > BlockSize {
+		return ErrBlockTooBig
+	}
+	_, err := c.access(OpWrite, id, data)
+	return err
+}
+
+// access is the Path ORAM protocol: remap, read path into stash,
+// mutate, evict path.
+func (c *Client) access(op Op, id BlockID, newData []byte) ([]byte, error) {
+	leaf, known := c.pos.Get(id)
+	if !known {
+		leaf = randomLeaf(c.leaves)
+	}
+	// Remap before touching the server (obliviousness requirement).
+	newLeaf := randomLeaf(c.leaves)
+	c.pos.Set(id, newLeaf)
+
+	if err := c.readPathIntoStash(leaf); err != nil {
+		return nil, err
+	}
+
+	var out []byte
+	if blk, ok := c.stash[id]; ok {
+		blk.leaf = newLeaf
+		out = make([]byte, BlockSize)
+		copy(out, blk.data)
+	}
+	if op == OpWrite {
+		padded := make([]byte, BlockSize)
+		copy(padded, newData)
+		c.stash[id] = &block{id: id, leaf: newLeaf, data: padded}
+	}
+
+	if err := c.evictPath(leaf); err != nil {
+		return nil, err
+	}
+
+	c.accesses++
+	if len(c.stash) > c.maxStash {
+		c.maxStash = len(c.stash)
+	}
+	if len(c.stash) > stashSafetyFactor*c.depth {
+		return nil, fmt.Errorf("%w: %d blocks at depth %d", ErrStashOverrun, len(c.stash), c.depth)
+	}
+	if c.timed {
+		c.chargeAccess()
+	}
+	return out, nil
+}
+
+// readPathIntoStash decrypts one path and absorbs its real blocks.
+func (c *Client) readPathIntoStash(leaf uint64) error {
+	encrypted, err := c.server.ReadPath(leaf)
+	if err != nil {
+		return err
+	}
+	idx := pathIndices(leaf, c.depth)
+	for i, ct := range encrypted {
+		if ct == nil {
+			continue // never-written bucket
+		}
+		pt, err := c.crypt.open(idx[i], ct)
+		if err != nil {
+			return err
+		}
+		bkt, err := parseBucket(pt)
+		if err != nil {
+			return err
+		}
+		for _, s := range bkt.slots {
+			if uint64(s.id) == dummyID {
+				continue
+			}
+			cp := s
+			data := make([]byte, BlockSize)
+			copy(data, s.data)
+			cp.data = data
+			c.stash[s.id] = &cp
+		}
+		c.bytesMoved += uint64(len(ct))
+	}
+	return nil
+}
+
+// evictPath greedily pushes stash blocks as deep as possible along the
+// just-read path, then re-encrypts and writes every bucket back.
+func (c *Client) evictPath(leaf uint64) error {
+	idx := pathIndices(leaf, c.depth)
+	out := make([][]byte, len(idx))
+	// Deepest level first.
+	for level := c.depth - 1; level >= 0; level-- {
+		bkt := newEmptyBucket()
+		filled := 0
+		for id, blk := range c.stash {
+			if filled == BucketSize {
+				break
+			}
+			if c.pathNode(blk.leaf, level) == idx[level] {
+				bkt.slots[filled] = *blk
+				filled++
+				delete(c.stash, id)
+			}
+		}
+		ct, err := c.crypt.seal(idx[level], bkt.serialize())
+		if err != nil {
+			return err
+		}
+		out[level] = ct
+		c.bytesMoved += uint64(len(ct))
+	}
+	return c.server.WritePath(leaf, out)
+}
+
+// pathNode returns the heap index of the given level on leaf's path.
+func (c *Client) pathNode(leaf uint64, level int) uint64 {
+	node := leaf + (uint64(1) << (c.depth - 1))
+	for l := c.depth - 1; l > level; l-- {
+		node /= 2
+	}
+	return node
+}
+
+// chargeAccess advances the virtual clock for one path access.
+func (c *Client) chargeAccess() {
+	blocksOnPath := uint64(c.depth * BucketSize)
+	c.clock.Advance(c.cal.ORAMLinkRTT +
+		c.cal.ORAMServerPerQuery +
+		time.Duration(blocksOnPath)*c.cal.ORAMClientPerBlock)
+}
+
+// Stats reports client counters.
+type Stats struct {
+	Accesses   uint64
+	MaxStash   int
+	StashSize  int
+	BytesMoved uint64
+	Depth      int
+}
+
+// Stats returns the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Accesses:   c.accesses,
+		MaxStash:   c.maxStash,
+		StashSize:  len(c.stash),
+		BytesMoved: c.bytesMoved,
+		Depth:      c.depth,
+	}
+}

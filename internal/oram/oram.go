@@ -1,0 +1,190 @@
+// Package oram implements Path ORAM (Stefanov & Shi), the backbone of
+// HarDTAPE's world-state access-pattern protection (paper §IV-D).
+//
+// Data is stored as fixed 1 KB blocks (the paper's page size) in a
+// binary tree of Z=4 buckets held by an untrusted server. The trusted
+// client (part of the Hypervisor) keeps the stash and position map
+// on-chip. Every access reads and rewrites one root-to-leaf path with
+// randomized re-encryption, so the server observes only a uniform
+// sequence of leaf indices and fresh ciphertexts.
+package oram
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	// BlockSize is the paper's 1 KB ORAM block (page) size.
+	BlockSize = 1024
+	// BucketSize is Z, the blocks per bucket.
+	BucketSize = 4
+	// slotHeader is the per-slot metadata: block id (8) + leaf (8).
+	slotHeader = 16
+	// bucketPlain is the plaintext size of a serialized bucket.
+	bucketPlain = BucketSize * (slotHeader + BlockSize)
+	// KeySize is the AES-256 key length for bucket encryption.
+	KeySize = 32
+	// dummyID marks an empty slot.
+	dummyID = ^uint64(0)
+)
+
+// Errors.
+var (
+	ErrBadKey       = errors.New("oram: key must be 32 bytes")
+	ErrCapacity     = errors.New("oram: capacity must be at least 2 blocks")
+	ErrBlockTooBig  = errors.New("oram: block data exceeds BlockSize")
+	ErrNotFound     = errors.New("oram: block not found")
+	ErrTampered     = errors.New("oram: bucket authentication failed")
+	ErrBadBucket    = errors.New("oram: malformed bucket")
+	ErrStashOverrun = errors.New("oram: stash exceeded safety bound")
+)
+
+// BlockID is a dense ORAM block index. The pager maps Ethereum's
+// sparse keys onto these.
+type BlockID uint64
+
+// block is one stash-resident data block.
+type block struct {
+	id   BlockID
+	leaf uint64
+	data []byte // exactly BlockSize
+}
+
+// bucket is one tree node's plaintext contents.
+type bucket struct {
+	slots [BucketSize]block
+}
+
+// newEmptyBucket returns a bucket of dummies.
+func newEmptyBucket() *bucket {
+	var b bucket
+	for i := range b.slots {
+		b.slots[i].id = BlockID(dummyID)
+	}
+	return &b
+}
+
+// serialize encodes the bucket to its fixed plaintext layout.
+func (b *bucket) serialize() []byte {
+	out := make([]byte, bucketPlain)
+	off := 0
+	for _, s := range b.slots {
+		binary.BigEndian.PutUint64(out[off:], uint64(s.id))
+		binary.BigEndian.PutUint64(out[off+8:], s.leaf)
+		copy(out[off+slotHeader:off+slotHeader+BlockSize], s.data)
+		off += slotHeader + BlockSize
+	}
+	return out
+}
+
+// parseBucket decodes the fixed plaintext layout.
+func parseBucket(data []byte) (*bucket, error) {
+	if len(data) != bucketPlain {
+		return nil, fmt.Errorf("%w: plaintext length %d", ErrBadBucket, len(data))
+	}
+	var b bucket
+	off := 0
+	for i := range b.slots {
+		b.slots[i].id = BlockID(binary.BigEndian.Uint64(data[off:]))
+		b.slots[i].leaf = binary.BigEndian.Uint64(data[off+8:])
+		if uint64(b.slots[i].id) != dummyID {
+			blk := make([]byte, BlockSize)
+			copy(blk, data[off+slotHeader:off+slotHeader+BlockSize])
+			b.slots[i].data = blk
+		}
+		off += slotHeader + BlockSize
+	}
+	return &b, nil
+}
+
+// cryptor performs the randomized re-encryption of buckets (AES-GCM:
+// fresh nonce every write, so identical plaintexts are unlinkable, and
+// any off-chip tampering is detected — paper attack A6).
+type cryptor struct {
+	aead cipher.AEAD
+}
+
+func newCryptor(key []byte) (*cryptor, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKey
+	}
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("oram: %w", err)
+	}
+	aead, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, fmt.Errorf("oram: %w", err)
+	}
+	return &cryptor{aead: aead}, nil
+}
+
+// seal encrypts a bucket plaintext with a fresh random nonce. The
+// bucket index is bound as associated data to prevent relocation.
+func (c *cryptor) seal(bucketIdx uint64, plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, c.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("oram: nonce: %w", err)
+	}
+	var ad [8]byte
+	binary.BigEndian.PutUint64(ad[:], bucketIdx)
+	out := c.aead.Seal(nonce, nonce, plaintext, ad[:])
+	return out, nil
+}
+
+// open decrypts and authenticates a bucket ciphertext.
+func (c *cryptor) open(bucketIdx uint64, ciphertext []byte) ([]byte, error) {
+	ns := c.aead.NonceSize()
+	if len(ciphertext) < ns {
+		return nil, ErrTampered
+	}
+	var ad [8]byte
+	binary.BigEndian.PutUint64(ad[:], bucketIdx)
+	pt, err := c.aead.Open(nil, ciphertext[:ns], ciphertext[ns:], ad[:])
+	if err != nil {
+		return nil, ErrTampered
+	}
+	return pt, nil
+}
+
+// randomLeaf samples a uniform leaf index in [0, nLeaves).
+func randomLeaf(nLeaves uint64) uint64 {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failure is unrecoverable for obliviousness.
+		panic(fmt.Sprintf("oram: rng failure: %v", err))
+	}
+	return binary.BigEndian.Uint64(buf[:]) % nLeaves
+}
+
+// pathIndices returns the bucket indices from the root to the given
+// leaf in a 1-indexed heap layout (root = 1).
+func pathIndices(leaf uint64, depth int) []uint64 {
+	out := make([]uint64, depth)
+	node := leaf + (uint64(1) << (depth - 1)) // leaf's heap index
+	for i := depth - 1; i >= 0; i-- {
+		out[i] = node
+		node /= 2
+	}
+	return out
+}
+
+// treeDepth returns the number of levels needed for capacity blocks:
+// leaves ≥ capacity/BucketSize with a minimum of 2 levels.
+func treeDepth(capacity uint64) int {
+	leaves := (capacity + BucketSize - 1) / BucketSize
+	depth := 1
+	for (uint64(1) << (depth - 1)) < leaves {
+		depth++
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	return depth
+}

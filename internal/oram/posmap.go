@@ -1,0 +1,137 @@
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PositionMap maps block ids to their current leaf assignment.
+type PositionMap interface {
+	// Get returns the leaf for id, or false if the id was never set.
+	Get(id BlockID) (uint64, bool)
+	// Set records id's new leaf.
+	Set(id BlockID, leaf uint64)
+}
+
+// FlatPositionMap is the simple on-chip map (the paper keeps the
+// highest-level position map on-chip, §IV-D).
+type FlatPositionMap struct {
+	m      map[BlockID]uint64
+	leaves uint64
+}
+
+var _ PositionMap = (*FlatPositionMap)(nil)
+
+// NewFlatPositionMap returns an empty map for a tree with the given
+// leaf count.
+func NewFlatPositionMap(leaves uint64) *FlatPositionMap {
+	return &FlatPositionMap{m: make(map[BlockID]uint64), leaves: leaves}
+}
+
+// Get implements PositionMap.
+func (p *FlatPositionMap) Get(id BlockID) (uint64, bool) {
+	leaf, ok := p.m[id]
+	return leaf, ok
+}
+
+// Set implements PositionMap.
+func (p *FlatPositionMap) Set(id BlockID, leaf uint64) {
+	p.m[id] = leaf
+}
+
+// Len returns the number of tracked blocks.
+func (p *FlatPositionMap) Len() int { return len(p.m) }
+
+// entriesPerPosBlock is how many 8-byte positions fit one ORAM block.
+const entriesPerPosBlock = BlockSize / 8
+
+// unsetLeaf marks a never-assigned position inside a packed block.
+const unsetLeaf = ^uint64(0)
+
+// RecursivePositionMap stores positions in a smaller parent ORAM, the
+// paper's "stored in higher-level ORAMs recursively" extension. Each
+// parent block packs 128 positions; the parent's own (much smaller)
+// position map is flat and on-chip.
+type RecursivePositionMap struct {
+	parent *Client
+	// cache avoids a parent round trip for repeated Get/Set of the
+	// same packed block within one access (Get followed by Set).
+	lastIdx  BlockID
+	lastData []byte
+	valid    bool
+}
+
+var _ PositionMap = (*RecursivePositionMap)(nil)
+
+// NewRecursivePositionMap builds a position map for `capacity` data
+// blocks, backed by a dedicated parent ORAM (with its own key).
+func NewRecursivePositionMap(capacity uint64, key []byte) (*RecursivePositionMap, error) {
+	posBlocks := (capacity + entriesPerPosBlock - 1) / entriesPerPosBlock
+	if posBlocks < 2 {
+		posBlocks = 2
+	}
+	server, err := NewMemServer(posBlocks)
+	if err != nil {
+		return nil, fmt.Errorf("oram: recursive posmap: %w", err)
+	}
+	parent, err := NewClient(server, key)
+	if err != nil {
+		return nil, fmt.Errorf("oram: recursive posmap: %w", err)
+	}
+	return &RecursivePositionMap{parent: parent}, nil
+}
+
+// load fetches (or initializes) the packed block holding id.
+func (p *RecursivePositionMap) load(packed BlockID) ([]byte, error) {
+	if p.valid && p.lastIdx == packed {
+		return p.lastData, nil
+	}
+	data, err := p.parent.Read(packed)
+	if err == ErrNotFound {
+		data = make([]byte, BlockSize)
+		for i := 0; i < entriesPerPosBlock; i++ {
+			binary.BigEndian.PutUint64(data[i*8:], unsetLeaf)
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	p.lastIdx, p.lastData, p.valid = packed, data, true
+	return data, nil
+}
+
+// Get implements PositionMap. Parent ORAM failures surface as "unset",
+// which the client handles by assigning a fresh random leaf; the
+// failure mode is loss of a mapping, never loss of obliviousness.
+func (p *RecursivePositionMap) Get(id BlockID) (uint64, bool) {
+	packed := id / entriesPerPosBlock
+	data, err := p.load(packed)
+	if err != nil {
+		return 0, false
+	}
+	leaf := binary.BigEndian.Uint64(data[(id%entriesPerPosBlock)*8:])
+	if leaf == unsetLeaf {
+		return 0, false
+	}
+	return leaf, true
+}
+
+// Set implements PositionMap.
+func (p *RecursivePositionMap) Set(id BlockID, leaf uint64) {
+	packed := id / entriesPerPosBlock
+	data, err := p.load(packed)
+	if err != nil {
+		return
+	}
+	binary.BigEndian.PutUint64(data[(id%entriesPerPosBlock)*8:], leaf)
+	// Write back through the parent ORAM.
+	if err := p.parent.Write(packed, data); err != nil {
+		p.valid = false
+		return
+	}
+	p.lastIdx, p.lastData, p.valid = packed, data, true
+}
+
+// ParentStats exposes the parent ORAM's counters (tests/diagnostics).
+func (p *RecursivePositionMap) ParentStats() Stats {
+	return p.parent.Stats()
+}

@@ -1,0 +1,145 @@
+package oram
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Server is the untrusted bucket store run by the service provider. It
+// sees only encrypted buckets and the sequence of path indices — the
+// exact adversary view the paper's obliviousness argument is about.
+type Server interface {
+	// ReadPath returns the encrypted buckets along the path to leaf,
+	// root first.
+	ReadPath(leaf uint64) ([][]byte, error)
+	// WritePath stores the encrypted buckets along the path to leaf,
+	// root first.
+	WritePath(leaf uint64, buckets [][]byte) error
+	// Depth returns the tree depth (levels).
+	Depth() int
+	// Leaves returns the number of leaves.
+	Leaves() uint64
+}
+
+// AccessEvent is what the adversary observes per path operation.
+type AccessEvent struct {
+	// Seq is the operation sequence number.
+	Seq uint64
+	// Leaf is the observed path.
+	Leaf uint64
+	// Write distinguishes path reads from path writes (every logical
+	// access produces one of each).
+	Write bool
+}
+
+// MemServer is an in-memory Server with an adversary-observable access
+// log. It is safe for concurrent use by multiple clients (Path ORAM is
+// stateless server-side, paper §II-C).
+type MemServer struct {
+	mu      sync.Mutex
+	depth   int
+	leaves  uint64
+	buckets [][]byte // heap layout, 1-indexed (index 0 unused)
+	seq     uint64
+	// observer receives the adversary-visible trace; may be nil.
+	observer func(AccessEvent)
+}
+
+var _ Server = (*MemServer)(nil)
+
+// NewMemServer creates a server sized for the given block capacity.
+func NewMemServer(capacity uint64) (*MemServer, error) {
+	if capacity < 2 {
+		return nil, ErrCapacity
+	}
+	depth := treeDepth(capacity)
+	nodes := (uint64(1) << depth) // 1-indexed heap with 2^depth-1 nodes
+	return &MemServer{
+		depth:   depth,
+		leaves:  uint64(1) << (depth - 1),
+		buckets: make([][]byte, nodes),
+	}, nil
+}
+
+// SetObserver installs the adversary's tap on the access sequence.
+func (s *MemServer) SetObserver(fn func(AccessEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
+// Depth implements Server.
+func (s *MemServer) Depth() int { return s.depth }
+
+// Leaves implements Server.
+func (s *MemServer) Leaves() uint64 { return s.leaves }
+
+// ReadPath implements Server.
+func (s *MemServer) ReadPath(leaf uint64) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if leaf >= s.leaves {
+		return nil, fmt.Errorf("oram: leaf %d out of range (%d leaves)", leaf, s.leaves)
+	}
+	s.seq++
+	if s.observer != nil {
+		s.observer(AccessEvent{Seq: s.seq, Leaf: leaf})
+	}
+	idx := pathIndices(leaf, s.depth)
+	out := make([][]byte, len(idx))
+	for i, node := range idx {
+		if s.buckets[node] != nil {
+			cp := make([]byte, len(s.buckets[node]))
+			copy(cp, s.buckets[node])
+			out[i] = cp
+		}
+	}
+	return out, nil
+}
+
+// WritePath implements Server.
+func (s *MemServer) WritePath(leaf uint64, buckets [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if leaf >= s.leaves {
+		return fmt.Errorf("oram: leaf %d out of range (%d leaves)", leaf, s.leaves)
+	}
+	idx := pathIndices(leaf, s.depth)
+	if len(buckets) != len(idx) {
+		return fmt.Errorf("oram: WritePath got %d buckets, want %d", len(buckets), len(idx))
+	}
+	s.seq++
+	if s.observer != nil {
+		s.observer(AccessEvent{Seq: s.seq, Leaf: leaf, Write: true})
+	}
+	for i, node := range idx {
+		cp := make([]byte, len(buckets[i]))
+		copy(cp, buckets[i])
+		s.buckets[node] = cp
+	}
+	return nil
+}
+
+// TamperBucket flips a byte in a stored bucket (test hook modelling the
+// paper's A6 adversary).
+func (s *MemServer) TamperBucket(leaf uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, node := range pathIndices(leaf, s.depth) {
+		if len(s.buckets[node]) > 0 {
+			s.buckets[node][len(s.buckets[node])-1] ^= 0x01
+			return
+		}
+	}
+}
+
+// StoredBytes reports the server's total ciphertext footprint.
+func (s *MemServer) StoredBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, b := range s.buckets {
+		total += uint64(len(b))
+	}
+	return total
+}

@@ -1,0 +1,326 @@
+package oram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The paper connects HarDTAPE to the SP's ORAM server over Ethernet
+// (2 ms RTT). This file provides that transport: a TCP server fronting
+// any Server implementation, and a RemoteServer client that satisfies
+// the Server interface over the wire. Buckets are already encrypted by
+// the ORAM client, so the transport itself needs no confidentiality —
+// exactly the paper's trust split.
+
+// Wire opcodes.
+const (
+	opReadPath  byte = 1
+	opWritePath byte = 2
+	opMeta      byte = 3
+
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxWireBucket bounds a single bucket ciphertext on the wire.
+const maxWireBucket = 16 * bucketPlain
+
+// Transport errors.
+var (
+	ErrWire = errors.New("oram: wire protocol error")
+)
+
+// TCPServer serves a Server over TCP.
+type TCPServer struct {
+	inner Server
+	l     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeTCP starts serving inner on the listener. It returns
+// immediately; use Close to stop.
+func ServeTCP(inner Server, l net.Listener) *TCPServer {
+	s := &TCPServer{inner: inner, l: l}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *TCPServer) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops the listener.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.l.Close()
+}
+
+func (s *TCPServer) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, err := r.ReadByte()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch op {
+		case opMeta:
+			if err := writeU64(w, uint64(s.inner.Depth())); err != nil {
+				return err
+			}
+			if err := writeU64(w, s.inner.Leaves()); err != nil {
+				return err
+			}
+		case opReadPath:
+			leaf, err := readU64(r)
+			if err != nil {
+				return err
+			}
+			buckets, err := s.inner.ReadPath(leaf)
+			if err != nil {
+				if werr := writeStatus(w, err); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := w.WriteByte(statusOK); err != nil {
+				return err
+			}
+			if err := writeBuckets(w, buckets); err != nil {
+				return err
+			}
+		case opWritePath:
+			leaf, err := readU64(r)
+			if err != nil {
+				return err
+			}
+			buckets, err := readBuckets(r)
+			if err != nil {
+				return err
+			}
+			if err := s.inner.WritePath(leaf, buckets); err != nil {
+				if werr := writeStatus(w, err); werr != nil {
+					return werr
+				}
+				break
+			}
+			if err := w.WriteByte(statusOK); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: opcode %d", ErrWire, op)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// RemoteServer is a Server backed by a TCP connection. It is safe for
+// serialized use by one client (the Hypervisor serializes queries).
+type RemoteServer struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	depth  int
+	leaves uint64
+}
+
+var _ Server = (*RemoteServer)(nil)
+
+// DialServer connects to a TCP ORAM server and fetches its geometry.
+func DialServer(addr string) (*RemoteServer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("oram: dial: %w", err)
+	}
+	rs := &RemoteServer{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+	if err := rs.w.WriteByte(opMeta); err != nil {
+		return nil, err
+	}
+	if err := rs.w.Flush(); err != nil {
+		return nil, err
+	}
+	depth, err := readU64(rs.r)
+	if err != nil {
+		return nil, fmt.Errorf("oram: meta: %w", err)
+	}
+	leaves, err := readU64(rs.r)
+	if err != nil {
+		return nil, fmt.Errorf("oram: meta: %w", err)
+	}
+	rs.depth = int(depth)
+	rs.leaves = leaves
+	return rs, nil
+}
+
+// Close closes the connection.
+func (rs *RemoteServer) Close() error { return rs.conn.Close() }
+
+// Depth implements Server.
+func (rs *RemoteServer) Depth() int { return rs.depth }
+
+// Leaves implements Server.
+func (rs *RemoteServer) Leaves() uint64 { return rs.leaves }
+
+// ReadPath implements Server.
+func (rs *RemoteServer) ReadPath(leaf uint64) ([][]byte, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.w.WriteByte(opReadPath); err != nil {
+		return nil, err
+	}
+	if err := writeU64(rs.w, leaf); err != nil {
+		return nil, err
+	}
+	if err := rs.w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := readStatus(rs.r); err != nil {
+		return nil, err
+	}
+	return readBuckets(rs.r)
+}
+
+// WritePath implements Server.
+func (rs *RemoteServer) WritePath(leaf uint64, buckets [][]byte) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.w.WriteByte(opWritePath); err != nil {
+		return err
+	}
+	if err := writeU64(rs.w, leaf); err != nil {
+		return err
+	}
+	if err := writeBuckets(rs.w, buckets); err != nil {
+		return err
+	}
+	if err := rs.w.Flush(); err != nil {
+		return err
+	}
+	return readStatus(rs.r)
+}
+
+// --- wire helpers ---
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(buf[:]), nil
+}
+
+func writeStatus(w *bufio.Writer, err error) error {
+	if err := w.WriteByte(statusErr); err != nil {
+		return err
+	}
+	msg := err.Error()
+	if len(msg) > 255 {
+		msg = msg[:255]
+	}
+	if err := w.WriteByte(byte(len(msg))); err != nil {
+		return err
+	}
+	_, werr := w.WriteString(msg)
+	return werr
+}
+
+func readStatus(r *bufio.Reader) error {
+	status, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if status == statusOK {
+		return nil
+	}
+	n, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: remote: %s", ErrWire, msg)
+}
+
+func writeBuckets(w io.Writer, buckets [][]byte) error {
+	if err := writeU64(w, uint64(len(buckets))); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		if err := writeU64(w, uint64(len(b))); err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBuckets(r io.Reader) ([][]byte, error) {
+	count, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > 64 {
+		return nil, fmt.Errorf("%w: %d buckets", ErrWire, count)
+	}
+	out := make([][]byte, count)
+	for i := range out {
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		if n > maxWireBucket {
+			return nil, fmt.Errorf("%w: bucket size %d", ErrWire, n)
+		}
+		if n == 0 {
+			continue
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out[i] = buf
+	}
+	return out, nil
+}

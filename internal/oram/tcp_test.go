@@ -1,0 +1,157 @@
+package oram
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+)
+
+// startTCP spins up a MemServer behind the TCP transport and returns a
+// connected RemoteServer.
+func startTCP(t *testing.T, capacity uint64) (*RemoteServer, *MemServer) {
+	t.Helper()
+	inner, err := NewMemServer(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(inner, l)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	remote, err := DialServer(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = remote.Close() })
+	return remote, inner
+}
+
+func TestTCPGeometry(t *testing.T) {
+	remote, inner := startTCP(t, 256)
+	if remote.Depth() != inner.Depth() || remote.Leaves() != inner.Leaves() {
+		t.Fatalf("geometry: remote %d/%d vs inner %d/%d",
+			remote.Depth(), remote.Leaves(), inner.Depth(), inner.Leaves())
+	}
+}
+
+func TestTCPClientRoundTrip(t *testing.T) {
+	remote, _ := startTCP(t, 256)
+	cli, err := NewClient(remote, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := cli.Write(BlockID(i), []byte(fmt.Sprintf("remote-%d", i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		got, err := cli.Read(BlockID(i))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := fmt.Sprintf("remote-%d", i)
+		if string(got[:len(want)]) != want {
+			t.Fatalf("block %d corrupted over TCP", i)
+		}
+	}
+}
+
+func TestTCPOutOfRangeLeafSurfacesError(t *testing.T) {
+	remote, _ := startTCP(t, 64)
+	if _, err := remote.ReadPath(remote.Leaves() + 5); !errors.Is(err, ErrWire) {
+		t.Fatalf("out-of-range leaf: %v", err)
+	}
+	// The connection stays usable after a remote error.
+	if _, err := remote.ReadPath(0); err != nil {
+		t.Fatalf("connection poisoned after error: %v", err)
+	}
+}
+
+func TestTCPEmptyBuckets(t *testing.T) {
+	// A fresh tree serves nil buckets; they must cross the wire as
+	// empties, not crash.
+	remote, _ := startTCP(t, 64)
+	buckets, err := remote.ReadPath(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != remote.Depth() {
+		t.Fatalf("bucket count %d != depth %d", len(buckets), remote.Depth())
+	}
+	for _, b := range buckets {
+		if len(b) != 0 {
+			t.Fatal("fresh tree should serve empty buckets")
+		}
+	}
+}
+
+func TestTCPWritePathPersists(t *testing.T) {
+	remote, inner := startTCP(t, 64)
+	payload := [][]byte{
+		bytes.Repeat([]byte{1}, 100),
+		bytes.Repeat([]byte{2}, 200),
+	}
+	// Pad to depth.
+	for len(payload) < remote.Depth() {
+		payload = append(payload, []byte{9})
+	}
+	if err := remote.WritePath(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Both the remote view and the inner server agree.
+	back, err := remote.ReadPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back[0], payload[0]) || !bytes.Equal(back[1], payload[1]) {
+		t.Fatal("write-path round trip mismatch")
+	}
+	innerView, err := inner.ReadPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(innerView[0], payload[0]) {
+		t.Fatal("inner server missed the write")
+	}
+}
+
+func TestTCPMultipleClients(t *testing.T) {
+	// Path ORAM is stateless server-side: a second connection sees the
+	// first one's writes.
+	remote1, _ := startTCP(t, 128)
+	cli1, err := NewClient(remote1, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli1.Write(7, []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+
+	remote2, err := DialServer(remote1.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote2.Close()
+	cli2, err := NewClient(remote2, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cli2 has its own (empty) position map: it cannot find block 7,
+	// but its own writes work over the same tree.
+	if err := cli2.Write(900, []byte("second client")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli2.Read(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:13]) != "second client" {
+		t.Fatal("second client round trip failed")
+	}
+}

@@ -1,0 +1,266 @@
+package secp256k1
+
+import (
+	"encoding/hex"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"hardtape/internal/keccak"
+)
+
+func TestGeneratorOnCurve(t *testing.T) {
+	if !onCurve(_gx, _gy) {
+		t.Fatal("generator not on curve")
+	}
+}
+
+func TestKnownKeyAddress(t *testing.T) {
+	// The canonical test key with D=1: its public key is G, and the
+	// Ethereum address of G is a well-known constant.
+	priv, err := NewPrivateKey(big.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Public.X.Cmp(_gx) != 0 || priv.Public.Y.Cmp(_gy) != 0 {
+		t.Fatal("1*G != G")
+	}
+	addr := priv.Public.Address()
+	want := "7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+	if hex.EncodeToString(addr[:]) != want {
+		t.Errorf("address of key 1: got %x want %s", addr, want)
+	}
+}
+
+func TestKnownScalarMult(t *testing.T) {
+	// 2*G has a known x coordinate.
+	priv, err := NewPrivateKey(big.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := mustHexBig("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5")
+	if priv.Public.X.Cmp(wantX) != 0 {
+		t.Errorf("2G.x = %x, want %x", priv.Public.X, wantX)
+	}
+	if !onCurve(priv.Public.X, priv.Public.Y) {
+		t.Error("2G not on curve")
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	for _, d := range []*big.Int{nil, big.NewInt(0), big.NewInt(-1), new(big.Int).Set(_n)} {
+		if _, err := NewPrivateKey(d); err == nil {
+			t.Errorf("NewPrivateKey(%v) should fail", d)
+		}
+	}
+	if _, err := GenerateKey(nil); err == nil {
+		t.Error("GenerateKey(nil) should fail")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	priv, err := GenerateKey([]byte("test signer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := keccak.Sum256([]byte("message"))
+	sig, err := priv.Sign(hash[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !priv.Public.Verify(hash[:], sig) {
+		t.Fatal("signature does not verify")
+	}
+	// Low-s is enforced.
+	if sig.S.Cmp(_halfN) > 0 {
+		t.Error("signature s is not low")
+	}
+	// Wrong hash must fail.
+	other := keccak.Sum256([]byte("other"))
+	if priv.Public.Verify(other[:], sig) {
+		t.Error("signature verified against wrong hash")
+	}
+	// Tampered r must fail.
+	bad := &Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S, V: sig.V}
+	if priv.Public.Verify(hash[:], bad) {
+		t.Error("tampered signature verified")
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	priv, err := GenerateKey([]byte("determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := keccak.Sum256([]byte("m"))
+	s1, err := priv.Sign(hash[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := priv.Sign(hash[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 || s1.V != s2.V {
+		t.Error("signing is not deterministic")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	priv, err := GenerateKey([]byte("recover me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := keccak.Sum256([]byte("tx payload"))
+	sig, err := priv.Sign(hash[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := Recover(hash[:], sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.X.Cmp(priv.Public.X) != 0 || pub.Y.Cmp(priv.Public.Y) != 0 {
+		t.Error("recovered wrong public key")
+	}
+	if pub.Address() != priv.Public.Address() {
+		t.Error("recovered wrong address")
+	}
+	// Flipping V recovers a different key (or fails), never the right one.
+	flipped := &Signature{R: sig.R, S: sig.S, V: sig.V ^ 1}
+	if pub2, err := Recover(hash[:], flipped); err == nil {
+		if pub2.Address() == priv.Public.Address() {
+			t.Error("flipped V recovered same address")
+		}
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	hash := keccak.Sum256([]byte("x"))
+	bad := []*Signature{
+		nil,
+		{R: big.NewInt(0), S: big.NewInt(1), V: 0},
+		{R: big.NewInt(1), S: big.NewInt(0), V: 0},
+		{R: new(big.Int).Set(_n), S: big.NewInt(1), V: 0},
+		{R: big.NewInt(1), S: big.NewInt(1), V: 2},
+	}
+	for i, sig := range bad {
+		if _, err := Recover(hash[:], sig); err == nil {
+			t.Errorf("case %d: Recover accepted invalid signature", i)
+		}
+	}
+	if _, err := Recover([]byte("short"), &Signature{R: big.NewInt(1), S: big.NewInt(1)}); err == nil {
+		t.Error("Recover accepted short hash")
+	}
+}
+
+func TestJacobianIdentities(t *testing.T) {
+	// P + infinity = P.
+	x, y, z := addJacobian(_gx, _gy, big.NewInt(1), new(big.Int), big.NewInt(1), new(big.Int))
+	ax, ay := toAffine(x, y, z)
+	if ax.Cmp(_gx) != 0 || ay.Cmp(_gy) != 0 {
+		t.Error("G + inf != G")
+	}
+	// P + P = 2P = double(P).
+	dx, dy, dz := doubleJacobian(_gx, _gy, big.NewInt(1))
+	sx, sy, sz := addJacobian(_gx, _gy, big.NewInt(1), _gx, _gy, big.NewInt(1))
+	dax, day := toAffine(dx, dy, dz)
+	sax, say := toAffine(sx, sy, sz)
+	if dax.Cmp(sax) != 0 || day.Cmp(say) != 0 {
+		t.Error("P+P != double(P)")
+	}
+	// P + (-P) = infinity.
+	negY := new(big.Int).Sub(_p, _gy)
+	_, _, iz := addJacobian(_gx, _gy, big.NewInt(1), _gx, negY, big.NewInt(1))
+	if iz.Sign() != 0 {
+		t.Error("P + (-P) != infinity")
+	}
+	// n*G = infinity.
+	_, _, nz := scalarMultJacobian(_gx, _gy, _n)
+	if nz.Sign() != 0 {
+		t.Error("n*G != infinity")
+	}
+}
+
+// Property: sign/recover round-trips for arbitrary seeds and messages.
+func TestQuickSignRecover(t *testing.T) {
+	f := func(seed, msg []byte) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		priv, err := GenerateKey(seed)
+		if err != nil {
+			return false
+		}
+		hash := keccak.Sum256(msg)
+		sig, err := priv.Sign(hash[:])
+		if err != nil {
+			return false
+		}
+		if !priv.Public.Verify(hash[:], sig) {
+			return false
+		}
+		pub, err := Recover(hash[:], sig)
+		if err != nil {
+			return false
+		}
+		return pub.Address() == priv.Public.Address()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scalar multiplication distributes over addition:
+// (a+b)G == aG + bG.
+func TestQuickScalarDistributive(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == 0 || b == 0 {
+			return true
+		}
+		ab := new(big.Int).Add(big.NewInt(0).SetUint64(a), big.NewInt(0).SetUint64(b))
+		x1, y1 := scalarBaseMult(ab)
+		ax, ay, az := scalarMultJacobian(_gx, _gy, new(big.Int).SetUint64(a))
+		bx, by, bz := scalarMultJacobian(_gx, _gy, new(big.Int).SetUint64(b))
+		sx, sy, sz := addJacobian(ax, ay, az, bx, by, bz)
+		x2, y2 := toAffine(sx, sy, sz)
+		return x1.Cmp(x2) == 0 && y1.Cmp(y2) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	priv, err := GenerateKey([]byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hash := keccak.Sum256([]byte("payload"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := priv.Sign(hash[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	priv, err := GenerateKey([]byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hash := keccak.Sum256([]byte("payload"))
+	sig, err := priv.Sign(hash[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Recover(hash[:], sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

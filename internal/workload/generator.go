@@ -1,0 +1,447 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hardtape/internal/evm"
+	"hardtape/internal/secp256k1"
+	"hardtape/internal/state"
+	"hardtape/internal/types"
+	"hardtape/internal/uint256"
+)
+
+// Distribution buckets from the paper's Table I. Each entry is a
+// cumulative probability with an inclusive value range to sample from.
+type bucket struct {
+	cum      float64
+	min, max uint64
+}
+
+// sampleAt returns the value at quantile q of a bucketed distribution
+// (stratified sampling: families of contracts deployed at evenly
+// spaced quantiles reproduce the distribution without sampling
+// variance).
+func sampleAt(buckets []bucket, q float64) uint64 {
+	prev := 0.0
+	for _, b := range buckets {
+		if q <= b.cum {
+			span := b.cum - prev
+			pos := 0.0
+			if span > 0 {
+				pos = (q - prev) / span
+			}
+			return b.min + uint64(pos*float64(b.max-b.min))
+		}
+		prev = b.cum
+	}
+	return buckets[len(buckets)-1].max
+}
+
+// sample draws from a bucketed distribution.
+func sample(rng *rand.Rand, buckets []bucket) uint64 {
+	r := rng.Float64()
+	for _, b := range buckets {
+		if r <= b.cum {
+			if b.max <= b.min {
+				return b.min
+			}
+			return b.min + uint64(rng.Int63n(int64(b.max-b.min+1)))
+		}
+	}
+	last := buckets[len(buckets)-1]
+	return last.max
+}
+
+// Table I distributions (paper, blocks #19145194–#19145293).
+var (
+	// callDepthDist: 1 → 40.8%, 2-5 → 52.6%, 6-10 → 6.3%, >10 → 0.3%.
+	_callDepthDist = []bucket{
+		{0.408, 1, 1}, {0.934, 2, 5}, {0.997, 6, 10}, {1.0, 11, 16},
+	}
+	// memorySizeDist (bytes/frame): <1k 92.7%, 1-4k 5.7%, 4-12k 0.6%,
+	// tail sub-0.1%.
+	_memorySizeDist = []bucket{
+		{0.927, 0, 1023}, {0.984, 1024, 4095}, {0.996, 4096, 12287}, {1.0, 12288, 65535},
+	}
+	// memWorkerDist conditions the memory-worker archetype toward the
+	// larger bands: ordinary frames use well under 1 KB of Memory, so
+	// the dedicated archetype supplies the distribution's tail.
+	_memWorkerDist = []bucket{
+		{0.30, 64, 1023}, {0.86, 1024, 4095}, {0.98, 4096, 12287}, {1.0, 12288, 65535},
+	}
+	// storageKeysDist (records/frame): ≤4 79.9%, 5-16 19.0%,
+	// 17-64 ≈1%, >64 ≈0.1%.
+	_storageKeysDist = []bucket{
+		{0.799, 0, 4}, {0.989, 5, 16}, {0.999, 17, 64}, {1.0, 65, 200},
+	}
+	// storageHeavyDist conditions the storage-heavy archetype toward
+	// the 5-16 band: most frames in the evaluation set touch ≤4 keys
+	// already (token balances, reserves), so the dedicated archetype
+	// supplies the distribution's tail.
+	_storageHeavyDist = []bucket{
+		{0.20, 1, 4}, {0.88, 5, 16}, {0.99, 17, 64}, {1.0, 65, 200},
+	}
+	// codeSizeDist (bytes): <1k 9.5%, 1-4k 25.3%, 4-12k 39.6%,
+	// 12-64k 25.6%.
+	_codeSizeDist = []bucket{
+		{0.095, 256, 1023}, {0.348, 1024, 4095}, {0.744, 4096, 12287}, {1.0, 12288, 65535},
+	}
+)
+
+// World is a synthetic Ethereum world: funded EOAs, deployed
+// contracts, and the canonical state they live in.
+type World struct {
+	State *state.WorldState
+
+	EOAs []types.Address
+	keys map[types.Address]*secp256k1.PrivateKey
+	// nonces tracks the next nonce per EOA for tx generation.
+	nonces map[types.Address]uint64
+
+	Tokens []types.Address
+	DEXes  []types.Address
+	// DeepCallers and MemWorkers are families of identical-behaviour
+	// contracts whose code sizes are drawn from Table I's code
+	// distribution, so per-frame code-size statistics match the paper.
+	// DeepCaller/MemWorker are the first of each family.
+	DeepCallers  []types.Address
+	MemWorkers   []types.Address
+	DeepCaller   types.Address
+	MemWorker    types.Address
+	StorageHeavy types.Address
+	MemoryHog    types.Address
+	ArithLoop    types.Address
+
+	rng *rand.Rand
+}
+
+// Config sizes the synthetic world.
+type Config struct {
+	Seed   int64
+	EOAs   int
+	Tokens int
+	DEXes  int
+}
+
+// DefaultConfig returns a laptop-scale world.
+func DefaultConfig() Config {
+	return Config{Seed: 19145194, EOAs: 64, Tokens: 8, DEXes: 4}
+}
+
+// BuildWorld constructs the synthetic world deterministically from the
+// seed: EOAs with balances, tokens with holders, DEX pools with
+// reserves, and the special-purpose contracts.
+func BuildWorld(cfg Config) (*World, error) {
+	if cfg.EOAs < 2 || cfg.Tokens < 1 || cfg.DEXes < 1 {
+		return nil, fmt.Errorf("workload: config too small: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{
+		State:  state.NewWorldState(),
+		keys:   make(map[types.Address]*secp256k1.PrivateKey),
+		nonces: make(map[types.Address]uint64),
+		rng:    rng,
+	}
+
+	// EOAs.
+	for i := 0; i < cfg.EOAs; i++ {
+		priv, err := secp256k1.GenerateKey([]byte(fmt.Sprintf("eoa-%d-%d", cfg.Seed, i)))
+		if err != nil {
+			return nil, fmt.Errorf("workload: eoa key: %w", err)
+		}
+		addr := types.Address(priv.Public.Address())
+		w.keys[addr] = priv
+		w.EOAs = append(w.EOAs, addr)
+		acct := types.NewAccount()
+		acct.Balance.SetUint64(1 << 60)
+		if err := w.State.SetAccount(addr, acct); err != nil {
+			return nil, err
+		}
+	}
+
+	deploySalt := 0
+	deploy := func(runtime []byte, padTo uint64) (types.Address, error) {
+		code := PaddedRuntime(runtime, int(padTo))
+		// Unique unreachable suffix so equal runtimes at equal pad
+		// sizes still get distinct code hashes (and addresses).
+		deploySalt++
+		code = append(code, byte(evm.STOP), byte(deploySalt), byte(deploySalt>>8))
+		h := w.State.SetCode(code)
+		addr := types.BytesToAddress(h[:20])
+		acct := types.NewAccount()
+		acct.CodeHash = h
+		acct.Balance.SetUint64(1 << 40)
+		if err := w.State.SetAccount(addr, acct); err != nil {
+			return types.Address{}, err
+		}
+		return addr, nil
+	}
+
+	// Tokens, with code sizes drawn from Table I's code distribution
+	// and balances for every EOA.
+	for i := 0; i < cfg.Tokens; i++ {
+		q := (float64(i) + 0.5) / float64(cfg.Tokens)
+		addr, err := deploy(ERC20Runtime(), sampleAt(_codeSizeDist, q))
+		if err != nil {
+			return nil, err
+		}
+		w.Tokens = append(w.Tokens, addr)
+		for _, eoa := range w.EOAs {
+			key := types.BytesToHash(eoa.Word().Bytes())
+			bal := types.BytesToHash(uint256.NewInt(1 << 40).Bytes())
+			if err := w.State.SetStorage(addr, key, bal); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// DEX pools: reserves in slots 0/1, token address in slot 2, token
+	// balance minted to the pool.
+	for i := 0; i < cfg.DEXes; i++ {
+		q := (float64(i) + 0.5) / float64(cfg.DEXes)
+		addr, err := deploy(DEXRuntime(), sampleAt(_codeSizeDist, q))
+		if err != nil {
+			return nil, err
+		}
+		w.DEXes = append(w.DEXes, addr)
+		token := w.Tokens[i%len(w.Tokens)]
+		set := func(slot byte, v *uint256.Int) error {
+			return w.State.SetStorage(addr, types.Hash{31: slot}, types.BytesToHash(v.Bytes()))
+		}
+		if err := set(0, uint256.NewInt(1<<30)); err != nil { // reserveIn
+			return nil, err
+		}
+		if err := set(1, uint256.NewInt(1<<30)); err != nil { // reserveOut
+			return nil, err
+		}
+		if err := set(2, token.Word()); err != nil {
+			return nil, err
+		}
+		// Pool token balance.
+		key := types.BytesToHash(addr.Word().Bytes())
+		if err := w.State.SetStorage(token, key, types.BytesToHash(uint256.NewInt(1<<50).Bytes())); err != nil {
+			return nil, err
+		}
+	}
+
+	// Families of deep-callers and memory-workers spanning the code
+	// distribution (per-frame code-size stats weight contracts by call
+	// frequency; a single contract would collapse the distribution).
+	for i := 0; i < 6; i++ {
+		q := (float64(i) + 0.5) / 6
+		dc, err := deploy(DeepCallerRuntime(), sampleAt(_codeSizeDist, q))
+		if err != nil {
+			return nil, err
+		}
+		w.DeepCallers = append(w.DeepCallers, dc)
+		mw, err := deploy(MemoryWorkerRuntime(), sampleAt(_codeSizeDist, 1-q))
+		if err != nil {
+			return nil, err
+		}
+		w.MemWorkers = append(w.MemWorkers, mw)
+	}
+	w.DeepCaller = w.DeepCallers[0]
+	w.MemWorker = w.MemWorkers[0]
+
+	var err error
+	if w.StorageHeavy, err = deploy(StorageHeavyRuntime(), sample(rng, _codeSizeDist)); err != nil {
+		return nil, err
+	}
+	if w.MemoryHog, err = deploy(MemoryHogRuntime(), 512); err != nil {
+		return nil, err
+	}
+	if w.ArithLoop, err = deploy(ArithmeticLoopRuntime(), 512); err != nil {
+		return nil, err
+	}
+	if _, err := w.State.Root(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Key returns the private key of a generated EOA (tests, clients).
+func (w *World) Key(addr types.Address) *secp256k1.PrivateKey {
+	return w.keys[addr]
+}
+
+// SignedTx builds and signs a transaction from a generated EOA,
+// advancing its tracked nonce.
+func (w *World) SignedTx(from types.Address, to *types.Address, value uint64, data []byte, gasLimit uint64) (*types.Transaction, error) {
+	priv, ok := w.keys[from]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown EOA %s", from)
+	}
+	tx := &types.Transaction{
+		Nonce:    w.nonces[from],
+		GasPrice: uint256.NewInt(1),
+		GasLimit: gasLimit,
+		To:       to,
+		Value:    uint256.NewInt(value),
+		Data:     data,
+	}
+	if err := tx.Sign(priv); err != nil {
+		return nil, err
+	}
+	w.nonces[from] = tx.Nonce + 1
+	return tx, nil
+}
+
+// RollupTx builds a roll-up-style transaction (paper §II-A): thousands
+// of storage-record updates submitted as one huge calldata blob. Its
+// execution frame exceeds HarDTAPE's layer-2 frame limit, producing
+// the Memory Overflow Error §VI-B reports for these transactions.
+func (w *World) RollupTx(from types.Address, nonce uint64) (*types.Transaction, error) {
+	// ~600 KB of calldata (the MemoryWorker copies it all into Memory,
+	// so the frame holds both input and memory > 512 KB limit).
+	data := make([]byte, 600*1024)
+	// First word = memory touch target (small; the copy is the load).
+	data[31] = 64
+	for i := 32; i < len(data); i += 97 {
+		data[i] = byte(i)
+	}
+	to := w.MemWorker
+	return w.SignedTxAt(from, nonce, &to, 0, data, 25_000_000)
+}
+
+// SyncNonces realigns the generator's tracked nonces with a canonical
+// state — needed after generating pre-execution transactions (which
+// are never mined) before producing the next on-chain block.
+func (w *World) SyncNonces(reader state.Reader) {
+	for addr := range w.keys {
+		if acct, ok := reader.Account(addr); ok {
+			w.nonces[addr] = acct.Nonce
+		} else {
+			w.nonces[addr] = 0
+		}
+	}
+}
+
+// SignedTxAt builds and signs a transaction with an explicit nonce and
+// does NOT advance the tracked nonce — for pre-execution bundles,
+// which are temporary and always start from the canonical state.
+func (w *World) SignedTxAt(from types.Address, nonce uint64, to *types.Address, value uint64, data []byte, gasLimit uint64) (*types.Transaction, error) {
+	priv, ok := w.keys[from]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown EOA %s", from)
+	}
+	tx := &types.Transaction{
+		Nonce:    nonce,
+		GasPrice: uint256.NewInt(1),
+		GasLimit: gasLimit,
+		To:       to,
+		Value:    uint256.NewInt(value),
+		Data:     data,
+	}
+	if err := tx.Sign(priv); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// TxKind labels generated transaction archetypes.
+type TxKind int
+
+// Transaction archetypes in the evaluation set.
+const (
+	TxSimpleTransfer TxKind = iota + 1
+	TxERC20Transfer
+	TxERC20BalanceOf
+	TxDEXSwap
+	TxDeepCall
+	TxStorageHeavy
+	TxMemoryWorker
+)
+
+// GenerateTx produces one transaction of a sampled archetype. The mix
+// approximates Table I: depth-1 transactions ≈41%, depth 2-5 ≈53%
+// (DEX swaps and shallow deep-calls), deeper chains ≈6%.
+func (w *World) GenerateTx() (*types.Transaction, TxKind, error) {
+	from := w.EOAs[w.rng.Intn(len(w.EOAs))]
+	depth := sample(w.rng, _callDepthDist)
+
+	switch {
+	case depth == 1:
+		// Depth-1 archetypes: plain transfer, token transfer, reads,
+		// memory workers, storage-heavy frames.
+		switch w.rng.Intn(5) {
+		case 0:
+			to := w.EOAs[w.rng.Intn(len(w.EOAs))]
+			tx, err := w.SignedTx(from, &to, uint64(w.rng.Intn(1000)+1), nil, 40_000)
+			return tx, TxSimpleTransfer, err
+		case 1:
+			token := w.Tokens[w.rng.Intn(len(w.Tokens))]
+			tx, err := w.SignedTx(from, &token, 0, CalldataBalanceOf(from), 80_000)
+			return tx, TxERC20BalanceOf, err
+		case 2:
+			// Memory worker realizes the Table I memory distribution.
+			size := sample(w.rng, _memWorkerDist)
+			to := w.MemWorkers[w.rng.Intn(len(w.MemWorkers))]
+			tx, err := w.SignedTx(from, &to, 0, CalldataUint(size), 2_000_000)
+			return tx, TxMemoryWorker, err
+		case 3:
+			// Storage-heavy frame realizing the records/frame tail.
+			records := sample(w.rng, _storageHeavyDist)
+			if records == 0 {
+				records = 1
+			}
+			to := w.StorageHeavy
+			tx, err := w.SignedTx(from, &to, 0, CalldataUint(records), 300_000+records*25_000)
+			return tx, TxStorageHeavy, err
+		default:
+			token := w.Tokens[w.rng.Intn(len(w.Tokens))]
+			to := w.EOAs[w.rng.Intn(len(w.EOAs))]
+			tx, err := w.SignedTx(from, &token, 0, CalldataTransfer(to, uint64(w.rng.Intn(100)+1)), 120_000)
+			return tx, TxERC20Transfer, err
+		}
+
+	case depth == 2:
+		// Depth 2: DEX swap (pool frame + token frame).
+		dex := w.DEXes[w.rng.Intn(len(w.DEXes))]
+		tx, err := w.SignedTx(from, &dex, 0, CalldataSwap(uint64(w.rng.Intn(10_000)+1)), 300_000)
+		return tx, TxDEXSwap, err
+
+	default:
+		// Depth 3+: recursive call chain of exactly `depth` frames.
+		to := w.DeepCallers[w.rng.Intn(len(w.DeepCallers))]
+		tx, err := w.SignedTx(from, &to, 0, CalldataUint(depth-1), 200_000*depth)
+		return tx, TxDeepCall, err
+	}
+}
+
+// GenerateBlock produces a block of n archetype-sampled transactions.
+// Callers execute it against the world's state to advance the chain.
+func (w *World) GenerateBlock(number uint64, parent types.Hash, n int) (*types.Block, error) {
+	blk := &types.Block{
+		Header: types.BlockHeader{
+			ParentHash: parent,
+			Number:     number,
+			Timestamp:  1700000000 + number*12,
+			GasLimit:   30_000_000,
+			Coinbase:   types.MustAddress("0xc01bba5e00000000000000000000000000000000"),
+			BaseFee:    uint256.NewInt(1),
+		},
+	}
+	for i := 0; i < n; i++ {
+		tx, _, err := w.GenerateTx()
+		if err != nil {
+			return nil, fmt.Errorf("workload: tx %d: %w", i, err)
+		}
+		blk.Txs = append(blk.Txs, tx)
+	}
+	blk.Header.TxRoot = blk.ComputeTxRoot()
+	return blk, nil
+}
+
+// NewBlockContext builds the evm.BlockContext for a generated block.
+func NewBlockContext(h *types.BlockHeader) evm.BlockContext {
+	return evm.BlockContext{
+		Coinbase:   h.Coinbase,
+		Number:     h.Number,
+		Timestamp:  h.Timestamp,
+		GasLimit:   h.GasLimit,
+		BaseFee:    h.BaseFee.Clone(),
+		ChainID:    uint256.NewInt(1),
+		PrevRandao: h.PrevRandao,
+	}
+}
