@@ -5,6 +5,7 @@
 package hardtape
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -138,6 +139,48 @@ func BenchmarkScalability(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- fleet gateway ---
+
+// BenchmarkGatewayThroughput measures parallel bundle throughput
+// through the fleet gateway fronting 3 devices (3 HEVMs each): the
+// admission/dispatch overhead on top of raw device execution.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	opts := DefaultTestbedOptions()
+	opts.Features = ConfigRaw // scheduling, not crypto, is under test
+	opts.HEVMs = 3
+	fcfg := DefaultFleetConfig()
+	fcfg.QueueDepth = 4096 // saturate, don't backpressure
+	ftb, err := NewFleetTestbed(opts, 3, fcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ftb.Gateway.Close()
+
+	token := ftb.World.Tokens[0]
+	bundles := make([]*types.Bundle, len(ftb.World.EOAs))
+	for i := range bundles {
+		tx, err := ftb.World.SignedTxAt(ftb.World.EOAs[i], 0, &token, 0,
+			workload.CalldataTransfer(ftb.World.EOAs[(i+1)%len(ftb.World.EOAs)], 7), 200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bundles[i] = &types.Bundle{Txs: []*types.Transaction{tx}}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := ftb.Gateway.Submit(context.Background(), bundles[i%len(bundles)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // --- workload generation itself ---

@@ -39,6 +39,8 @@ func run() error {
 		dexes    = flag.Int("dexes", 2, "DEX pools (must match the server)")
 		action   = flag.String("action", "transfer", "bundle to pre-execute: transfer|swap|deep")
 		sign     = flag.Bool("sign", true, "use the -ES signature layer (match server config)")
+		status   = flag.Bool("status", false, "probe live occupancy (free HEVM slots) instead of executing")
+		repeat   = flag.Int("repeat", 1, "submit the bundle this many times (fleet load demo)")
 	)
 	flag.Parse()
 
@@ -80,11 +82,27 @@ func run() error {
 		return fmt.Errorf("attestation: %w", err)
 	}
 	fmt.Println("Attestation OK — secure channel established.")
+
+	if *status {
+		st, err := client.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Occupancy: %d of %d HEVM slots free\n", st.FreeSlots, st.Capacity)
+		return nil
+	}
+
 	fmt.Printf("Pre-executing: %s\n\n", describe)
 
-	res, err := client.PreExecute(bundle)
-	if err != nil {
-		return err
+	var res *hardtape.TraceResult
+	for i := 0; i < *repeat; i++ {
+		res, err = client.PreExecute(bundle)
+		if err != nil {
+			return fmt.Errorf("submission %d: %w", i+1, err)
+		}
+		if *repeat > 1 {
+			fmt.Printf("submission %d/%d: device time %v\n", i+1, *repeat, res.VirtualTime)
+		}
 	}
 	if res.AbortReason != "" {
 		fmt.Printf("Bundle ABORTED: %s\n", res.AbortReason)

@@ -1,0 +1,114 @@
+// Fleet demo: pool three HarDTAPE devices behind the gateway, push a
+// burst of bundles through it, kill one device mid-run, and watch the
+// fleet degrade gracefully — accepted bundles fail over to the
+// survivors, over-capacity submissions get a typed ErrOverloaded, and
+// the drained device is re-admitted after it recovers.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hardtape"
+	"hardtape/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Three devices (2 HEVMs each) over one world, behind a gateway
+	//    with a deliberately small admission queue.
+	fmt.Println("① Provisioning 3 devices (2 HEVMs each) + gateway...")
+	opts := hardtape.DefaultTestbedOptions()
+	opts.HEVMs = 2
+	fcfg := hardtape.DefaultFleetConfig()
+	fcfg.QueueDepth = 8
+	fcfg.HealthInterval = 20 * time.Millisecond
+	fcfg.HealthBackoff = 20 * time.Millisecond
+	ftb, err := hardtape.NewFleetTestbed(opts, 3, fcfg)
+	if err != nil {
+		return err
+	}
+	g := ftb.Gateway
+	defer g.Close()
+	fmt.Printf("   fleet capacity: %d HEVM slots, queue depth %d\n", g.SlotCount(), fcfg.QueueDepth)
+
+	// 2. Burst 24 swap bundles at a fleet of 6 slots + 8 queue spots.
+	//    Mid-burst, dev-1 "loses power".
+	fmt.Println("② Bursting 24 bundles; killing dev-1 mid-run...")
+	var (
+		completed, overloaded, failed atomic.Uint64
+		killOnce                      sync.Once
+		wg                            sync.WaitGroup
+	)
+	for i := 0; i < 24; i++ {
+		dex := ftb.World.DEXes[0]
+		from := ftb.World.EOAs[i%len(ftb.World.EOAs)]
+		tx, err := ftb.World.SignedTxAt(from, 0, &dex, 0, workload.CalldataSwap(100+uint64(i)), 400_000)
+		if err != nil {
+			return err
+		}
+		bundle := &hardtape.Bundle{Txs: []*hardtape.Transaction{tx}}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := g.Submit(context.Background(), bundle)
+			switch {
+			case errors.Is(err, hardtape.ErrOverloaded):
+				overloaded.Add(1)
+			case err != nil:
+				failed.Add(1)
+				fmt.Printf("   bundle %2d FAILED: %v\n", i, err)
+			default:
+				completed.Add(1)
+				_ = res
+				killOnce.Do(func() {
+					fmt.Println("   ⚡ dev-1 killed")
+					ftb.Backends[1].Kill()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("   completed %d, backpressured %d, failed %d\n",
+		completed.Load(), overloaded.Load(), failed.Load())
+
+	// 3. The fleet snapshot shows the failover.
+	st := g.Stats()
+	fmt.Println("③ Fleet stats after the burst:")
+	for _, b := range st.Backends {
+		state := "up"
+		if !b.Healthy {
+			state = "DOWN"
+		}
+		fmt.Printf("   %-6s %-4s dispatched %2d, failures %d, hevm steps %d\n",
+			b.Name, state, b.Dispatched, b.Failures, b.HEVM.Steps)
+	}
+	fmt.Printf("   queue wait p50 %v, p99 %v; retries %d\n",
+		st.QueueWaitP50, st.QueueWaitP99, st.Retries)
+
+	// 4. Power dev-1 back on: the health monitor re-admits it.
+	fmt.Println("④ Reviving dev-1...")
+	ftb.Backends[1].Revive()
+	deadline := time.Now().Add(2 * time.Second)
+	for !g.Stats().Backends[1].Healthy {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dev-1 was not re-admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("   dev-1 healthy again; fleet slots free: %d/%d\n", g.FreeSlots(), g.SlotCount())
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 
 	"hardtape/internal/attest"
 	"hardtape/internal/core"
+	"hardtape/internal/fleet"
 	"hardtape/internal/node"
 	"hardtape/internal/state"
 	"hardtape/internal/types"
@@ -65,6 +66,27 @@ type (
 
 	// World is the synthetic evaluation world (workload generator).
 	World = workload.World
+
+	// Gateway fronts a fleet of devices: bounded admission, least-busy
+	// dispatch, health-checked failover.
+	Gateway = fleet.Gateway
+	// FleetConfig tunes the gateway; FleetStats is its live snapshot.
+	FleetConfig = fleet.Config
+	FleetStats  = fleet.Stats
+	// Backend is one execution target behind a gateway.
+	Backend = fleet.Backend
+	// LocalBackend adapts an in-process Device; RemoteBackend fronts a
+	// Service endpoint over TCP.
+	LocalBackend  = fleet.LocalBackend
+	RemoteBackend = fleet.RemoteBackend
+)
+
+// Fleet gateway errors.
+var (
+	// ErrOverloaded rejects submissions when the admission queue is full.
+	ErrOverloaded = fleet.ErrOverloaded
+	// ErrNoBackends means every backend is down.
+	ErrNoBackends = fleet.ErrNoBackends
 )
 
 // The paper's named feature configurations (Fig. 4).
@@ -95,6 +117,33 @@ func NewDevice(cfg Config, mfr *Manufacturer, chain *Node) (*Device, error) {
 
 // NewService exposes a device over the message protocol.
 func NewService(dev *Device) *Service { return core.NewService(dev) }
+
+// NewFleetService exposes a whole gateway over the message protocol,
+// using the attestation identity of one of its devices (the gateway
+// runs inside the trusted boundary — see DESIGN.md "Fleet deployment").
+func NewFleetService(g *Gateway, identity *Device, sign bool) *Service {
+	return core.NewServiceFor(g, identity.Booted(), sign)
+}
+
+// DefaultFleetConfig returns production-ish gateway settings.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewGateway wires backends behind a gateway and starts its health
+// monitor.
+func NewGateway(cfg FleetConfig, backends ...Backend) *Gateway {
+	return fleet.NewGateway(cfg, backends...)
+}
+
+// NewLocalBackend adapts an in-process device for a gateway.
+func NewLocalBackend(name string, dev *Device) *LocalBackend {
+	return fleet.NewLocalBackend(name, dev)
+}
+
+// NewRemoteBackend fronts the service at addr with the given parallel
+// session count; sign must match the service's Features.Sign.
+func NewRemoteBackend(name, addr string, verifier *Verifier, sign bool, sessions int) *RemoteBackend {
+	return fleet.NewRemoteBackend(name, addr, verifier, sign, sessions)
+}
 
 // NewVerifier builds the user-side attestation verifier pinning the
 // manufacturer's public key and the expected Hypervisor measurement.
@@ -182,4 +231,69 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 // manufacturer.
 func (tb *Testbed) Verifier() *Verifier {
 	return NewVerifier(tb.Manufacturer)
+}
+
+// FleetTestbed is a multi-device single-process deployment: one
+// synthetic world and node, one manufacturer, n synced devices pooled
+// behind a running Gateway.
+type FleetTestbed struct {
+	World        *World
+	Chain        *Node
+	Manufacturer *Manufacturer
+	Devices      []*Device
+	// Backends are the gateway's local adapters, in device order —
+	// exposed so tests and demos can Kill/Revive individual devices.
+	Backends []*LocalBackend
+	Gateway  *Gateway
+}
+
+// NewFleetTestbed builds n devices over one world and wires them
+// behind a gateway (backends are named "dev-0" … "dev-n-1").
+func NewFleetTestbed(opts TestbedOptions, n int, fcfg FleetConfig) (*FleetTestbed, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hardtape: fleet needs at least one device, got %d", n)
+	}
+	world, err := workload.BuildWorld(workload.Config{
+		Seed: opts.Seed, EOAs: opts.EOAs, Tokens: opts.Tokens, DEXes: opts.DEXes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: build world: %w", err)
+	}
+	chain, err := node.New(world.State)
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: node: %w", err)
+	}
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		return nil, fmt.Errorf("hardtape: manufacturer: %w", err)
+	}
+	ftb := &FleetTestbed{World: world, Chain: chain, Manufacturer: mfr}
+	backends := make([]Backend, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Features = opts.Features
+		if opts.HEVMs > 0 {
+			cfg.HEVMs = opts.HEVMs
+		}
+		cfg.NoiseSeed = int64(i + 1)
+		dev, err := core.NewDevice(cfg, mfr, chain)
+		if err != nil {
+			return nil, fmt.Errorf("hardtape: device %d: %w", i, err)
+		}
+		if err := dev.Sync(); err != nil {
+			return nil, fmt.Errorf("hardtape: sync %d: %w", i, err)
+		}
+		ftb.Devices = append(ftb.Devices, dev)
+		lb := fleet.NewLocalBackend(fmt.Sprintf("dev-%d", i), dev)
+		ftb.Backends = append(ftb.Backends, lb)
+		backends = append(backends, lb)
+	}
+	ftb.Gateway = fleet.NewGateway(fcfg, backends...)
+	return ftb, nil
+}
+
+// Verifier returns the attestation verifier for this fleet's
+// manufacturer.
+func (ftb *FleetTestbed) Verifier() *Verifier {
+	return NewVerifier(ftb.Manufacturer)
 }

@@ -39,6 +39,9 @@ const (
 	MsgORAMRead
 	MsgORAMWrite
 	MsgBlockSync
+	// MsgStatus probes live device occupancy (free HEVM slots) inside
+	// an established session — schedulers use it for health checks.
+	MsgStatus
 )
 
 // Flags.
@@ -106,7 +109,7 @@ func ParseHeader(raw []byte) (*Header, error) {
 		Seq:     binary.BigEndian.Uint64(raw[16:24]),
 		Length:  binary.BigEndian.Uint32(raw[24:28]),
 	}
-	if h.Type < MsgAttestRequest || h.Type > MsgBlockSync {
+	if h.Type < MsgAttestRequest || h.Type > MsgStatus {
 		return nil, fmt.Errorf("%w: type %d", ErrBadHeader, h.Type)
 	}
 	if h.Length > MaxPayload {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -81,6 +82,10 @@ type Device struct {
 
 	slots    chan *slot
 	allSlots []*slot
+
+	// oramClient is the shared Path ORAM client (nil without ORAM
+	// features); kept for occupancy/stats reporting.
+	oramClient *oram.Client
 
 	mu       sync.Mutex
 	codeLens map[types.Hash]uint32
@@ -168,6 +173,7 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 		if err != nil {
 			return nil, err
 		}
+		d.oramClient = client
 		d.oramStore = pager.NewStore(pager.NewORAMBackend(client))
 		d.syncORAM = node.NewSyncer(chain, d.oramStore)
 	}
@@ -268,13 +274,30 @@ type BundleResult struct {
 // Execute runs a bundle on an exclusively assigned HEVM, blocking
 // until a core is idle (step 3's queue). It implements steps 3–10.
 func (d *Device) Execute(bundle *types.Bundle) (*BundleResult, error) {
+	return d.ExecuteContext(context.Background(), bundle)
+}
+
+// ExecuteContext is Execute with a cancellable wait for a free HEVM:
+// if ctx expires before a core is idle, the bundle is abandoned with
+// ctx.Err() instead of queuing forever. Once a core is assigned the
+// bundle runs to completion (the paper's HEVMs have no preemption).
+func (d *Device) ExecuteContext(ctx context.Context, bundle *types.Bundle) (*BundleResult, error) {
 	if d.booted == nil {
 		return nil, ErrNotBooted
 	}
 	if bundle == nil || len(bundle.Txs) == 0 {
 		return nil, ErrBundleEmpty
 	}
-	s := <-d.slots // exclusive assignment
+	var s *slot
+	select {
+	case s = <-d.slots: // exclusive assignment
+	default:
+		select {
+		case s = <-d.slots:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	defer func() {
 		s.reset()
 		d.slots <- s
@@ -394,6 +417,22 @@ func traceSize(tr *tracer.BundleTrace) uint64 {
 
 // SlotCount reports the number of HEVM cores.
 func (d *Device) SlotCount() int { return d.cfg.HEVMs }
+
+// FreeSlots reports how many HEVM cores are idle right now without
+// blocking — the Hypervisor's occupancy register, read by schedulers
+// (the fleet gateway) for least-busy dispatch.
+func (d *Device) FreeSlots() int { return len(d.slots) }
+
+// ORAMStats snapshots the shared ORAM client's counters (zero value
+// when ORAM features are disabled).
+func (d *Device) ORAMStats() oram.Stats {
+	if d.oramClient == nil {
+		return oram.Stats{}
+	}
+	d.oramMu.Lock()
+	defer d.oramMu.Unlock()
+	return d.oramClient.Stats()
+}
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }

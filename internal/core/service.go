@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -59,21 +60,47 @@ type traceMsg struct {
 	GasUsed     uint64
 }
 
+// statusMsg is the occupancy-probe response (request carries a zero
+// value of the same type).
+type statusMsg struct {
+	FreeSlots int
+	Capacity  int
+}
+
 // Service errors.
 var (
 	ErrProtocol = errors.New("core: protocol violation")
 )
 
-// Service exposes a Device over the message protocol. One goroutine
-// per connection; sessions are independent.
+// BundleExecutor is what a Service fronts: one Device, or a fleet
+// gateway pooling many of them. ExecuteContext must be safe for
+// concurrent sessions; FreeSlots/SlotCount feed the MsgStatus
+// occupancy probe.
+type BundleExecutor interface {
+	ExecuteContext(ctx context.Context, bundle *types.Bundle) (*BundleResult, error)
+	FreeSlots() int
+	SlotCount() int
+}
+
+// Service exposes a BundleExecutor over the message protocol. One
+// goroutine per connection; sessions are independent.
 type Service struct {
-	dev       *Device
+	exec      BundleExecutor
+	booted    *attest.BootedDevice
+	sign      bool
 	sessionID atomic.Uint64
 }
 
 // NewService wraps a device.
 func NewService(dev *Device) *Service {
-	return &Service{dev: dev}
+	return NewServiceFor(dev, dev.Booted(), dev.cfg.Features.Sign)
+}
+
+// NewServiceFor wraps any executor with an attestation identity. The
+// fleet gateway uses this: it terminates user sessions with one booted
+// identity and fans bundles out to the pool behind it.
+func NewServiceFor(exec BundleExecutor, booted *attest.BootedDevice, sign bool) *Service {
+	return &Service{exec: exec, booted: booted, sign: sign}
 }
 
 // ServeListener accepts and serves connections until the listener
@@ -109,7 +136,7 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 		return err
 	}
 
-	report, complete, err := s.dev.Booted().Attest(req.Nonce)
+	report, complete, err := s.booted.Attest(req.Nonce)
 	if err != nil {
 		return err
 	}
@@ -148,7 +175,7 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
-	if s.dev.cfg.Features.Sign {
+	if s.sign {
 		userPub, err := unmarshalPub(kx.UserSigPub)
 		if err != nil {
 			return err
@@ -169,31 +196,42 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 		if err != nil {
 			return err
 		}
-		if hdr.Type != channel.MsgBundle {
-			return fmt.Errorf("%w: expected bundle, got %d", ErrProtocol, hdr.Type)
-		}
-		var bm bundleMsg
-		if err := gobDecode(payload, &bm); err != nil {
-			return err
-		}
-		res, err := s.dev.Execute(&bm.Bundle)
-		var out traceMsg
-		if err != nil {
-			out.AbortReason = err.Error()
-		} else {
-			out.Trace = *res.Trace
-			out.VirtualTime = res.VirtualTime
-			out.GasUsed = res.GasUsed
-			if res.Aborted != nil {
-				out.AbortReason = res.Aborted.Error()
+		switch hdr.Type {
+		case channel.MsgStatus:
+			out := statusMsg{FreeSlots: s.exec.FreeSlots(), Capacity: s.exec.SlotCount()}
+			sealed, err := secure.Seal(channel.MsgStatus, gobEncode(&out))
+			if err != nil {
+				return err
 			}
-		}
-		sealed, err := secure.Seal(channel.MsgTrace, gobEncode(&out))
-		if err != nil {
-			return err
-		}
-		if err := channel.WriteMessage(conn, sealed); err != nil {
-			return err
+			if err := channel.WriteMessage(conn, sealed); err != nil {
+				return err
+			}
+		case channel.MsgBundle:
+			var bm bundleMsg
+			if err := gobDecode(payload, &bm); err != nil {
+				return err
+			}
+			res, err := s.exec.ExecuteContext(context.Background(), &bm.Bundle)
+			var out traceMsg
+			if err != nil {
+				out.AbortReason = err.Error()
+			} else {
+				out.Trace = *res.Trace
+				out.VirtualTime = res.VirtualTime
+				out.GasUsed = res.GasUsed
+				if res.Aborted != nil {
+					out.AbortReason = res.Aborted.Error()
+				}
+			}
+			sealed, err := secure.Seal(channel.MsgTrace, gobEncode(&out))
+			if err != nil {
+				return err
+			}
+			if err := channel.WriteMessage(conn, sealed); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: expected bundle, got %d", ErrProtocol, hdr.Type)
 		}
 	}
 }
@@ -299,6 +337,43 @@ type TraceResult struct {
 	VirtualTime time.Duration
 	AbortReason string
 	GasUsed     uint64
+}
+
+// ServiceStatus is the client-side view of an occupancy probe.
+type ServiceStatus struct {
+	// FreeSlots is the number of idle HEVM cores behind the service.
+	FreeSlots int
+	// Capacity is the total core count.
+	Capacity int
+}
+
+// Status probes the service's live occupancy over the established
+// session. Schedulers (the fleet gateway) use it both as a health
+// check and to weight dispatch by free capacity.
+func (c *Client) Status() (*ServiceStatus, error) {
+	sealed, err := c.secure.Seal(channel.MsgStatus, gobEncode(&statusMsg{}))
+	if err != nil {
+		return nil, err
+	}
+	if err := channel.WriteMessage(c.conn, sealed); err != nil {
+		return nil, err
+	}
+	raw, err := channel.ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	hdr, payload, err := c.secure.Open(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Type != channel.MsgStatus {
+		return nil, fmt.Errorf("%w: expected status, got %d", ErrProtocol, hdr.Type)
+	}
+	var sm statusMsg
+	if err := gobDecode(payload, &sm); err != nil {
+		return nil, err
+	}
+	return &ServiceStatus{FreeSlots: sm.FreeSlots, Capacity: sm.Capacity}, nil
 }
 
 // --- plumbing ---

@@ -1,0 +1,435 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hardtape/internal/core"
+	"hardtape/internal/types"
+)
+
+// Config tunes the gateway's admission and health policies.
+type Config struct {
+	// QueueDepth bounds concurrently admitted bundles (waiting plus in
+	// flight); submissions beyond it get ErrOverloaded immediately.
+	// 0 means twice the fleet's total slot capacity.
+	QueueDepth int
+	// BundleDeadline caps a bundle's admission-to-completion time;
+	// 0 disables the per-bundle timeout.
+	BundleDeadline time.Duration
+	// HealthInterval is the probe cadence for healthy backends.
+	HealthInterval time.Duration
+	// HealthBackoff is the initial re-probe delay after a failure; it
+	// doubles per consecutive failure up to HealthBackoffMax.
+	HealthBackoff    time.Duration
+	// HealthBackoffMax caps the exponential backoff.
+	HealthBackoffMax time.Duration
+	// DispatchRetries is how many times one accepted bundle may fail
+	// over to another backend after a BackendError.
+	DispatchRetries int
+	// WaitWindow sizes the queue-wait sample ring for p50/p99.
+	WaitWindow int
+}
+
+// DefaultConfig returns production-ish gateway settings.
+func DefaultConfig() Config {
+	return Config{
+		BundleDeadline:   10 * time.Second,
+		HealthInterval:   100 * time.Millisecond,
+		HealthBackoff:    50 * time.Millisecond,
+		HealthBackoffMax: 5 * time.Second,
+		DispatchRetries:  3,
+		WaitWindow:       1024,
+	}
+}
+
+// backendState is the gateway's scheduling view of one backend.
+type backendState struct {
+	b       Backend
+	healthy bool
+	// lastFree is the most recent occupancy probe, decremented on
+	// dispatch and restored on completion between probes.
+	lastFree   int
+	inflight   int
+	dispatched uint64
+	failures   uint64
+	lastErr    error
+	backoff    time.Duration
+	nextProbe  time.Time
+	hevmAgg    hevmTotals
+}
+
+// effectiveFree is the slots the gateway may still dispatch to.
+func (bs *backendState) effectiveFree() int {
+	free := bs.b.Capacity() - bs.inflight
+	if bs.lastFree < free {
+		free = bs.lastFree
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Gateway fronts a pool of backends: bounded admission, least-busy
+// dispatch, health-checked failover. It implements core.BundleExecutor
+// so a core.Service can expose a whole fleet over the wire protocol.
+type Gateway struct {
+	cfg Config
+
+	mu       sync.Mutex
+	backends []*backendState
+	admitted int // waiting + in flight
+	waiting  int
+	wake     chan struct{}
+	closed   bool
+
+	totalAdmitted  uint64
+	totalRejected  uint64
+	totalCompleted uint64
+	totalFailed    uint64
+	totalRetries   uint64
+
+	waits  *waitSampler
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewGateway wires the backends and starts the health monitor. Each
+// backend is probed once synchronously so the initial healthy set is
+// accurate (an unreachable remote starts drained, not trusted).
+func NewGateway(cfg Config, backends ...Backend) *Gateway {
+	def := DefaultConfig()
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = def.HealthInterval
+	}
+	if cfg.HealthBackoff <= 0 {
+		cfg.HealthBackoff = def.HealthBackoff
+	}
+	if cfg.HealthBackoffMax <= 0 {
+		cfg.HealthBackoffMax = def.HealthBackoffMax
+	}
+	if cfg.DispatchRetries <= 0 {
+		cfg.DispatchRetries = def.DispatchRetries
+	}
+	if cfg.WaitWindow <= 0 {
+		cfg.WaitWindow = def.WaitWindow
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		wake:   make(chan struct{}),
+		waits:  newWaitSampler(cfg.WaitWindow),
+		stopCh: make(chan struct{}),
+	}
+	capacity := 0
+	for _, b := range backends {
+		bs := &backendState{b: b}
+		free, err := b.FreeSlots()
+		if err == nil {
+			bs.healthy = true
+			bs.lastFree = free
+			bs.nextProbe = time.Now().Add(cfg.HealthInterval)
+		} else {
+			bs.lastErr = err
+			bs.backoff = cfg.HealthBackoff
+			bs.nextProbe = time.Now().Add(bs.backoff)
+		}
+		g.backends = append(g.backends, bs)
+		capacity += b.Capacity()
+	}
+	if g.cfg.QueueDepth <= 0 {
+		g.cfg.QueueDepth = 2 * capacity
+		if g.cfg.QueueDepth == 0 {
+			g.cfg.QueueDepth = 1
+		}
+	}
+	g.wg.Add(1)
+	go g.healthLoop()
+	return g
+}
+
+// Submit pre-executes one bundle on the least-busy healthy backend.
+// It returns ErrOverloaded without queuing when the admission bound is
+// hit, fails over on backend faults, and respects ctx plus the
+// configured per-bundle deadline while waiting for capacity.
+func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.BundleResult, error) {
+	if bundle == nil || len(bundle.Txs) == 0 {
+		return nil, core.ErrBundleEmpty
+	}
+
+	// Admission: a full queue rejects instead of blocking (the typed
+	// backpressure signal the single-device Execute never had).
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if g.admitted >= g.cfg.QueueDepth {
+		g.totalRejected++
+		g.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	g.admitted++
+	g.totalAdmitted++
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.admitted--
+		g.mu.Unlock()
+	}()
+
+	if g.cfg.BundleDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.BundleDeadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	waitDone := false
+	retries := 0
+	for {
+		bs, wake := g.reserve()
+		if bs == nil {
+			select {
+			case <-wake:
+				continue
+			case <-ctx.Done():
+				g.mu.Lock()
+				g.waiting--
+				g.totalFailed++
+				g.mu.Unlock()
+				return nil, fmt.Errorf("%w: %w", ErrNoBackends, ctx.Err())
+			case <-g.stopCh:
+				g.mu.Lock()
+				g.waiting--
+				g.mu.Unlock()
+				return nil, ErrClosed
+			}
+		}
+		if !waitDone {
+			g.waits.record(time.Since(start))
+			waitDone = true
+		}
+
+		res, err := bs.b.Execute(ctx, bundle)
+		g.release(bs, res, err)
+		if err == nil {
+			g.count(&g.totalCompleted)
+			return res, nil
+		}
+		var be *BackendError
+		if !errors.As(err, &be) {
+			// The bundle's own fault (invalid tx, context expiry while
+			// holding a slot): no failover, surface it.
+			g.count(&g.totalFailed)
+			return nil, err
+		}
+		// Infrastructure fault: drain the backend and retry the bundle
+		// on a survivor.
+		retries++
+		if ctx.Err() != nil || retries > g.cfg.DispatchRetries {
+			g.count(&g.totalFailed)
+			return nil, err
+		}
+		g.mu.Lock()
+		g.waiting++
+		g.totalRetries++
+		g.mu.Unlock()
+	}
+}
+
+// reserve picks the healthy backend with the most effective free
+// slots, reserving one. When none qualifies it returns the current
+// wake channel to wait on.
+func (g *Gateway) reserve() (*backendState, chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var best *backendState
+	for _, bs := range g.backends {
+		if !bs.healthy {
+			continue
+		}
+		// In-process probes are a channel-length read; refresh on the
+		// dispatch path so scheduling sees the device's true occupancy
+		// (other clients may share the device outside this gateway).
+		if lb, ok := bs.b.(*LocalBackend); ok {
+			if free, err := lb.FreeSlots(); err == nil {
+				bs.lastFree = free
+			}
+		}
+		if bs.effectiveFree() <= 0 {
+			continue
+		}
+		switch {
+		case best == nil,
+			bs.effectiveFree() > best.effectiveFree(),
+			bs.effectiveFree() == best.effectiveFree() && bs.dispatched < best.dispatched:
+			best = bs
+		}
+	}
+	if best == nil {
+		return nil, g.wake
+	}
+	best.inflight++
+	best.lastFree--
+	g.waiting--
+	return best, nil
+}
+
+// release returns a reservation, records the outcome, and wakes
+// waiters (a slot just opened — or a failure changed the fleet shape).
+func (g *Gateway) release(bs *backendState, res *core.BundleResult, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bs.inflight--
+	if bs.lastFree < bs.b.Capacity() {
+		bs.lastFree++
+	}
+	var be *BackendError
+	if err == nil {
+		bs.dispatched++
+		if res != nil {
+			bs.hevmAgg.add(res.HEVMStats)
+		}
+	} else if errors.As(err, &be) {
+		bs.failures++
+		bs.healthy = false
+		bs.lastErr = err
+		bs.backoff = g.cfg.HealthBackoff
+		bs.nextProbe = time.Now().Add(bs.backoff)
+	} else {
+		// Bundle-fault errors still consumed a dispatch.
+		bs.dispatched++
+	}
+	g.broadcastLocked()
+}
+
+func (g *Gateway) count(c *uint64) {
+	g.mu.Lock()
+	*c++
+	g.mu.Unlock()
+}
+
+// broadcastLocked wakes every Submit waiting for capacity.
+func (g *Gateway) broadcastLocked() {
+	close(g.wake)
+	g.wake = make(chan struct{})
+}
+
+// healthLoop probes backends: healthy ones every HealthInterval,
+// failed ones on their exponential-backoff schedule, re-admitting as
+// soon as a probe succeeds.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	tick := g.cfg.HealthInterval / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var due []*backendState
+		g.mu.Lock()
+		for _, bs := range g.backends {
+			if !now.Before(bs.nextProbe) {
+				due = append(due, bs)
+			}
+		}
+		g.mu.Unlock()
+		for _, bs := range due {
+			free, err := bs.b.FreeSlots()
+			g.mu.Lock()
+			if err != nil {
+				if bs.healthy {
+					bs.failures++
+				}
+				bs.healthy = false
+				bs.lastErr = err
+				if bs.backoff <= 0 {
+					bs.backoff = g.cfg.HealthBackoff
+				} else if bs.backoff < g.cfg.HealthBackoffMax {
+					bs.backoff *= 2
+					if bs.backoff > g.cfg.HealthBackoffMax {
+						bs.backoff = g.cfg.HealthBackoffMax
+					}
+				}
+				bs.nextProbe = time.Now().Add(bs.backoff)
+			} else {
+				readmitted := !bs.healthy
+				bs.healthy = true
+				bs.lastErr = nil
+				bs.backoff = 0
+				bs.lastFree = free
+				bs.nextProbe = time.Now().Add(g.cfg.HealthInterval)
+				if readmitted {
+					g.broadcastLocked()
+				}
+			}
+			g.mu.Unlock()
+		}
+	}
+}
+
+// Close drains the gateway: waiting submissions fail with ErrClosed,
+// the health loop stops, and backends are released.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.stopCh)
+	g.wg.Wait()
+	var first error
+	for _, bs := range g.backends {
+		if err := bs.b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- core.BundleExecutor ---
+
+// ExecuteContext implements core.BundleExecutor, so a core.Service can
+// front the whole fleet.
+func (g *Gateway) ExecuteContext(ctx context.Context, bundle *types.Bundle) (*core.BundleResult, error) {
+	return g.Submit(ctx, bundle)
+}
+
+// FreeSlots implements core.BundleExecutor: dispatchable slots across
+// healthy backends.
+func (g *Gateway) FreeSlots() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	free := 0
+	for _, bs := range g.backends {
+		if bs.healthy {
+			free += bs.effectiveFree()
+		}
+	}
+	return free
+}
+
+// SlotCount implements core.BundleExecutor: total fleet capacity.
+func (g *Gateway) SlotCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, bs := range g.backends {
+		n += bs.b.Capacity()
+	}
+	return n
+}

@@ -1,0 +1,458 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hardtape/internal/core"
+	"hardtape/internal/node"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
+)
+
+// fakeBackend is a controllable Backend for scheduler tests.
+type fakeBackend struct {
+	name     string
+	capacity int
+
+	mu          sync.Mutex
+	down        error
+	inflight    int
+	maxInflight int
+	executed    int
+	// block, when non-nil, stalls Execute until it is closed.
+	block chan struct{}
+}
+
+func newFakeBackend(name string, capacity int) *fakeBackend {
+	return &fakeBackend{name: name, capacity: capacity}
+}
+
+func (f *fakeBackend) Name() string  { return f.name }
+func (f *fakeBackend) Capacity() int { return f.capacity }
+func (f *fakeBackend) Close() error  { return nil }
+
+func (f *fakeBackend) setDown(err error) {
+	f.mu.Lock()
+	f.down = err
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) FreeSlots() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down != nil {
+		return 0, &BackendError{Backend: f.name, Err: f.down}
+	}
+	return f.capacity - f.inflight, nil
+}
+
+func (f *fakeBackend) Execute(ctx context.Context, b *types.Bundle) (*core.BundleResult, error) {
+	f.mu.Lock()
+	if f.down != nil {
+		err := f.down
+		f.mu.Unlock()
+		return nil, &BackendError{Backend: f.name, Err: err}
+	}
+	f.inflight++
+	if f.inflight > f.maxInflight {
+		f.maxInflight = f.inflight
+	}
+	block := f.block
+	f.mu.Unlock()
+
+	if block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			f.mu.Lock()
+			f.inflight--
+			f.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+
+	f.mu.Lock()
+	f.inflight--
+	f.executed++
+	down := f.down
+	f.mu.Unlock()
+	if down != nil {
+		return nil, &BackendError{Backend: f.name, Err: down}
+	}
+	return &core.BundleResult{}, nil
+}
+
+func testBundle() *types.Bundle {
+	return &types.Bundle{Txs: []*types.Transaction{{}}}
+}
+
+func TestSubmitRejectsWhenOverloaded(t *testing.T) {
+	fb := newFakeBackend("a", 1)
+	fb.block = make(chan struct{})
+	g := NewGateway(Config{QueueDepth: 2, BundleDeadline: 5 * time.Second}, fb)
+	defer g.Close()
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := g.Submit(context.Background(), testBundle())
+			results <- err
+		}()
+	}
+	// Wait until both are admitted (one in flight, one waiting).
+	waitFor(t, func() bool {
+		st := g.Stats()
+		return st.InFlight == 1 && st.Waiting == 1
+	})
+
+	if _, err := g.Submit(context.Background(), testBundle()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-capacity submit: err = %v, want ErrOverloaded", err)
+	}
+
+	close(fb.block)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted bundle failed: %v", err)
+		}
+	}
+	st := g.Stats()
+	if st.Rejected != 1 || st.Completed != 2 {
+		t.Fatalf("stats: rejected=%d completed=%d, want 1/2", st.Rejected, st.Completed)
+	}
+}
+
+func TestSubmitDeadlineWhileQueued(t *testing.T) {
+	fb := newFakeBackend("a", 1)
+	fb.block = make(chan struct{})
+	defer close(fb.block)
+	g := NewGateway(Config{QueueDepth: 8, BundleDeadline: time.Hour}, fb)
+	defer g.Close()
+
+	go g.Submit(context.Background(), testBundle()) // occupies the only slot
+	waitFor(t, func() bool { return g.Stats().InFlight == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	_, err := g.Submit(ctx, testBundle())
+	if !errors.Is(err, ErrNoBackends) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued past deadline: err = %v, want ErrNoBackends wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestLeastBusyDispatch(t *testing.T) {
+	a := newFakeBackend("a", 3)
+	b := newFakeBackend("b", 1)
+	a.block = make(chan struct{})
+	b.block = make(chan struct{})
+	g := NewGateway(Config{QueueDepth: 8, BundleDeadline: 5 * time.Second}, a, b)
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Submit(context.Background(), testBundle()); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+		// Serialize reservations so the free-slot ordering is
+		// deterministic: a(3) a(2) a(1)≻tie b(1) → a, then b.
+		waitFor(t, func() bool { return g.Stats().InFlight == i+1 })
+	}
+	close(a.block)
+	close(b.block)
+	wg.Wait()
+
+	if a.maxInflight != 3 || b.maxInflight != 1 {
+		t.Fatalf("dispatch spread: a=%d b=%d, want 3/1", a.maxInflight, b.maxInflight)
+	}
+}
+
+func TestFailoverOnBackendError(t *testing.T) {
+	a := newFakeBackend("a", 2) // preferred (more free slots)
+	b := newFakeBackend("b", 1)
+	g := NewGateway(Config{QueueDepth: 8, BundleDeadline: 5 * time.Second}, a, b)
+	defer g.Close()
+	// Yank a after the initial probe admitted it: dispatch goes to a,
+	// fails, and must fail over to b.
+	a.setDown(fmt.Errorf("yanked"))
+
+	res, err := g.Submit(context.Background(), testBundle())
+	if err != nil || res == nil {
+		t.Fatalf("failover submit: res=%v err=%v", res, err)
+	}
+	st := g.Stats()
+	if st.Backends[0].Failures == 0 || st.Backends[0].Healthy {
+		t.Fatalf("backend a not drained: %+v", st.Backends[0])
+	}
+	if st.Backends[1].Dispatched != 1 {
+		t.Fatalf("backend b dispatched = %d, want 1", st.Backends[1].Dispatched)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestBundleFaultDoesNotFailOver(t *testing.T) {
+	a := newFakeBackend("a", 1)
+	g := NewGateway(Config{QueueDepth: 4, BundleDeadline: time.Second}, a)
+	defer g.Close()
+	// An empty bundle is the submitter's fault: rejected up front, no
+	// backend involved, no drain.
+	if _, err := g.Submit(context.Background(), &types.Bundle{}); !errors.Is(err, core.ErrBundleEmpty) {
+		t.Fatalf("empty bundle: %v", err)
+	}
+	if st := g.Stats(); !st.Backends[0].Healthy || st.Backends[0].Failures != 0 {
+		t.Fatalf("healthy backend was drained: %+v", st.Backends[0])
+	}
+}
+
+func TestHealthBackoffAndReadmit(t *testing.T) {
+	a := newFakeBackend("a", 1)
+	a.setDown(fmt.Errorf("powered off"))
+	g := NewGateway(Config{
+		QueueDepth:       4,
+		BundleDeadline:   50 * time.Millisecond,
+		HealthInterval:   10 * time.Millisecond,
+		HealthBackoff:    10 * time.Millisecond,
+		HealthBackoffMax: 40 * time.Millisecond,
+	}, a)
+	defer g.Close()
+
+	if _, err := g.Submit(context.Background(), testBundle()); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("all-down fleet: err = %v, want ErrNoBackends", err)
+	}
+	// Let a few backoff probes fail, then revive.
+	time.Sleep(60 * time.Millisecond)
+	a.setDown(nil)
+	waitFor(t, func() bool { return g.Stats().Backends[0].Healthy })
+
+	if _, err := g.Submit(context.Background(), testBundle()); err != nil {
+		t.Fatalf("re-admitted backend: %v", err)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	a := newFakeBackend("a", 1)
+	a.block = make(chan struct{})
+	defer close(a.block)
+	g := NewGateway(Config{QueueDepth: 4, BundleDeadline: 10 * time.Second}, a)
+
+	go g.Submit(context.Background(), testBundle())
+	waitFor(t, func() bool { return g.Stats().InFlight == 1 })
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Submit(context.Background(), testBundle())
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().Waiting == 1 })
+
+	go g.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter unblocked with %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter stuck after Close")
+	}
+}
+
+func TestWaitSamplerQuantiles(t *testing.T) {
+	w := newWaitSampler(100)
+	if p50, p99 := w.quantiles(); p50 != 0 || p99 != 0 {
+		t.Fatal("empty sampler must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		w.record(time.Duration(i) * time.Millisecond)
+	}
+	p50, p99 := w.quantiles()
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+// --- integration: real devices, one killed mid-run ---
+
+// fleetRig is three single-HEVM devices on one synthetic chain.
+type fleetRig struct {
+	world    *workload.World
+	backends []*LocalBackend
+}
+
+func buildFleetRig(t testing.TB, devices, hevms int) *fleetRig {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.EOAs = 12
+	wcfg.Tokens = 2
+	wcfg.DEXes = 1
+	w, err := workload.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &fleetRig{world: w}
+	for i := 0; i < devices; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Features = core.ConfigRaw // fastest config; scheduling is what's under test
+		cfg.HEVMs = hevms
+		cfg.NoiseSeed = int64(i + 1)
+		dev, err := core.NewDevice(cfg, nil, chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		r.backends = append(r.backends, NewLocalBackend(fmt.Sprintf("dev-%d", i), dev))
+	}
+	return r
+}
+
+func (r *fleetRig) transferBundle(t testing.TB, sender int, amount uint64) *types.Bundle {
+	t.Helper()
+	token := r.world.Tokens[0]
+	from := r.world.EOAs[sender%len(r.world.EOAs)]
+	tx, err := r.world.SignedTxAt(from, 0, &token, 0,
+		workload.CalldataTransfer(r.world.EOAs[1], amount), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &types.Bundle{Txs: []*types.Transaction{tx}}
+}
+
+func TestFleetFailoverIntegration(t *testing.T) {
+	r := buildFleetRig(t, 3, 1)
+	g := NewGateway(Config{
+		QueueDepth:     6,
+		BundleDeadline: 10 * time.Second,
+		HealthInterval: 10 * time.Millisecond,
+		HealthBackoff:  10 * time.Millisecond,
+	}, r.backends[0], r.backends[1], r.backends[2])
+	defer g.Close()
+
+	// --- Phase 1: burst with one device killed mid-run. Every bundle
+	// the gateway accepts must still complete on the survivors.
+	const submitters = 40
+	var (
+		completed atomic.Uint64
+		rejected  atomic.Uint64
+		killOnce  sync.Once
+		start     = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := g.Submit(context.Background(), r.transferBundle(t, i, uint64(i+1)))
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				rejected.Add(1) // backpressured, never accepted: fine
+			case err != nil:
+				t.Errorf("accepted bundle %d failed: %v", i, err)
+			default:
+				if res.Aborted != nil {
+					t.Errorf("bundle %d aborted: %v", i, res.Aborted)
+				}
+				completed.Add(1)
+				// Kill one device mid-run, once traffic is flowing.
+				killOnce.Do(func() { r.backends[0].Kill() })
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := completed.Load() + rejected.Load(); got != submitters {
+		t.Fatalf("accounting: %d completed + %d rejected != %d", completed.Load(), rejected.Load(), submitters)
+	}
+	st := g.Stats()
+	if st.Completed != completed.Load() || st.Rejected != rejected.Load() {
+		t.Fatalf("stats disagree with callers: %+v", st)
+	}
+	if st.Backends[0].Healthy {
+		t.Fatal("killed backend still marked healthy")
+	}
+	if st.Backends[1].Dispatched+st.Backends[2].Dispatched == 0 {
+		t.Fatal("survivors dispatched nothing")
+	}
+	if st.Backends[1].HEVM.Steps+st.Backends[2].HEVM.Steps == 0 {
+		t.Fatal("no aggregated HEVM stats on survivors")
+	}
+
+	// --- Phase 2: drain the whole fleet, then overload the admission
+	// queue. The first QueueDepth submissions wait; the rest must get
+	// an immediate ErrOverloaded, not a hang.
+	r.backends[1].Kill()
+	r.backends[2].Kill()
+	waitFor(t, func() bool {
+		s := g.Stats()
+		return !s.Backends[1].Healthy && !s.Backends[2].Healthy
+	})
+	var (
+		overloaded atomic.Uint64
+		waitersOK  atomic.Uint64
+		wg2        sync.WaitGroup
+	)
+	for i := 0; i < 10; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			_, err := g.Submit(context.Background(), r.transferBundle(t, i, 9))
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				overloaded.Add(1)
+			case err == nil:
+				waitersOK.Add(1)
+			default:
+				t.Errorf("drained-fleet submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Nothing can complete while all devices are down, so exactly
+	// QueueDepth submissions sit waiting and the rest bounce.
+	waitFor(t, func() bool { return overloaded.Load() == 10-6 && g.Stats().Waiting == 6 })
+
+	// Revive one device: the health monitor re-admits it and every
+	// queued bundle completes there.
+	r.backends[1].Revive()
+	wg2.Wait()
+	if waitersOK.Load() != 6 {
+		t.Fatalf("queued bundles completed = %d, want 6", waitersOK.Load())
+	}
+	final := g.Stats()
+	if !final.Backends[1].Healthy {
+		t.Fatal("revived backend not re-admitted")
+	}
+	if final.QueueWaitP99 <= 0 {
+		t.Fatal("queue-wait quantiles never recorded")
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hardtape/internal/hevm"
+	"hardtape/internal/oram"
+)
+
+// Stats is a point-in-time snapshot of the gateway.
+type Stats struct {
+	// Capacity/FreeSlots describe the fleet's HEVM pool (free counts
+	// only healthy backends).
+	Capacity  int
+	FreeSlots int
+	// Waiting is bundles admitted but not yet holding a slot; InFlight
+	// is bundles executing on a backend.
+	Waiting  int
+	InFlight int
+	// Admission counters (monotonic).
+	Admitted  uint64
+	Rejected  uint64
+	Completed uint64
+	Failed    uint64
+	Retries   uint64
+	// Queue-wait quantiles over the recent WaitWindow submissions.
+	QueueWaitP50 time.Duration
+	QueueWaitP99 time.Duration
+	Backends     []BackendStats
+}
+
+// BackendStats is the per-backend slice of the snapshot.
+type BackendStats struct {
+	Name    string
+	Healthy bool
+	// Capacity/FreeSlots/InFlight mirror the scheduler's live view.
+	Capacity  int
+	FreeSlots int
+	InFlight  int
+	// Dispatched counts bundles this backend ran (including
+	// bundle-fault errors); Failures counts infrastructure faults.
+	Dispatched uint64
+	Failures   uint64
+	LastError  string
+	// HEVM aggregates per-bundle machine stats over this backend's
+	// completed bundles; ORAM is the device's live client counters
+	// (in-process backends only).
+	HEVM hevm.Stats
+	ORAM oram.Stats
+}
+
+// oramStatser is implemented by backends that can surface their
+// device's ORAM counters (LocalBackend).
+type oramStatser interface {
+	ORAMStats() oram.Stats
+}
+
+// Stats snapshots the gateway.
+func (g *Gateway) Stats() Stats {
+	p50, p99 := g.waits.quantiles()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{
+		Waiting:      g.waiting,
+		Admitted:     g.totalAdmitted,
+		Rejected:     g.totalRejected,
+		Completed:    g.totalCompleted,
+		Failed:       g.totalFailed,
+		Retries:      g.totalRetries,
+		QueueWaitP50: p50,
+		QueueWaitP99: p99,
+	}
+	for _, bs := range g.backends {
+		b := BackendStats{
+			Name:       bs.b.Name(),
+			Healthy:    bs.healthy,
+			Capacity:   bs.b.Capacity(),
+			FreeSlots:  bs.effectiveFree(),
+			InFlight:   bs.inflight,
+			Dispatched: bs.dispatched,
+			Failures:   bs.failures,
+			HEVM:       bs.hevmAgg.Stats,
+		}
+		if bs.lastErr != nil {
+			b.LastError = bs.lastErr.Error()
+		}
+		if os, ok := bs.b.(oramStatser); ok {
+			b.ORAM = os.ORAMStats()
+		}
+		st.Capacity += b.Capacity
+		st.InFlight += bs.inflight
+		if bs.healthy {
+			st.FreeSlots += b.FreeSlots
+		}
+		st.Backends = append(st.Backends, b)
+	}
+	return st
+}
+
+// hevmTotals accumulates per-bundle machine stats.
+type hevmTotals struct {
+	hevm.Stats
+}
+
+func (t *hevmTotals) add(s hevm.Stats) {
+	t.Steps += s.Steps
+	t.SwapEvents += s.SwapEvents
+	t.PagesEvicted += s.PagesEvicted
+	t.PagesLoaded += s.PagesLoaded
+	if s.L2PagesUsed > t.L2PagesUsed {
+		t.L2PagesUsed = s.L2PagesUsed
+	}
+	t.Overflowed = t.Overflowed || s.Overflowed
+}
+
+// waitSampler keeps a ring of recent queue waits for quantiles.
+type waitSampler struct {
+	mu   sync.Mutex
+	ring []time.Duration
+	n    int
+}
+
+func newWaitSampler(window int) *waitSampler {
+	return &waitSampler{ring: make([]time.Duration, window)}
+}
+
+func (w *waitSampler) record(d time.Duration) {
+	w.mu.Lock()
+	w.ring[w.n%len(w.ring)] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// quantiles returns the p50/p99 of the recorded window (zeros when
+// nothing was recorded yet).
+func (w *waitSampler) quantiles() (p50, p99 time.Duration) {
+	w.mu.Lock()
+	filled := w.n
+	if filled > len(w.ring) {
+		filled = len(w.ring)
+	}
+	sorted := append([]time.Duration(nil), w.ring[:filled]...)
+	w.mu.Unlock()
+	if filled == 0 {
+		return 0, 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(filled-1))
+		return sorted[i]
+	}
+	return idx(0.50), idx(0.99)
+}
