@@ -1,0 +1,170 @@
+// hardtape-lint runs the HarDTAPE invariant analyzers (cryptorand,
+// consttime, oramleak, locksafe, faulterr) over the repository.
+//
+// Two modes:
+//
+//	hardtape-lint [packages]          standalone driver (default ./...)
+//	go vet -vettool=$(which hardtape-lint) ./...
+//
+// The second form speaks cmd/go's unitchecker protocol: go vet
+// compiles each package, writes a *.cfg describing its files and the
+// export data of its dependencies, and invokes this binary once per
+// package. Both modes type-check from compiler export data, so a
+// full-repo run costs one build plus parsing.
+//
+// Exit status: 0 clean, 1 tool error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"hardtape/internal/analysis"
+	"hardtape/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			printVersion()
+			return
+		case "-flags":
+			printFlags()
+			return
+		}
+	}
+
+	enabled, patterns, jsonOut := parseArgs(args)
+	analyzers := selectAnalyzers(enabled)
+
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		os.Exit(runUnitchecker(patterns[0], analyzers, jsonOut))
+	}
+	os.Exit(runStandalone(patterns, analyzers))
+}
+
+// printVersion answers `hardtape-lint -V=full`, the handshake cmd/go
+// uses to fingerprint a vet tool for its build cache. The build ID
+// must change when the tool changes, so hash the executable.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Println("hardtape-lint version devel")
+		return
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Printf("%s version devel\n", exe)
+		return
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, sum[:16])
+}
+
+// printFlags answers `hardtape-lint -flags`: the JSON flag inventory
+// cmd/go queries to validate vet command lines.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range suite.Analyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	_ = json.NewEncoder(os.Stdout).Encode(flags)
+}
+
+// parseArgs splits analyzer enable flags from package patterns / the
+// unitchecker cfg path.
+func parseArgs(args []string) (enabled map[string]bool, rest []string, jsonOut bool) {
+	known := make(map[string]bool)
+	for _, a := range suite.Analyzers() {
+		known[a.Name] = true
+	}
+	enabled = make(map[string]bool)
+	for _, arg := range args {
+		if !strings.HasPrefix(arg, "-") {
+			rest = append(rest, arg)
+			continue
+		}
+		name := strings.TrimLeft(arg, "-")
+		value := true
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			value = name[eq+1:] == "true"
+			name = name[:eq]
+		}
+		switch {
+		case name == "json":
+			jsonOut = true
+		case known[name]:
+			enabled[name] = value
+		default:
+			fmt.Fprintf(os.Stderr, "hardtape-lint: unknown flag %s\n", arg)
+			os.Exit(1)
+		}
+	}
+	return enabled, rest, jsonOut
+}
+
+// selectAnalyzers narrows the suite to explicitly enabled analyzers;
+// with no enable flags the whole suite runs.
+func selectAnalyzers(enabled map[string]bool) []*analysis.Analyzer {
+	all := suite.Analyzers()
+	anyOn := false
+	for _, on := range enabled {
+		if on {
+			anyOn = true
+		}
+	}
+	if !anyOn {
+		return all
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runStandalone lints package patterns in the current module.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
+		return 1
+	}
+	pkgs, err := analysis.LoadModulePackages(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
+		return 1
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position(pkg.Fset), d.Category, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %d finding(s)\n", findings)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"hardtape/internal/analysis"
+)
+
+// vetConfig is the unitchecker protocol's per-package description,
+// written by cmd/go into $WORK/vet.cfg. Field names and semantics
+// follow golang.org/x/tools/go/analysis/unitchecker.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one compilation unit described by cfgFile.
+func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: parse %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// We compute no cross-package facts, but cmd/go requires the
+	// output file to exist for its action cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hardtape-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hardtape-lint: write vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	var filenames []string
+	for _, gf := range cfg.GoFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(cfg.Dir, gf)
+		}
+		filenames = append(filenames, gf)
+	}
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, fset, filenames, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
+		return 1
+	}
+
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		return printJSON(&cfg, pkg, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position(pkg.Fset), d.Category, d.Message)
+	}
+	return 2
+}
+
+// printJSON emits the unitchecker JSON shape:
+// {pkgID: {analyzer: [{posn, message}]}}.
+func printJSON(cfg *vetConfig, pkg *analysis.Package, diags []analysis.Diagnostic) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Category] = append(byAnalyzer[d.Category], jsonDiag{
+			Posn:    d.Position(pkg.Fset).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(out)
+	return 2
+}

@@ -72,6 +72,7 @@ func run() error {
 		return err
 	}
 	var events []oram.AccessEvent
+	//hardtape:oram-direct this experiment IS the adversary: it records what the SP would see
 	tbB.Device.ORAMServer().SetObserver(func(ev oram.AccessEvent) {
 		events = append(events, ev)
 	})
@@ -102,6 +103,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	//hardtape:oram-direct same adversary observation point for the contrast run
 	tbB2.Device.ORAMServer().SetObserver(func(ev oram.AccessEvent) {
 		events2 = append(events2, ev)
 	})

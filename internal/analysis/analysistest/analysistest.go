@@ -1,0 +1,213 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib only.
+//
+// Layout: <testdata>/src/<pkgpath>/*.go. Fixture files annotate
+// expected findings with trailing comments:
+//
+//	bad := rand.Intn(8) // want `insecure rand`
+//
+// Each backquoted or double-quoted string after "want" is a regexp
+// that must match exactly one diagnostic reported on that line; any
+// unmatched diagnostic or unsatisfied expectation fails the test.
+// Fixture imports resolve against sibling fixture packages first,
+// then the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hardtape/internal/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, diffing diagnostics against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		root:     filepath.Join(testdata, "src"),
+		fset:     fset,
+		fallback: importer.Default(),
+		cache:    make(map[string]*types.Package),
+	}
+	pkg, err := loadFixture(fset, imp, pkgpath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	wants := collectWants(t, fset, pkg.Files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := d.Position(fset)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+// collectWants extracts `// want` expectations from fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" && m[2] != "" {
+						if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+							pat = unq
+						} else {
+							pat = m[2]
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// loadFixture parses and type-checks one fixture directory.
+func loadFixture(fset *token.FileSet, imp types.Importer, pkgpath string) (*analysis.Package, error) {
+	fi, ok := imp.(*fixtureImporter)
+	if !ok {
+		return nil, fmt.Errorf("loadFixture needs a fixtureImporter")
+	}
+	dir := filepath.Join(fi.root, pkgpath)
+	filenames, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.CheckFiles(pkgpath, fset, filenames, imp)
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(filenames)
+	return filenames, nil
+}
+
+// fixtureImporter resolves fixture-local packages from source and
+// everything else through the toolchain's default importer.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		filenames, err := goFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, name := range filenames {
+			f, err := parser.ParseFile(fi.fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: fi}
+		pkg, err := conf.Check(path, fi.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck fixture dep %s: %w", path, err)
+		}
+		fi.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := fi.fallback.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	fi.cache[path] = pkg
+	return pkg, nil
+}

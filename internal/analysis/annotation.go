@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HarDTAPE invariant analyzers share one escape-hatch syntax:
+//
+//	//hardtape:<directive> <reason>
+//
+// placed on the flagged line or on the line above it (or on the
+// enclosing function's doc comment for function-scoped directives).
+// A directive without a reason does NOT suppress — silent waivers are
+// exactly the trust-boundary drift the suite exists to stop.
+
+// Directive is one parsed //hardtape: comment.
+type Directive struct {
+	Name   string // e.g. "oram-direct", "locksafe-ok"
+	Reason string
+	Line   int
+}
+
+// directivePrefix is the comment marker shared by every analyzer.
+const directivePrefix = "//hardtape:"
+
+// Annotations indexes every //hardtape: directive in one file by the
+// line it governs: the comment's own line and, for a comment that
+// stands alone on its line, the line below it.
+type Annotations struct {
+	byLine map[int][]Directive
+}
+
+// ParseAnnotations collects directives from one file.
+func ParseAnnotations(fset *token.FileSet, file *ast.File) *Annotations {
+	a := &Annotations{byLine: make(map[int][]Directive)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			d := Directive{Name: name, Reason: strings.TrimSpace(reason), Line: pos.Line}
+			// A directive governs its own line (trailing comment) and
+			// the line below it (stand-alone comment).
+			a.byLine[pos.Line] = append(a.byLine[pos.Line], d)
+			a.byLine[pos.Line+1] = append(a.byLine[pos.Line+1], d)
+		}
+	}
+	return a
+}
+
+// Allowed reports whether a directive named name with a non-empty
+// reason governs the given position.
+func (a *Annotations) Allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	for _, d := range a.byLine[line] {
+		if d.Name == name && d.Reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAllowed reports whether the enclosing function's doc comment
+// (or any line inside fn up to pos) carries the directive. Used for
+// function-scoped waivers such as locksafe-ok on a method whose whole
+// purpose is serializing a client.
+func FuncAllowed(fset *token.FileSet, fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := c.Text
+		if !strings.HasPrefix(text, directivePrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(text, directivePrefix)
+		dname, reason, _ := strings.Cut(rest, " ")
+		if dname == name && strings.TrimSpace(reason) != "" {
+			return true
+		}
+	}
+	return false
+}

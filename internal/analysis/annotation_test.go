@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const annotated = `package p
+
+//hardtape:faulterr-ok the accept loop must survive session failures
+var a int
+
+//hardtape:locksafe-ok
+var b int
+
+var c int //hardtape:oram-direct trailing waiver with reason
+`
+
+func TestAnnotationsRequireReason(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", annotated, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := ParseAnnotations(fset, f)
+
+	find := func(name string) token.Pos {
+		for _, d := range f.Decls {
+			for _, s := range d.(*ast.GenDecl).Specs {
+				vs := s.(*ast.ValueSpec)
+				if vs.Names[0].Name == name {
+					return vs.Pos()
+				}
+			}
+		}
+		t.Fatalf("no decl %s", name)
+		return token.NoPos
+	}
+
+	if !ann.Allowed(fset, find("a"), "faulterr-ok") {
+		t.Error("directive with reason should waive the next line")
+	}
+	if ann.Allowed(fset, find("a"), "locksafe-ok") {
+		t.Error("waiver must be directive-specific")
+	}
+	if ann.Allowed(fset, find("b"), "locksafe-ok") {
+		t.Error("directive without a reason must not waive anything")
+	}
+	if !ann.Allowed(fset, find("c"), "oram-direct") {
+		t.Error("trailing same-line directive with reason should waive")
+	}
+}

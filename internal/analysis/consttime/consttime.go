@@ -1,0 +1,123 @@
+// Package consttime requires constant-time comparison of secret
+// material in security-sensitive packages. A data-dependent early
+// exit in a key, MAC, tag, or nonce comparison is a remote timing
+// oracle (the classic HMAC-verification attack); HarDTAPE's channel
+// secrecy claim (§V A2/A3) assumes no such oracle exists on the
+// Hypervisor's handshake paths. Secret-named byte arrays and slices
+// must be compared with crypto/subtle.ConstantTimeCompare.
+//
+// The analyzer flags, inside sensitive packages:
+//
+//   - bytes.Equal(a, b) where either operand is secret-named
+//   - a == b / a != b on byte arrays where either side is secret-named
+//
+// "Secret-named" is a name-heuristic match (key, secret, mac, tag,
+// hmac, nonce, measurement, digest, token, password) on any
+// identifier in the operand expression.
+//
+// Escape hatch (reason required): //hardtape:consttime-ok reason
+package consttime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"hardtape/internal/analysis"
+)
+
+// Analyzer flags variable-time secret comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "consttime",
+	Doc: "require crypto/subtle.ConstantTimeCompare for secret-named " +
+		"byte comparisons in security-sensitive packages",
+	Run: run,
+}
+
+var secretName = regexp.MustCompile(`(?i)(key|secret|mac\b|tag|hmac|nonce|measurement|digest|token|password)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.SensitivePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ann := analysis.ParseAnnotations(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkBytesEqual(pass, ann, node)
+			case *ast.BinaryExpr:
+				checkByteArrayCompare(pass, ann, node)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBytesEqual flags bytes.Equal on secret-named operands.
+func checkBytesEqual(pass *analysis.Pass, ann *analysis.Annotations, call *ast.CallExpr) {
+	path, name, ok := analysis.CalleeName(pass.TypesInfo, call, pass.Pkg.Path())
+	if !ok || path != "bytes" || name != "Equal" || len(call.Args) != 2 {
+		return
+	}
+	if !exprLooksSecret(call.Args[0]) && !exprLooksSecret(call.Args[1]) {
+		return
+	}
+	if ann.Allowed(pass.Fset, call.Pos(), "consttime-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"variable-time comparison of secret material (bytes.Equal); use crypto/subtle.ConstantTimeCompare")
+}
+
+// checkByteArrayCompare flags ==/!= on secret-named byte arrays.
+func checkByteArrayCompare(pass *analysis.Pass, ann *analysis.Annotations, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	if !isByteArray(pass.TypesInfo, cmp.X) && !isByteArray(pass.TypesInfo, cmp.Y) {
+		return
+	}
+	if !exprLooksSecret(cmp.X) && !exprLooksSecret(cmp.Y) {
+		return
+	}
+	if ann.Allowed(pass.Fset, cmp.Pos(), "consttime-ok") {
+		return
+	}
+	pass.Reportf(cmp.Pos(),
+		"variable-time comparison of secret material (%s on byte array); use crypto/subtle.ConstantTimeCompare",
+		cmp.Op)
+}
+
+// isByteArray reports whether the expression's type is [N]byte.
+func isByteArray(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	arr, ok := tv.Type.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// exprLooksSecret reports whether any identifier in the expression
+// matches the secret-name heuristic.
+func exprLooksSecret(expr ast.Expr) bool {
+	secret := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && secretName.MatchString(id.Name) {
+			secret = true
+			return false
+		}
+		return !secret
+	})
+	return secret
+}

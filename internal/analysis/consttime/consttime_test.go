@@ -1,0 +1,12 @@
+package consttime_test
+
+import (
+	"testing"
+
+	"hardtape/internal/analysis/analysistest"
+	"hardtape/internal/analysis/consttime"
+)
+
+func TestConsttime(t *testing.T) {
+	analysistest.Run(t, "testdata", consttime.Analyzer, "attest", "plain")
+}

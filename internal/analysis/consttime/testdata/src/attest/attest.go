@@ -1,0 +1,39 @@
+// Package attest is a consttime fixture: the "attest" path element
+// makes it security-sensitive.
+package attest
+
+import (
+	"bytes"
+	"crypto/subtle"
+)
+
+func verifyMAC(mac, want []byte) bool {
+	return bytes.Equal(mac, want) // want `variable-time comparison of secret material \(bytes.Equal\)`
+}
+
+func verifyTag(tag, other [32]byte) bool {
+	return tag == other // want `variable-time comparison of secret material \(== on byte array\)`
+}
+
+func verifyNonce(nonce, echo [32]byte) bool {
+	return nonce != echo // want `variable-time comparison of secret material \(!= on byte array\)`
+}
+
+// The fix: subtle.ConstantTimeCompare is never flagged.
+func verifyMACGood(mac, want []byte) bool {
+	return subtle.ConstantTimeCompare(mac, want) == 1
+}
+
+// Public data with non-secret names is fine either way.
+func samePayload(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}
+
+func sameBlock(a, b [16]byte) bool {
+	return a == b
+}
+
+func waived(nonceA, nonceB []byte) bool {
+	//hardtape:consttime-ok fixture: explicit waiver for a documented non-secret use
+	return bytes.Equal(nonceA, nonceB)
+}

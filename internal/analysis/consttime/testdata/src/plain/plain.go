@@ -1,0 +1,9 @@
+// Package plain is not security-sensitive: even secret-named
+// comparisons are out of scope.
+package plain
+
+import "bytes"
+
+func cacheHit(key, probe []byte) bool {
+	return bytes.Equal(key, probe)
+}

@@ -1,0 +1,67 @@
+// Package cryptorand forbids math/rand in security-sensitive
+// packages. HarDTAPE's side-channel defenses (the HEVM's pre-evict /
+// pre-load noise, the prefetcher's randomized interval timer, ORAM's
+// leaf remapping) are only as strong as their entropy source: a
+// Mersenne-twister-class generator lets the adversary reconstruct the
+// noise schedule and subtract it from the observed trace. Sensitive
+// packages must draw from crypto/rand or a CSPRNG seeded by it.
+//
+// Escape hatch (reason required):
+//
+//	import mrand "math/rand" //hardtape:cryptorand-ok reason...
+package cryptorand
+
+import (
+	"strconv"
+	"strings"
+
+	"hardtape/internal/analysis"
+)
+
+// Analyzer flags math/rand imports in sensitive packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "cryptorand",
+	Doc: "forbid math/rand in security-sensitive packages " +
+		"(hevm, oram, attest, channel, fleet, core, secp256k1); " +
+		"noise and key schedules must be cryptographically strong",
+	Run: run,
+}
+
+// insecure lists the generator packages that leak their state.
+var insecure = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.SensitivePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ann := analysis.ParseAnnotations(pass.Fset, file)
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !insecure[path] {
+				continue
+			}
+			if ann.Allowed(pass.Fset, imp.Pos(), "cryptorand-ok") {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"insecure randomness: %s imported in security-sensitive package %s; use crypto/rand or a crypto-seeded source",
+				path, shortPath(pass.Pkg.Path()))
+		}
+	}
+	return nil, nil
+}
+
+// shortPath trims the module prefix for readable diagnostics.
+func shortPath(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

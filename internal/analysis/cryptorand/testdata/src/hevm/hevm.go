@@ -1,0 +1,16 @@
+// Package hevm is a cryptorand fixture: the "hevm" path element makes
+// it security-sensitive.
+package hevm
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want `insecure randomness: math/rand imported in security-sensitive package hevm`
+	//hardtape:cryptorand-ok fixture: waived generator, calibration jitter only
+	mrand "math/rand/v2"
+)
+
+var (
+	_ = rand.Int
+	_ = mrand.Int64
+	_ = crand.Read
+)

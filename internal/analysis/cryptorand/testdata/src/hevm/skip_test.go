@@ -1,0 +1,6 @@
+// Test files are exempt: deterministic generators are fine in tests.
+package hevm
+
+import "math/rand"
+
+var _ = rand.Int31

@@ -1,0 +1,6 @@
+// Package plain is not security-sensitive: math/rand is allowed.
+package plain
+
+import "math/rand"
+
+var _ = rand.Int

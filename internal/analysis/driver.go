@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+)
+
+// The standalone driver: `hardtape-lint ./...` without go vet. It
+// shells out to `go list -deps -export` for package metadata and
+// compiled export data (forcing a build of anything stale), then
+// type-checks and analyzes every in-module, non-test package.
+
+// listedPackage is the subset of `go list -json` output the driver
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// LoadModulePackages resolves patterns (e.g. "./...") in dir into
+// type-checked packages ready for analysis, covering every matched
+// package that belongs to the surrounding module. Dependencies —
+// including the standard library — are consumed as export data only,
+// so the load cost is one `go list` plus parsing the module's own
+// sources.
+func LoadModulePackages(dir string, patterns []string) ([]*Package, error) {
+	// Pass 1: resolve the patterns to the exact match set.
+	matched, err := goList(dir, []string{"list", "-f", "{{.ImportPath}}"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	matchSet := make(map[string]bool)
+	for _, line := range bytes.Split(bytes.TrimSpace(matched), []byte("\n")) {
+		if len(line) > 0 {
+			matchSet[string(line)] = true
+		}
+	}
+
+	// Pass 2: export data for the matched packages and every
+	// dependency (compiling anything stale as a side effect).
+	out, err := goList(dir, []string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,ImportMap,Error",
+	}, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exportFiles := make(map[string]string)
+	importMap := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			break
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if matchSet[p.ImportPath] && !p.Standard && len(p.GoFiles) > 0 {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, importMap, exportFiles)
+	var pkgs []*Package
+	for _, t := range targets {
+		var filenames []string
+		for _, gf := range t.GoFiles {
+			filenames = append(filenames, filepath.Join(t.Dir, gf))
+		}
+		pkg, err := CheckFiles(t.ImportPath, fset, filenames, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs one go list invocation in dir.
+func goList(dir string, args, patterns []string) ([]byte, error) {
+	cmd := exec.Command("go", append(args, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+// Package faulterr forbids silently dropped errors in
+// security-sensitive packages. HarDTAPE's fault model (§V) turns
+// errors into security signals: a failed bucket authentication is
+// attack A4, a failed report verification is a compromised device, a
+// failed bundle is billed work. Dropping one — `_ = f()` or calling
+// an error-returning function as a bare statement — converts a
+// detected attack into silence. Errors must be propagated, handled,
+// or visibly waived.
+//
+// The analyzer flags, in sensitive packages (non-test files):
+//
+//   - expression statements calling a function whose final result is
+//     an error
+//   - assignments discarding an error result into _
+//
+// Deferred calls and Close() are exempt (conventional teardown).
+//
+// Escape hatch (reason required): //hardtape:faulterr-ok reason
+package faulterr
+
+import (
+	"go/ast"
+
+	"hardtape/internal/analysis"
+)
+
+// Analyzer flags dropped errors on fault and attestation paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "faulterr",
+	Doc: "errors in security-sensitive packages must be propagated, " +
+		"handled, or explicitly annotated — never dropped",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.SensitivePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ann := analysis.ParseAnnotations(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.DeferStmt:
+				return false // teardown convention
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDropped(pass, ann, call, "result ignored")
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, ann, stmt)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDropped flags a bare call statement discarding an error.
+func checkDropped(pass *analysis.Pass, ann *analysis.Annotations, call *ast.CallExpr, how string) {
+	if !analysis.ReturnsError(pass.TypesInfo, call) || isExempt(pass, call) {
+		return
+	}
+	if ann.Allowed(pass.Fset, call.Pos(), "faulterr-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"dropped error (%s): faults on this path are security signals; propagate, handle, or annotate //hardtape:faulterr-ok <reason>",
+		how)
+}
+
+// checkBlankAssign flags `_ = f()` / `v, _ := g()` where the blank
+// discards the call's error result.
+func checkBlankAssign(pass *analysis.Pass, ann *analysis.Annotations, assign *ast.AssignStmt) {
+	// Single call on the RHS: positions correspond to tuple results.
+	if len(assign.Rhs) == 1 {
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || isExempt(pass, call) {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || id.Name != "_" {
+				continue
+			}
+			if i == len(assign.Lhs)-1 && analysis.ReturnsError(pass.TypesInfo, call) {
+				checkDropped(pass, ann, call, "assigned to _")
+			}
+		}
+		return
+	}
+	// Parallel assignment: match each blank LHS to its own RHS call.
+	for i, lhs := range assign.Lhs {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent || id.Name != "_" || i >= len(assign.Rhs) {
+			continue
+		}
+		if call, ok := assign.Rhs[i].(*ast.CallExpr); ok && !isExempt(pass, call) {
+			if analysis.ReturnsError(pass.TypesInfo, call) {
+				checkDropped(pass, ann, call, "assigned to _")
+			}
+		}
+	}
+}
+
+// exemptPkgs are callee packages whose error results are vestigial:
+// console printing and the in-memory writers documented never to
+// fail (hash.Hash.Write, bytes.Buffer, strings.Builder).
+var exemptPkgs = map[string]bool{
+	"fmt":     true,
+	"hash":    true,
+	"bytes":   true,
+	"strings": true,
+}
+
+// isExempt excludes conventional teardown (Close) and never-failing
+// stdlib writers from the check.
+func isExempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	path, name, ok := analysis.CalleeName(pass.TypesInfo, call, pass.Pkg.Path())
+	if !ok {
+		return false
+	}
+	if exemptPkgs[path] {
+		return true
+	}
+	if i := lastDot(name); i >= 0 {
+		name = name[i+1:]
+	}
+	return name == "Close"
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

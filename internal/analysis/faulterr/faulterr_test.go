@@ -1,0 +1,12 @@
+package faulterr_test
+
+import (
+	"testing"
+
+	"hardtape/internal/analysis/analysistest"
+	"hardtape/internal/analysis/faulterr"
+)
+
+func TestFaulterr(t *testing.T) {
+	analysistest.Run(t, "testdata", faulterr.Analyzer, "core", "plain")
+}

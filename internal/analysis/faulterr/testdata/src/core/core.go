@@ -1,0 +1,43 @@
+// Package core is a faulterr fixture: the "core" path element makes
+// it security-sensitive.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fault() error { return errors.New("bundle fault") }
+
+func value() (int, error) { return 0, nil }
+
+func bad() {
+	fault()         // want `dropped error \(result ignored\)`
+	_ = fault()     // want `dropped error \(assigned to _\)`
+	v, _ := value() // want `dropped error \(assigned to _\)`
+	_ = v
+}
+
+func good() error {
+	if err := fault(); err != nil {
+		return err
+	}
+	v, err := value()
+	if err != nil {
+		return err
+	}
+	_ = v
+	fmt.Println("console output is exempt")
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func waived() {
+	//hardtape:faulterr-ok fixture: a session failure ends that session only
+	fault()
+}

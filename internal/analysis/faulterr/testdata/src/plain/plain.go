@@ -1,0 +1,11 @@
+// Package plain is not security-sensitive: dropped errors here are a
+// style question, not a trust violation.
+package plain
+
+import "errors"
+
+func f() error { return errors.New("x") }
+
+func drop() {
+	_ = f()
+}

@@ -1,0 +1,72 @@
+// Package fleet is a locksafe fixture: the "fleet" path element puts
+// it in the hot-path scope.
+package fleet
+
+import "sync"
+
+// Conn stands in for a protocol connection.
+type Conn struct{}
+
+func (c *Conn) ReadMessage() ([]byte, error) { return nil, nil }
+
+// Pool guards a connection and a dispatch channel.
+type Pool struct {
+	mu   sync.Mutex
+	conn *Conn
+	ch   chan int
+}
+
+func badIO(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conn.ReadMessage() // want `blocking operation \(ReadMessage\(\)\) while holding mutex p.mu`
+}
+
+func badSend(p *Pool) {
+	p.mu.Lock()
+	p.ch <- 1 // want `blocking operation \(channel send\) while holding mutex p.mu`
+	p.mu.Unlock()
+}
+
+func badSelect(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `blocking operation \(blocking select\) while holding mutex p.mu`
+	case v := <-p.ch:
+		_ = v
+	}
+}
+
+// Releasing before the blocking call is the fix.
+func goodUnlockFirst(p *Pool) ([]byte, error) {
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	return c.ReadMessage()
+}
+
+// A select with a default clause never blocks.
+func goodSelectDefault(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- 1:
+	default:
+	}
+}
+
+// Deliberate serialization, waived for the whole function.
+//
+//hardtape:locksafe-ok fixture: the lock's purpose is serializing this connection
+func waivedFunc(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conn.ReadMessage()
+}
+
+func waivedLine(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//hardtape:locksafe-ok fixture: deliberate single-line waiver
+	p.conn.ReadMessage()
+}

@@ -1,0 +1,16 @@
+// Package plain is outside the hot-path scope: the same pattern is
+// not flagged here.
+package plain
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func send(b *Box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1
+}

@@ -1,0 +1,83 @@
+// Package oramleak fences the ORAM trust boundary. Path ORAM's
+// obliviousness guarantee (paper §IV-D) holds only while every block
+// access flows through the client — its stash, position map, and
+// per-access path re-randomization. Code outside internal/oram that
+// reads or writes server buckets directly (ReadPath / WritePath),
+// tampers with stored buckets, or installs bucket observers is either
+// a simulation of the adversary or a leak; both must be visibly
+// annotated so the trust boundary cannot drift silently.
+//
+// The analyzer flags, outside the oram package itself, any call to a
+// raw-store method on the ORAM server types (the oram.Server
+// interface or *oram.MemServer).
+//
+// Escape hatch (reason required): //hardtape:oram-direct reason
+package oramleak
+
+import (
+	"go/ast"
+	"strings"
+
+	"hardtape/internal/analysis"
+)
+
+// Analyzer flags direct ORAM-server access outside internal/oram.
+var Analyzer = &analysis.Analyzer{
+	Name: "oramleak",
+	Doc: "forbid raw ORAM server access (ReadPath/WritePath/TamperBucket/" +
+		"SetObserver) outside internal/oram; all block access goes through the client",
+	Run: run,
+}
+
+// rawMethods are the server methods that bypass the client stash.
+var rawMethods = map[string]bool{
+	"ReadPath":     true,
+	"WritePath":    true,
+	"TamperBucket": true,
+	"SetObserver":  true,
+}
+
+// serverTypes are the receiver types exposing the raw store.
+var serverTypes = map[string]bool{
+	"Server":    true,
+	"MemServer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if isORAMPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ann := analysis.ParseAnnotations(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !rawMethods[sel.Sel.Name] {
+				return true
+			}
+			pkgPath, typeName, ok := analysis.NamedType(pass.TypesInfo, sel.X)
+			if !ok || !isORAMPackage(pkgPath) || !serverTypes[typeName] {
+				return true
+			}
+			if ann.Allowed(pass.Fset, call.Pos(), "oram-direct") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct ORAM server access (%s.%s) outside internal/oram bypasses the oblivious client; annotate with //hardtape:oram-direct <reason> if this is an adversary observation point",
+				typeName, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isORAMPackage matches the oram package itself (module or fixture).
+func isORAMPackage(path string) bool {
+	return path == "oram" || strings.HasSuffix(path, "/oram")
+}

@@ -1,0 +1,12 @@
+package oramleak_test
+
+import (
+	"testing"
+
+	"hardtape/internal/analysis/analysistest"
+	"hardtape/internal/analysis/oramleak"
+)
+
+func TestORAMLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", oramleak.Analyzer, "fleet", "oram")
+}

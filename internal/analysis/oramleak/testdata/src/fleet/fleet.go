@@ -1,0 +1,18 @@
+// Package fleet is outside the ORAM trust boundary: raw server access
+// from here bypasses the oblivious client.
+package fleet
+
+import "oram"
+
+func probe(s *oram.MemServer) {
+	s.ReadPath(3)                  // want `direct ORAM server access \(MemServer.ReadPath\) outside internal/oram`
+	s.TamperBucket(0)              // want `direct ORAM server access \(MemServer.TamperBucket\) outside internal/oram`
+	s.WritePath(3, nil)            // want `direct ORAM server access \(MemServer.WritePath\) outside internal/oram`
+	//hardtape:oram-direct fixture: adversary observation point for the experiment
+	s.SetObserver(func(oram.AccessEvent) {})
+}
+
+// Reading server metadata (not a raw-store method) is fine.
+func capacity(s *oram.MemServer) int {
+	return s.Leaves()
+}

@@ -1,0 +1,23 @@
+// Package suite registers the HarDTAPE invariant analyzers.
+package suite
+
+import (
+	"hardtape/internal/analysis"
+	"hardtape/internal/analysis/consttime"
+	"hardtape/internal/analysis/cryptorand"
+	"hardtape/internal/analysis/faulterr"
+	"hardtape/internal/analysis/locksafe"
+	"hardtape/internal/analysis/oramleak"
+)
+
+// Analyzers returns every analyzer in the hardtape-lint suite, in
+// reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cryptorand.Analyzer,
+		consttime.Analyzer,
+		oramleak.Analyzer,
+		locksafe.Analyzer,
+		faulterr.Analyzer,
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// sensitiveElems are the package-path elements whose code handles key
+// material, oblivious access, or the trust boundary. The analyzers
+// that scope by package (cryptorand, consttime, faulterr) match any
+// path element, so both "hardtape/internal/hevm" and a fixture
+// package named "hevm" qualify.
+var sensitiveElems = map[string]bool{
+	"attest":    true,
+	"channel":   true,
+	"core":      true,
+	"fleet":     true,
+	"hevm":      true,
+	"oram":      true,
+	"secp256k1": true,
+}
+
+// SensitivePackage reports whether the import path names a
+// security-sensitive package.
+func SensitivePackage(path string) bool {
+	for _, elem := range strings.Split(path, "/") {
+		if sensitiveElems[elem] {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedType resolves the package path and name of an expression's
+// type, following pointers. It returns ok=false for unnamed types.
+func NamedType(info *types.Info, expr ast.Expr) (pkgPath, name string, ok bool) {
+	tv, found := info.Types[expr]
+	if !found {
+		return "", "", false
+	}
+	return namedOf(tv.Type)
+}
+
+func namedOf(t types.Type) (pkgPath, name string, ok bool) {
+	for {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name(), true
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// CalleeName splits a call into (package-or-receiver path, function
+// name). For a selector call x.F() it resolves x's named type (or the
+// imported package path); for a plain call F() it returns the current
+// package's path as supplied by the caller.
+func CalleeName(info *types.Info, call *ast.CallExpr, selfPath string) (path, name string, ok bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return selfPath, fun.Name, true
+	case *ast.SelectorExpr:
+		if id, isIdent := fun.X.(*ast.Ident); isIdent {
+			if obj, found := info.Uses[id]; found {
+				if pkgName, isPkg := obj.(*types.PkgName); isPkg {
+					return pkgName.Imported().Path(), fun.Sel.Name, true
+				}
+			}
+		}
+		if p, n, found := NamedType(info, fun.X); found {
+			return p, n + "." + fun.Sel.Name, true
+		}
+		return "", fun.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// ReturnsError reports whether the call's (sole or final) result is
+// an error.
+func ReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, found := info.Types[call]
+	if !found {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -14,6 +14,7 @@ import (
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -278,12 +279,13 @@ func (v *Verifier) Verify(report *Report, nonce [32]byte) (*Session, []byte, err
 	if !ecdsa.VerifyASN1(devPub, reportDigest(report), report.Sig) {
 		return nil, nil, ErrBadReport
 	}
-	// 3. Nonce freshness.
-	if report.Nonce != nonce {
+	// 3. Nonce freshness. Constant-time: comparison latency must not
+	// tell a probing SP how many nonce bytes it guessed right.
+	if subtle.ConstantTimeCompare(report.Nonce[:], nonce[:]) != 1 {
 		return nil, nil, ErrNonceMismatch
 	}
-	// 4. Image measurement.
-	if report.Measurement != v.expectedImage {
+	// 4. Image measurement, same discipline.
+	if subtle.ConstantTimeCompare(report.Measurement[:], v.expectedImage[:]) != 1 {
 		return nil, nil, ErrBadMeasurement
 	}
 	// 5. Complete DHKE.

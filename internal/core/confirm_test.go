@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hardtape/internal/channel"
+)
+
+// TestServeConnRejectsBadConfirmTag replays the handshake with a
+// client that completes DHKE correctly but sends a corrupted
+// key-confirmation tag: the service must refuse to open the bundle
+// loop with ErrBadConfirmTag, not fail later with a generic AEAD
+// error.
+func TestServeConnRejectsBadConfirmTag(t *testing.T) {
+	sr := buildServiceRig(t, ConfigFull)
+	client, server := net.Pipe()
+	defer client.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		defer server.Close()
+		errCh <- sr.svc.ServeConn(server)
+	}()
+
+	verifier := sr.verifier()
+	nonce, err := verifier.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writePlain(client, channel.MsgAttestRequest, 0, &attestRequestMsg{Nonce: nonce}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := channel.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := parsePlain(raw, channel.MsgAttestReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep attestReportMsg
+	if err := gobDecode(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	session, userPub, err := verifier.Verify(&rep.Report, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	confirm := channel.ConfirmTag(session.Key, rep.SessionID, "user")
+	confirm[0] ^= 0x01 // attacker-in-the-middle: tag no longer matches the key
+	kx := keyExchangeMsg{SessionID: rep.SessionID, UserPub: userPub, Confirm: confirm[:]}
+	if err := writePlain(client, channel.MsgKeyExchange, rep.SessionID, &kx); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, channel.ErrBadConfirmTag) {
+			t.Fatalf("want ErrBadConfirmTag, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("service did not reject the tampered confirmation tag")
+	}
+}

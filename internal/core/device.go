@@ -211,6 +211,8 @@ func (d *Device) ORAMServer() *oram.MemServer { return d.oramServer }
 
 // Sync pulls the node's world state — Merkle-verified — into the
 // device's stores (step 11 / initial full sync).
+//
+//hardtape:locksafe-ok oramMu exists to serialize the non-concurrent-safe ORAM client; holding it across SyncAll is the lock's purpose
 func (d *Device) Sync() error {
 	if err := d.syncMirror.SyncAll(); err != nil {
 		return fmt.Errorf("core: mirror sync: %w", err)
@@ -357,6 +359,8 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 
 // runTxs executes the bundle's transactions, converting hardware
 // aborts (Memory Overflow, L3 tamper) into result errors.
+//
+//hardtape:locksafe-ok oramMu serializes the shared ORAM client for the whole bundle; ApplyTransaction's storage reads ARE the guarded resource
 func (d *Device) runTxs(e *evm.EVM, tr *tracer.Tracer, s *slot, bundle *types.Bundle, result *BundleResult) (err error) {
 	// The ORAM client is shared across slots; serialize bundles that
 	// touch it. (Lock ordering: slots never nest bundle executions.)

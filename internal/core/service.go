@@ -38,13 +38,16 @@ type attestReportMsg struct {
 	DevSigPub []byte
 }
 
-// keyExchangeMsg completes DHKE (plaintext but integrity-bound to the
-// attested session key derivation: a tampered key simply yields a
-// non-working channel).
+// keyExchangeMsg completes DHKE. The exchange itself is plaintext, so
+// Confirm carries the user's key-confirmation tag: an HMAC under the
+// derived session key that the Hypervisor verifies before opening the
+// bundle loop. A tampered exchange is rejected here, explicitly,
+// instead of surfacing later as an unattributable AEAD failure.
 type keyExchangeMsg struct {
 	SessionID  uint64
 	UserPub    []byte
 	UserSigPub []byte
+	Confirm    []byte
 }
 
 // bundleMsg is the encrypted bundle submission.
@@ -114,6 +117,7 @@ func (s *Service) ServeListener(l net.Listener) error {
 		}
 		go func() {
 			defer conn.Close()
+			//hardtape:faulterr-ok a session failure ends that session only; the accept loop must survive it
 			_ = s.ServeConn(conn)
 		}()
 	}
@@ -169,6 +173,9 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 	}
 	session, err := complete(kx.UserPub)
 	if err != nil {
+		return err
+	}
+	if err := channel.VerifyConfirmTag(session.Key, sessionID, "user", kx.Confirm); err != nil {
 		return err
 	}
 	secure, err := channel.NewSecureChannel(session.Key, sessionID)
@@ -276,10 +283,12 @@ func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, er
 	if err != nil {
 		return nil, err
 	}
+	confirm := channel.ConfirmTag(session.Key, rep.SessionID, "user")
 	kx := keyExchangeMsg{
 		SessionID:  rep.SessionID,
 		UserPub:    userPub,
 		UserSigPub: elliptic.Marshal(elliptic.P256(), userSigKey.PublicKey.X, userSigKey.PublicKey.Y),
+		Confirm:    confirm[:],
 	}
 	if err := writePlain(conn, channel.MsgKeyExchange, rep.SessionID, &kx); err != nil {
 		return nil, err

@@ -191,6 +191,8 @@ func (b *RemoteBackend) connect(rc *remoteConn) error {
 // FreeSlots implements Backend: it asks the service for its live
 // occupancy over the control session. This doubles as the health
 // check — a dead service fails the probe.
+//
+//hardtape:locksafe-ok b.mu exists to serialize the probe session; the deadline bounds the I/O it guards
 func (b *RemoteBackend) FreeSlots() (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -203,9 +205,14 @@ func (b *RemoteBackend) FreeSlots() (int, error) {
 	if err := b.connect(b.probe); err != nil {
 		return 0, &BackendError{Backend: b.name, Err: err}
 	}
-	b.probe.conn.SetDeadline(time.Now().Add(b.dialTimeout))
+	if err := b.probe.conn.SetDeadline(time.Now().Add(b.dialTimeout)); err != nil {
+		b.probe.reset()
+		return 0, &BackendError{Backend: b.name, Err: err}
+	}
 	st, err := b.probe.client.Status()
-	b.probe.conn.SetDeadline(time.Time{})
+	if derr := b.probe.conn.SetDeadline(time.Time{}); derr != nil && err == nil {
+		err = derr
+	}
 	if err != nil {
 		b.probe.reset()
 		return 0, &BackendError{Backend: b.name, Err: err}
@@ -236,14 +243,20 @@ func (b *RemoteBackend) Execute(ctx context.Context, bundle *types.Bundle) (*cor
 		if err := b.connect(rc); err != nil {
 			return nil, &BackendError{Backend: b.name, Err: err}
 		}
-		if dl, ok := ctx.Deadline(); ok {
-			rc.conn.SetDeadline(dl)
-		}
 		var err error
-		tr, err = rc.client.PreExecute(bundle)
+		if dl, ok := ctx.Deadline(); ok {
+			err = rc.conn.SetDeadline(dl)
+		}
+		if err == nil {
+			tr, err = rc.client.PreExecute(bundle)
+		}
+		if err == nil {
+			err = rc.conn.SetDeadline(time.Time{})
+		}
 		if err != nil {
-			// Transport failure: the session is desynced; drop it. A
-			// pooled session may simply be stale (service restarted
+			// Transport failure (a failed deadline set counts: the
+			// socket is unusable): the session is desynced; drop it.
+			// A pooled session may simply be stale (service restarted
 			// underneath it), so redial fresh once before giving up.
 			rc.reset()
 			if attempt == 0 && ctx.Err() == nil {
@@ -251,7 +264,6 @@ func (b *RemoteBackend) Execute(ctx context.Context, bundle *types.Bundle) (*cor
 			}
 			return nil, &BackendError{Backend: b.name, Err: err}
 		}
-		rc.conn.SetDeadline(time.Time{})
 		break
 	}
 	res := &core.BundleResult{

@@ -257,6 +257,7 @@ func (g *Gateway) reserve() (*backendState, chan struct{}) {
 		// dispatch path so scheduling sees the device's true occupancy
 		// (other clients may share the device outside this gateway).
 		if lb, ok := bs.b.(*LocalBackend); ok {
+			//hardtape:locksafe-ok LocalBackend.FreeSlots is an in-process channel-length read, not network I/O
 			if free, err := lb.FreeSlots(); err == nil {
 				bs.lastFree = free
 			}

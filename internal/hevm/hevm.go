@@ -24,7 +24,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"hardtape/internal/evm"
@@ -114,7 +113,7 @@ type Machine struct {
 	cal   simclock.Calibration
 
 	aead   cipher.AEAD
-	noise  *rand.Rand
+	noise  *noiseRand
 	frames []*frameShadow
 	// l3Store is the untrusted memory: encrypted page blobs.
 	l3Store map[uint64][]byte
@@ -129,8 +128,10 @@ type Machine struct {
 }
 
 // New creates a machine. l3Key seals layer-3 pages (32 bytes);
-// noiseSeed seeds the pre-evict/pre-load noise (the prototype uses the
-// Manufacturer's secure RNG; a seed keeps experiments reproducible).
+// noiseSeed seeds the pre-evict/pre-load noise generator: 0 keys it
+// from crypto/rand (the prototype's stand-in for the Manufacturer's
+// secure RNG), any other value derives the key deterministically so
+// experiments stay reproducible.
 func New(cfg Config, clock *simclock.Clock, cal simclock.Calibration, l3Key []byte, noiseSeed int64) (*Machine, error) {
 	if len(l3Key) != 32 {
 		return nil, errors.New("hevm: l3 key must be 32 bytes")
@@ -143,12 +144,16 @@ func New(cfg Config, clock *simclock.Clock, cal simclock.Calibration, l3Key []by
 	if err != nil {
 		return nil, fmt.Errorf("hevm: %w", err)
 	}
+	noise, err := newNoiseRand(noiseSeed)
+	if err != nil {
+		return nil, err
+	}
 	return &Machine{
 		cfg:     cfg,
 		clock:   clock,
 		cal:     cal,
 		aead:    aead,
-		noise:   rand.New(rand.NewSource(noiseSeed)),
+		noise:   noise,
 		l3Store: make(map[uint64][]byte),
 	}, nil
 }

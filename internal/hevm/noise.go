@@ -1,0 +1,66 @@
+package hevm
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// noiseRand generates the pre-evict/pre-load noise schedule (§IV-B,
+// A5). The schedule must be unpredictable: with a statistical PRNG an
+// adversary who reconstructs the generator state from observed swap
+// sizes can subtract the noise and recover the true frame footprints.
+// noiseRand is an AES-CTR generator — the software stand-in for the
+// Manufacturer's secure RNG — so outputs reveal nothing about future
+// outputs even across many observed bundles.
+//
+// Seeding: seed 0 draws the AES key from crypto/rand (deployment);
+// a non-zero seed derives it by hashing, keeping experiments and
+// tests reproducible without weakening the generator itself.
+type noiseRand struct {
+	stream cipher.Stream
+}
+
+func newNoiseRand(seed int64) (*noiseRand, error) {
+	var key [32]byte
+	if seed == 0 {
+		if _, err := crand.Read(key[:]); err != nil {
+			return nil, fmt.Errorf("hevm: noise key: %w", err)
+		}
+	} else {
+		h := sha256.New()
+		h.Write([]byte("hardtape-noise-v1"))
+		var s [8]byte
+		binary.BigEndian.PutUint64(s[:], uint64(seed))
+		h.Write(s[:])
+		copy(key[:], h.Sum(nil))
+	}
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("hevm: noise cipher: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	return &noiseRand{stream: cipher.NewCTR(blk, iv[:])}, nil
+}
+
+// Intn returns a uniform int in [0, n), n > 0, by rejection sampling
+// the keystream (no modulo bias — a biased noise distribution would
+// itself be a distinguisher).
+func (r *noiseRand) Intn(n int) int {
+	if n <= 0 {
+		panic("hevm: noise bound must be positive")
+	}
+	bound := uint64(n)
+	limit := math.MaxUint64 - math.MaxUint64%bound
+	for {
+		var b [8]byte
+		r.stream.XORKeyStream(b[:], b[:])
+		if v := binary.BigEndian.Uint64(b[:]); v < limit {
+			return int(v % bound)
+		}
+	}
+}

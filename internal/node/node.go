@@ -91,6 +91,8 @@ func (n *Node) BlockHash(num uint64) types.Hash {
 // it to the chain. It verifies the transaction root and parent linkage,
 // fills in the resulting state root, and rejects blocks whose
 // transactions fail validation.
+//
+//hardtape:locksafe-ok block application mutates local state only; ApplyTransaction here does no I/O and n.mu must cover the whole commit to stay atomic
 func (n *Node) ImportBlock(blk *types.Block) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -71,6 +71,7 @@ func (s *TCPServer) acceptLoop() {
 		}
 		go func() {
 			defer conn.Close()
+			//hardtape:faulterr-ok a client disconnect ends that connection only; the accept loop must survive it
 			_ = s.serveConn(conn)
 		}()
 	}
