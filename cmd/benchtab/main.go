@@ -4,6 +4,7 @@
 //	benchtab -all
 //	benchtab -fig4 -n 100
 //	benchtab -table1 -correctness -scalability -resources
+//	benchtab -all -json > results.json
 //
 // Virtual-clock timings use the calibration table in
 // internal/simclock (see DESIGN.md); shapes, not absolute values, are
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,28 @@ import (
 	"hardtape/internal/bench"
 	"hardtape/internal/hevm"
 )
+
+// jsonReport is the machine-readable form of a benchtab run. Sections
+// not selected on the command line are omitted from the output.
+type jsonReport struct {
+	Seed         int64                    `json:"seed"`
+	N            int                      `json:"n"`
+	TableI       string                   `json:"table1,omitempty"`
+	Resources    *bench.ResourceReport    `json:"resources,omitempty"`
+	Correctness  *bench.CorrectnessReport `json:"correctness,omitempty"`
+	Fig4         []bench.Fig4Row          `json:"fig4,omitempty"`
+	Fig5         []bench.Fig5Row          `json:"fig5,omitempty"`
+	Amortization []bench.AmortizationRow  `json:"amortization,omitempty"`
+	Scalability  *bench.ScalabilityReport `json:"scalability,omitempty"`
+	Ablations    *jsonAblations           `json:"ablations,omitempty"`
+}
+
+type jsonAblations struct {
+	Noise    *bench.NoiseAblation    `json:"noise,omitempty"`
+	Prefetch *bench.PrefetchAblation `json:"prefetch,omitempty"`
+	Grouping *bench.GroupingAblation `json:"grouping,omitempty"`
+	Depth    *bench.DepthAblation    `json:"depth,omitempty"`
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -36,6 +60,7 @@ func run() error {
 		scalability = flag.Bool("scalability", false, "§VI-D: throughput and ORAM-server capacity")
 		resources   = flag.Bool("resources", false, "§VI-A: resource utility audit")
 		ablations   = flag.Bool("ablations", false, "design-choice ablations (noise, prefetch, grouping, ORAM depth)")
+		asJSON      = flag.Bool("json", false, "emit results as JSON on stdout (progress goes to stderr)")
 		n           = flag.Int("n", 100, "transactions per experiment")
 		seed        = flag.Int64("seed", 19145194, "workload seed (paper's first block number)")
 		eoas        = flag.Int("eoas", 24, "synthetic EOA count")
@@ -54,7 +79,13 @@ func run() error {
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
 
-	fmt.Printf("Building evaluation environment (seed %d: %d EOAs, %d tokens, %d DEX pools)...\n\n",
+	// In -json mode stdout carries exactly one JSON document; progress
+	// and human-readable banners move to stderr.
+	progress := os.Stdout
+	if *asJSON {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "Building evaluation environment (seed %d: %d EOAs, %d tokens, %d DEX pools)...\n\n",
 		*seed, *eoas, *tokens, *dexes)
 	env, err := bench.NewEnv(bench.EnvConfig{
 		Seed: *seed, EOAs: *eoas, Tokens: *tokens, DEXes: *dexes, HEVMs: *hevms,
@@ -64,25 +95,34 @@ func run() error {
 	}
 
 	section := func(body string) {
+		if *asJSON {
+			return
+		}
 		fmt.Println(body)
 		fmt.Println("────────────────────────────────────────────────────────────")
 	}
+
+	report := jsonReport{Seed: *seed, N: *n}
 
 	if *table1 {
 		out, err := bench.TableI(env, *n)
 		if err != nil {
 			return fmt.Errorf("table1: %w", err)
 		}
+		report.TableI = out
 		section(out)
 	}
 	if *resources {
-		section(bench.Resources(hevm.DefaultConfig(), 30).Render())
+		rep := bench.Resources(hevm.DefaultConfig(), 30)
+		report.Resources = rep
+		section(rep.Render())
 	}
 	if *correctness {
 		rep, err := bench.Correctness(env, *n)
 		if err != nil {
 			return fmt.Errorf("correctness: %w", err)
 		}
+		report.Correctness = rep
 		section(rep.Render())
 	}
 	if *fig4 {
@@ -90,6 +130,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("fig4: %w", err)
 		}
+		report.Fig4 = rows
 		section(bench.RenderFig4(rows))
 	}
 	if *fig5 {
@@ -97,6 +138,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("fig5: %w", err)
 		}
+		report.Fig5 = rows
 		section(bench.RenderFig5(rows))
 	}
 	if *fig4 {
@@ -104,6 +146,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("amortization: %w", err)
 		}
+		report.Amortization = rows
 		section(bench.RenderAmortization(rows))
 	}
 	if *scalability {
@@ -111,6 +154,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("scalability: %w", err)
 		}
+		report.Scalability = rep
 		section(rep.Render())
 	}
 	if *ablations {
@@ -134,6 +178,17 @@ func run() error {
 			return fmt.Errorf("ablation depth: %w", err)
 		}
 		section(depth.Render())
+		report.Ablations = &jsonAblations{
+			Noise: noise, Prefetch: prefetch, Grouping: grouping, Depth: depth,
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
 	}
 	return nil
 }

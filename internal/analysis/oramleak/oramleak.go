@@ -24,7 +24,7 @@ import (
 // Analyzer flags direct ORAM-server access outside internal/oram.
 var Analyzer = &analysis.Analyzer{
 	Name: "oramleak",
-	Doc: "forbid raw ORAM server access (ReadPath/WritePath/TamperBucket/" +
+	Doc: "forbid raw ORAM server access (ReadPath[s]/WritePath[s]/TamperBucket/" +
 		"SetObserver) outside internal/oram; all block access goes through the client",
 	Run: run,
 }
@@ -33,6 +33,8 @@ var Analyzer = &analysis.Analyzer{
 var rawMethods = map[string]bool{
 	"ReadPath":     true,
 	"WritePath":    true,
+	"ReadPaths":    true,
+	"WritePaths":   true,
 	"TamperBucket": true,
 	"SetObserver":  true,
 }

@@ -44,19 +44,36 @@ func (r *hvReader) chargeQuery(oramBacked bool) {
 }
 
 func (r *hvReader) chargeQueryKind(oramBacked bool, kind byte) {
-	cal := r.dev.cfg.Calibration
 	if oramBacked {
 		r.drainPrefetch()
-		now := r.slot.clock.Now()
-		r.slot.prefetcher.NotifyQuery(now)
-		r.slot.queryTimes = append(r.slot.queryTimes, now)
-		r.slot.queryKinds = append(r.slot.queryKinds, kind)
-		r.slot.clock.Advance(cal.ORAMLinkRTT + cal.ORAMServerPerQuery)
-		r.slot.oramQueries++
+		r.slot.prefetcher.NotifyQuery(r.slot.clock.Now())
+		r.recordORAMQuery(kind)
 		return
 	}
 	// Prefetched-to-untrusted-memory path: one A.E.DMA page move.
-	r.slot.clock.Advance(cal.L3SwapPerPage)
+	r.slot.clock.Advance(r.dev.cfg.Calibration.L3SwapPerPage)
+}
+
+// recordORAMQuery logs one real ORAM query at the current virtual time
+// and charges its link-RTT + server cost — the single bookkeeping site
+// for every query the adversary observes.
+func (r *hvReader) recordORAMQuery(kind byte) {
+	r.recordORAMBatch(kind, 1)
+}
+
+// recordORAMBatch logs n queries issued together in one batched
+// message and charges them as OVERLAPPED virtual time: the 2 ms link
+// round trip is paid once for the whole batch, server processing
+// serially per query (simclock.Calibration.ORAMBatchCost). All n
+// queries share one timestamp — on the wire they leave back to back.
+func (r *hvReader) recordORAMBatch(kind byte, n int) {
+	now := r.slot.clock.Now()
+	for i := 0; i < n; i++ {
+		r.slot.queryTimes = append(r.slot.queryTimes, now)
+		r.slot.queryKinds = append(r.slot.queryKinds, kind)
+	}
+	r.slot.clock.Advance(r.dev.cfg.Calibration.ORAMBatchCost(n, 0))
+	r.slot.oramQueries += uint64(n)
 }
 
 // drainPrefetch issues at most ONE code prefetch whose randomized
@@ -69,7 +86,6 @@ func (r *hvReader) drainPrefetch() {
 	if !r.codeORAM {
 		return
 	}
-	cal := r.dev.cfg.Calibration
 	ref, ok := r.slot.prefetcher.PopDue(r.slot.clock.Now())
 	if !ok {
 		return
@@ -78,10 +94,7 @@ func (r *hvReader) drainPrefetch() {
 		!errors.Is(err, pager.ErrPageNotFound) {
 		panic(fmt.Errorf("core: prefetch page %d: %w", ref.Index, err))
 	}
-	r.slot.queryTimes = append(r.slot.queryTimes, r.slot.clock.Now())
-	r.slot.queryKinds = append(r.slot.queryKinds, 'c')
-	r.slot.clock.Advance(cal.ORAMLinkRTT + cal.ORAMServerPerQuery)
-	r.slot.oramQueries++
+	r.recordORAMQuery('c')
 }
 
 // Account implements state.Reader via the account-meta page.
@@ -146,15 +159,18 @@ func (r *hvReader) Code(codeHash types.Hash) []byte {
 		if r.dev.cfg.DisablePrefetch {
 			// Ablation: burst-fetch all remaining pages immediately —
 			// the distinguishable pattern §IV-D problem 3 warns about.
-			for i := uint32(1); i < pager.CodePages(codeLen); i++ {
-				if _, err := r.codeStore.ReadCodePage(codeHash, i); err != nil &&
-					!errors.Is(err, pager.ErrPageNotFound) {
-					panic(fmt.Errorf("core: code page %d of %s: %w", i, codeHash, err))
+			// The burst rides the batched ORAM path: one multi-path
+			// message (and one overlapped RTT) instead of one blocking
+			// round trip per page.
+			if n := pager.CodePages(codeLen); n > 1 {
+				indices := make([]uint32, 0, n-1)
+				for i := uint32(1); i < n; i++ {
+					indices = append(indices, i)
 				}
-				r.slot.queryTimes = append(r.slot.queryTimes, r.slot.clock.Now())
-				r.slot.queryKinds = append(r.slot.queryKinds, 'c')
-				r.slot.clock.Advance(r.dev.cfg.Calibration.ORAMLinkRTT + r.dev.cfg.Calibration.ORAMServerPerQuery)
-				r.slot.oramQueries++
+				if _, err := r.codeStore.ReadCodePages(codeHash, indices); err != nil {
+					panic(fmt.Errorf("core: code pages of %s: %w", codeHash, err))
+				}
+				r.recordORAMBatch('c', len(indices))
 			}
 		} else {
 			r.slot.prefetcher.QueueCode(codeHash, codeLen)

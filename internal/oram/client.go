@@ -2,7 +2,6 @@ package oram
 
 import (
 	"fmt"
-	"time"
 
 	"hardtape/internal/simclock"
 )
@@ -34,8 +33,30 @@ type Client struct {
 	clock  *simclock.Clock
 	cal    simclock.Calibration
 	timed  bool
+	// eviction scratch, reused across accesses (the client is
+	// single-goroutine by contract).
+	pathIdx    []uint64
+	levelLists [][]*block
+	carry      []*block
+	outCts     [][]byte
+	// batch scratch: every per-batch structure is a reused flat slice
+	// (no maps on the hot path — linear scans over ≤ batch-size node
+	// segments beat map hashing at these sizes, and allocate nothing).
+	batchLeaves []uint64
+	batchNew    []uint64
+	batchOps    []BatchOp
+	seenNodes   []uint64
+	batchNodes  []uint64 // unique path nodes, level-major segments
+	batchOffs   []int    // level → segment offset in batchNodes
+	batchBkts   []bucket // aligned with batchNodes
+	batchFill   []int    // slots filled per bucket
+	batchCts    [][]byte // sealed ciphertexts, aligned with batchNodes
+	outPaths    [][][]byte
+	outPathBufs [][]byte // flat backing for outPaths (len leaves·depth)
+	scratchBkt  bucket   // absorbPath's decode target
 	// stats
 	accesses   uint64
+	batches    uint64
 	maxStash   int
 	bytesMoved uint64
 }
@@ -71,6 +92,9 @@ func NewClient(server Server, key []byte, opts ...ClientOption) (*Client, error)
 		depth:  server.Depth(),
 		leaves: server.Leaves(),
 	}
+	c.pathIdx = make([]uint64, c.depth)
+	c.levelLists = make([][]*block, c.depth)
+	c.outCts = make([][]byte, c.depth)
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -102,6 +126,123 @@ func (c *Client) Write(id BlockID, data []byte) error {
 	return err
 }
 
+// BatchOp is one logical operation inside an AccessBatch.
+type BatchOp struct {
+	Op   Op
+	ID   BlockID
+	Data []byte // OpWrite payload, at most BlockSize
+}
+
+// ReadMany fetches many blocks with ONE server round trip for the
+// whole set (ReadPaths + WritePaths) instead of one per block. The
+// result is aligned with ids; missing blocks yield nil entries, each
+// after a full oblivious path access. Every id still gets its own
+// fresh remap and uniform leaf, so the adversary-visible leaf
+// sequence is distributed exactly as for sequential accesses.
+func (c *Client) ReadMany(ids []BlockID) ([][]byte, error) {
+	ops := c.batchOps[:0]
+	for _, id := range ids {
+		ops = append(ops, BatchOp{Op: OpRead, ID: id})
+	}
+	c.batchOps = ops
+	return c.AccessBatch(ops)
+}
+
+// AccessBatch performs a mixed read/write batch in one server round
+// trip. The returned slice is aligned with ops and holds each block's
+// prior contents (nil when absent).
+func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if len(ops) == 1 {
+		out, err := c.access(ops[0].Op, ops[0].ID, ops[0].Data)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{out}, nil
+	}
+	for _, op := range ops {
+		if op.Op == OpWrite && len(op.Data) > BlockSize {
+			return nil, ErrBlockTooBig
+		}
+	}
+
+	// Remap every block before touching the server (obliviousness
+	// requirement): each op draws its own uniform leaf, exactly as in
+	// the sequential protocol.
+	leaves := c.batchLeaves[:0]
+	newLeaves := c.batchNew[:0]
+	for _, op := range ops {
+		leaf, known := c.pos.Get(op.ID)
+		if !known {
+			leaf = randomLeaf(c.leaves)
+		}
+		nl := randomLeaf(c.leaves)
+		leaves = append(leaves, leaf)
+		newLeaves = append(newLeaves, nl)
+		c.pos.Set(op.ID, nl)
+	}
+	c.batchLeaves, c.batchNew = leaves, newLeaves
+
+	paths, err := c.server.ReadPaths(leaves)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) != len(leaves) {
+		return nil, fmt.Errorf("%w: got %d paths, want %d", ErrBadBucket, len(paths), len(leaves))
+	}
+	// Absorb each path once; buckets shared between paths in the batch
+	// are decrypted only once.
+	c.seenNodes = c.seenNodes[:0]
+	for i, encrypted := range paths {
+		pathIndicesInto(leaves[i], c.depth, c.pathIdx)
+		if err := c.absorbPath(c.pathIdx, encrypted, true); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([][]byte, len(ops))
+	for i, op := range ops {
+		blk, ok := c.stash[op.ID]
+		if ok {
+			blk.leaf = newLeaves[i]
+			data := make([]byte, BlockSize)
+			copy(data, blk.data)
+			out[i] = data
+		}
+		if op.Op == OpWrite {
+			if !ok {
+				blk = getBlockStruct()
+				blk.id = op.ID
+				c.stash[op.ID] = blk
+			}
+			blk.leaf = newLeaves[i]
+			n := copy(blk.data, op.Data)
+			for j := n; j < BlockSize; j++ {
+				blk.data[j] = 0
+			}
+		}
+	}
+
+	if err := c.evictPaths(leaves); err != nil {
+		return nil, err
+	}
+
+	c.accesses += uint64(len(ops))
+	c.batches++
+	if len(c.stash) > c.maxStash {
+		c.maxStash = len(c.stash)
+	}
+	if len(c.stash) > stashSafetyFactor*c.depth+BucketSize*len(ops) {
+		return nil, fmt.Errorf("%w: %d blocks at depth %d", ErrStashOverrun, len(c.stash), c.depth)
+	}
+	if c.timed {
+		c.chargeBatch(len(ops))
+	}
+	return out, nil
+}
+
 // access is the Path ORAM protocol: remap, read path into stash,
 // mutate, evict path.
 func (c *Client) access(op Op, id BlockID, newData []byte) ([]byte, error) {
@@ -118,15 +259,23 @@ func (c *Client) access(op Op, id BlockID, newData []byte) ([]byte, error) {
 	}
 
 	var out []byte
-	if blk, ok := c.stash[id]; ok {
+	blk, ok := c.stash[id]
+	if ok {
 		blk.leaf = newLeaf
 		out = make([]byte, BlockSize)
 		copy(out, blk.data)
 	}
 	if op == OpWrite {
-		padded := make([]byte, BlockSize)
-		copy(padded, newData)
-		c.stash[id] = &block{id: id, leaf: newLeaf, data: padded}
+		if !ok {
+			blk = getBlockStruct()
+			blk.id = id
+			c.stash[id] = blk
+		}
+		blk.leaf = newLeaf
+		n := copy(blk.data, newData)
+		for i := n; i < BlockSize; i++ {
+			blk.data[i] = 0
+		}
 	}
 
 	if err := c.evictPath(leaf); err != nil {
@@ -152,83 +301,290 @@ func (c *Client) readPathIntoStash(leaf uint64) error {
 	if err != nil {
 		return err
 	}
-	idx := pathIndices(leaf, c.depth)
+	pathIndicesInto(leaf, c.depth, c.pathIdx)
+	return c.absorbPath(c.pathIdx, encrypted, false)
+}
+
+// absorbPath decrypts a path's buckets into the stash. Each real block
+// is copied exactly once, into a pooled buffer; the decrypted bucket
+// plaintext itself lives in a pooled scratch buffer. With dedup set,
+// buckets already seen by an earlier path of the same batch are
+// skipped (c.seenNodes carries the batch's visited node set). The
+// received ciphertexts are owned by the client (both MemServer and the
+// TCP transport hand over fresh copies) and recycle to the cipher pool
+// here once consumed.
+func (c *Client) absorbPath(idx []uint64, encrypted [][]byte, dedup bool) error {
+	if len(encrypted) > len(idx) {
+		return fmt.Errorf("%w: %d buckets on a depth-%d path", ErrBadBucket, len(encrypted), len(idx))
+	}
+	pt := getPlainBuf()
+	defer putPlainBuf(pt)
 	for i, ct := range encrypted {
-		if ct == nil {
+		if len(ct) == 0 {
 			continue // never-written bucket
 		}
-		pt, err := c.crypt.open(idx[i], ct)
+		if dedup {
+			if containsU64(c.seenNodes, idx[i]) {
+				putCipherBuf(ct)
+				encrypted[i] = nil
+				continue
+			}
+			c.seenNodes = append(c.seenNodes, idx[i])
+		}
+		ptb, err := c.crypt.openInto(idx[i], ct, pt[:0])
 		if err != nil {
 			return err
 		}
-		bkt, err := parseBucket(pt)
-		if err != nil {
+		c.bytesMoved += uint64(len(ct))
+		putCipherBuf(ct)
+		encrypted[i] = nil
+		bkt := &c.scratchBkt
+		if err := parseBucketInto(bkt, ptb); err != nil {
 			return err
 		}
 		for _, s := range bkt.slots {
 			if uint64(s.id) == dummyID {
 				continue
 			}
-			cp := s
-			data := make([]byte, BlockSize)
-			copy(data, s.data)
-			cp.data = data
-			c.stash[s.id] = &cp
+			if _, ok := c.stash[s.id]; ok {
+				// The stash copy is authoritative: a block lives in
+				// exactly one place, so a tree copy next to a stash
+				// copy can only be a stale duplicate.
+				continue
+			}
+			blk := getBlockStruct()
+			blk.id, blk.leaf = s.id, s.leaf
+			copy(blk.data, s.data)
+			c.stash[s.id] = blk
 		}
-		c.bytesMoved += uint64(len(ct))
 	}
 	return nil
 }
 
+// containsU64 reports whether v is in s (linear scan: batch node sets
+// are tens of entries, where a map would hash and allocate).
+func containsU64(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // evictPath greedily pushes stash blocks as deep as possible along the
 // just-read path, then re-encrypts and writes every bucket back.
+//
+// Instead of rescanning the whole stash per level (O(stash·depth)),
+// blocks are bucketed once by the deepest level at which their own
+// path intersects the eviction path; a block with intersection level
+// L can live at any level ≤ L, so unplaced blocks cascade toward the
+// root as the fill proceeds deepest-first.
 func (c *Client) evictPath(leaf uint64) error {
-	idx := pathIndices(leaf, c.depth)
-	out := make([][]byte, len(idx))
-	// Deepest level first.
+	pathIndicesInto(leaf, c.depth, c.pathIdx)
+
+	lists := c.levelLists
+	for i := range lists {
+		lists[i] = lists[i][:0]
+	}
+	for _, blk := range c.stash {
+		l := intersectLevel(blk.leaf, leaf, c.depth)
+		lists[l] = append(lists[l], blk)
+	}
+
+	carry := c.carry[:0]
+	pt := getPlainBuf()
+	defer putPlainBuf(pt)
+	out := c.outCts
 	for level := c.depth - 1; level >= 0; level-- {
-		bkt := newEmptyBucket()
+		carry = append(carry, lists[level]...)
+		var bkt bucket
 		filled := 0
-		for id, blk := range c.stash {
-			if filled == BucketSize {
-				break
-			}
-			if c.pathNode(blk.leaf, level) == idx[level] {
-				bkt.slots[filled] = *blk
-				filled++
-				delete(c.stash, id)
-			}
+		for filled < BucketSize && len(carry) > 0 {
+			blk := carry[len(carry)-1]
+			carry = carry[:len(carry)-1]
+			bkt.slots[filled] = *blk
+			filled++
+			delete(c.stash, blk.id)
+			blk.data = nil // ownership moved into the bucket slot
+			putBlockStruct(blk)
 		}
-		ct, err := c.crypt.seal(idx[level], bkt.serialize())
+		for i := filled; i < BucketSize; i++ {
+			bkt.slots[i].id = BlockID(dummyID)
+			bkt.slots[i].data = nil
+		}
+		bkt.serializeInto(pt)
+		for i := 0; i < filled; i++ {
+			putBlockBuf(bkt.slots[i].data)
+		}
+		ct, err := c.crypt.sealInto(c.pathIdx[level], pt, getCipherBuf())
 		if err != nil {
 			return err
 		}
 		out[level] = ct
 		c.bytesMoved += uint64(len(ct))
 	}
-	return c.server.WritePath(leaf, out)
+	c.carry = carry[:0]
+
+	err := c.server.WritePath(leaf, out)
+	for i, ct := range out {
+		putCipherBuf(ct)
+		out[i] = nil
+	}
+	return err
+}
+
+// evictPaths is the batched eviction: the union of the just-read
+// paths' buckets is refilled deepest-first from the full stash, each
+// unique bucket is sealed once, and all paths are written back in a
+// single server round trip. Buckets shared between paths carry the
+// same ciphertext in every containing path, so the server state is
+// identical to writing the deduplicated set.
+//
+// All working state lives in reused client scratch; node lookups are
+// linear scans over per-level segments of at most len(leaves) entries.
+func (c *Client) evictPaths(leaves []uint64) error {
+	depth := c.depth
+
+	// Unique path nodes, level-major: batchNodes[offs[l]:offs[l+1]]
+	// holds level l's nodes, first-occurrence order.
+	nodes := c.batchNodes[:0]
+	offs := c.batchOffs[:0]
+	for level := 0; level < depth; level++ {
+		offs = append(offs, len(nodes))
+		shift := uint(depth - 1 - level)
+		for _, leaf := range leaves {
+			nd := (leaf + (uint64(1) << (depth - 1))) >> shift
+			if !containsU64(nodes[offs[level]:], nd) {
+				nodes = append(nodes, nd)
+			}
+		}
+	}
+	offs = append(offs, len(nodes))
+	c.batchNodes, c.batchOffs = nodes, offs
+
+	// Reset the bucket scratch, one (empty) bucket per unique node.
+	if cap(c.batchBkts) < len(nodes) {
+		c.batchBkts = make([]bucket, len(nodes))
+		c.batchFill = make([]int, len(nodes))
+		c.batchCts = make([][]byte, len(nodes))
+	}
+	bkts := c.batchBkts[:len(nodes)]
+	fill := c.batchFill[:len(nodes)]
+	for i := range bkts {
+		fill[i] = 0
+		for si := range bkts[i].slots {
+			bkts[i].slots[si].id = BlockID(dummyID)
+			bkts[i].slots[si].data = nil
+		}
+	}
+
+	// Fill deepest-first: at each level, one stash pass assigns each
+	// block to its (unique) ancestor bucket at that level, if present
+	// in the batch and not yet full.
+	for level := depth - 1; level >= 0; level-- {
+		seg := nodes[offs[level]:offs[level+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		shift := uint(depth - 1 - level)
+		for id, blk := range c.stash {
+			nd := (blk.leaf + (uint64(1) << (depth - 1))) >> shift
+			bi := -1
+			for j, x := range seg {
+				if x == nd {
+					bi = offs[level] + j
+					break
+				}
+			}
+			if bi < 0 || fill[bi] == BucketSize {
+				continue
+			}
+			bkts[bi].slots[fill[bi]] = *blk
+			fill[bi]++
+			delete(c.stash, id)
+			blk.data = nil // ownership moved into the bucket slot
+			putBlockStruct(blk)
+		}
+	}
+
+	pt := getPlainBuf()
+	defer putPlainBuf(pt)
+	cts := c.batchCts[:len(nodes)]
+	for i := range bkts {
+		bkts[i].serializeInto(pt)
+		for si := 0; si < fill[i]; si++ {
+			putBlockBuf(bkts[i].slots[si].data)
+			bkts[i].slots[si].data = nil
+		}
+		ct, err := c.crypt.sealInto(nodes[i], pt, getCipherBuf())
+		if err != nil {
+			return err
+		}
+		cts[i] = ct
+		c.bytesMoved += uint64(len(ct))
+	}
+
+	// Expand the deduplicated set to per-path bucket lists; duplicates
+	// share one ciphertext slice (idempotent rewrites server-side).
+	if cap(c.outPathBufs) < len(leaves)*depth {
+		c.outPathBufs = make([][]byte, len(leaves)*depth)
+		c.outPaths = make([][][]byte, 0, len(leaves))
+	}
+	flat := c.outPathBufs[:len(leaves)*depth]
+	outPaths := c.outPaths[:0]
+	for i, leaf := range leaves {
+		path := flat[i*depth : (i+1)*depth]
+		for level := 0; level < depth; level++ {
+			nd := (leaf + (uint64(1) << (depth - 1))) >> uint(depth-1-level)
+			seg := nodes[offs[level]:offs[level+1]]
+			for j, x := range seg {
+				if x == nd {
+					path[level] = cts[offs[level]+j]
+					break
+				}
+			}
+		}
+		outPaths = append(outPaths, path)
+	}
+	c.outPaths = outPaths
+
+	err := c.server.WritePaths(leaves, outPaths)
+	for i := range cts {
+		putCipherBuf(cts[i])
+		cts[i] = nil
+	}
+	for i := range flat {
+		flat[i] = nil
+	}
+	return err
 }
 
 // pathNode returns the heap index of the given level on leaf's path.
 func (c *Client) pathNode(leaf uint64, level int) uint64 {
 	node := leaf + (uint64(1) << (c.depth - 1))
-	for l := c.depth - 1; l > level; l-- {
-		node /= 2
-	}
-	return node
+	return node >> uint(c.depth-1-level)
 }
 
 // chargeAccess advances the virtual clock for one path access.
 func (c *Client) chargeAccess() {
-	blocksOnPath := uint64(c.depth * BucketSize)
-	c.clock.Advance(c.cal.ORAMLinkRTT +
-		c.cal.ORAMServerPerQuery +
-		time.Duration(blocksOnPath)*c.cal.ORAMClientPerBlock)
+	c.clock.Advance(c.cal.ORAMBatchCost(1, c.depth*BucketSize))
+}
+
+// chargeBatch advances the virtual clock for a batched access: the
+// link RTT is paid once for the whole batch (the queries travel in one
+// pipelined message), while server processing and per-block client
+// work remain serial per query.
+func (c *Client) chargeBatch(n int) {
+	c.clock.Advance(c.cal.ORAMBatchCost(n, n*c.depth*BucketSize))
 }
 
 // Stats reports client counters.
 type Stats struct {
-	Accesses   uint64
+	Accesses uint64
+	// Batches counts AccessBatch round trips (each covering one or
+	// more of the Accesses).
+	Batches    uint64
 	MaxStash   int
 	StashSize  int
 	BytesMoved uint64
@@ -239,6 +595,7 @@ type Stats struct {
 func (c *Client) Stats() Stats {
 	return Stats{
 		Accesses:   c.accesses,
+		Batches:    c.batches,
 		MaxStash:   c.maxStash,
 		StashSize:  len(c.stash),
 		BytesMoved: c.bytesMoved,

@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync"
 )
 
 // Protocol constants.
@@ -73,41 +75,158 @@ func newEmptyBucket() *bucket {
 // serialize encodes the bucket to its fixed plaintext layout.
 func (b *bucket) serialize() []byte {
 	out := make([]byte, bucketPlain)
+	b.serializeInto(out)
+	return out
+}
+
+// serializeInto encodes the bucket into a caller-owned bucketPlain
+// buffer. Dummy-slot data regions are zeroed so a reused buffer never
+// carries stale plaintext into the next seal.
+func (b *bucket) serializeInto(out []byte) {
 	off := 0
 	for _, s := range b.slots {
 		binary.BigEndian.PutUint64(out[off:], uint64(s.id))
 		binary.BigEndian.PutUint64(out[off+8:], s.leaf)
-		copy(out[off+slotHeader:off+slotHeader+BlockSize], s.data)
+		body := out[off+slotHeader : off+slotHeader+BlockSize]
+		if s.data == nil {
+			for i := range body {
+				body[i] = 0
+			}
+		} else {
+			copy(body, s.data)
+		}
 		off += slotHeader + BlockSize
 	}
-	return out
 }
 
-// parseBucket decodes the fixed plaintext layout.
+// parseBucket decodes the fixed plaintext layout. Slot data ALIASES
+// the input buffer (no copy): callers that retain blocks past the
+// lifetime of data must copy them out first.
 func parseBucket(data []byte) (*bucket, error) {
-	if len(data) != bucketPlain {
-		return nil, fmt.Errorf("%w: plaintext length %d", ErrBadBucket, len(data))
+	b := new(bucket)
+	if err := parseBucketInto(b, data); err != nil {
+		return nil, err
 	}
-	var b bucket
+	return b, nil
+}
+
+// parseBucketInto is parseBucket decoding into a caller-owned bucket
+// (the hot path parses one bucket per decrypt; a fresh struct per call
+// would escape to the heap every time).
+func parseBucketInto(b *bucket, data []byte) error {
+	if len(data) != bucketPlain {
+		return fmt.Errorf("%w: plaintext length %d", ErrBadBucket, len(data))
+	}
 	off := 0
 	for i := range b.slots {
 		b.slots[i].id = BlockID(binary.BigEndian.Uint64(data[off:]))
 		b.slots[i].leaf = binary.BigEndian.Uint64(data[off+8:])
 		if uint64(b.slots[i].id) != dummyID {
-			blk := make([]byte, BlockSize)
-			copy(blk, data[off+slotHeader:off+slotHeader+BlockSize])
-			b.slots[i].data = blk
+			b.slots[i].data = data[off+slotHeader : off+slotHeader+BlockSize]
+		} else {
+			b.slots[i].data = nil
 		}
 		off += slotHeader + BlockSize
 	}
-	return &b, nil
+	return nil
+}
+
+// --- buffer pools -------------------------------------------------------
+//
+// seal/open/parseBucket run once per bucket per access; at depth d and
+// Z=4 that is 2d seals + up to d opens per logical access. Pooling the
+// three hot buffer classes (1 KB block bodies, bucketPlain plaintexts,
+// bucketPlain+overhead ciphertexts) removes them from the allocation
+// profile entirely.
+
+// The pools store POINTERS TO FIXED-SIZE ARRAYS, not slices: a pointer
+// fits an interface word, so Get/Put are allocation-free, where putting
+// a []byte would box the slice header on every Put.
+
+var blockBufPool = sync.Pool{
+	New: func() any { return new([BlockSize]byte) },
+}
+
+// getBlockBuf returns a BlockSize scratch buffer (contents undefined).
+func getBlockBuf() []byte { return blockBufPool.Get().(*[BlockSize]byte)[:] }
+
+// putBlockBuf recycles a buffer previously returned by getBlockBuf.
+func putBlockBuf(b []byte) {
+	if len(b) == BlockSize && cap(b) == BlockSize {
+		blockBufPool.Put((*[BlockSize]byte)(b))
+	}
+}
+
+// blockStructPool recycles stash block structs; their data buffers
+// come from blockBufPool and move ownership on eviction.
+var blockStructPool = sync.Pool{
+	New: func() any { return new(block) },
+}
+
+// getBlockStruct returns a stash block with a pooled BlockSize data
+// buffer attached (contents undefined).
+func getBlockStruct() *block {
+	b := blockStructPool.Get().(*block)
+	if b.data == nil {
+		b.data = getBlockBuf()
+	}
+	return b
+}
+
+// putBlockStruct recycles a stash block struct. The caller must have
+// taken ownership of (or recycled) the data buffer and set it nil if
+// it is no longer this block's to keep.
+func putBlockStruct(b *block) {
+	blockStructPool.Put(b)
+}
+
+var plainBufPool = sync.Pool{
+	New: func() any { return new([bucketPlain]byte) },
+}
+
+func getPlainBuf() []byte { return plainBufPool.Get().(*[bucketPlain]byte)[:] }
+
+func putPlainBuf(b []byte) {
+	if len(b) == bucketPlain && cap(b) == bucketPlain {
+		plainBufPool.Put((*[bucketPlain]byte)(b))
+	}
+}
+
+// cipherBufCap covers nonce + bucketPlain + GCM tag with headroom. Wire
+// and server bucket copies share this pool: every sealed bucket fits.
+const cipherBufCap = bucketPlain + 64
+
+var cipherBufPool = sync.Pool{
+	New: func() any { return new([cipherBufCap]byte) },
+}
+
+func getCipherBuf() []byte {
+	p := cipherBufPool.Get().(*[cipherBufCap]byte)
+	return p[:0]
+}
+
+func putCipherBuf(b []byte) {
+	if cap(b) == cipherBufCap {
+		cipherBufPool.Put((*[cipherBufCap]byte)(b[:cipherBufCap]))
+	}
 }
 
 // cryptor performs the randomized re-encryption of buckets (AES-GCM:
 // fresh nonce every write, so identical plaintexts are unlinkable, and
 // any off-chip tampering is detected — paper attack A6).
+//
+// Nonces are drawn from the CSPRNG in bulk: one rand.Read refills a
+// scratch block covering many seals, amortizing the getrandom syscall
+// over a whole path (or batch) eviction. Each seal still consumes
+// fresh, never-reused CSPRNG output. The cryptor shares its owning
+// Client's single-goroutine contract.
 type cryptor struct {
-	aead cipher.AEAD
+	aead     cipher.AEAD
+	nonceBuf [32 * 16]byte
+	nonceOff int
+	// adBuf is the associated-data scratch; a local array would escape
+	// through the cipher.AEAD interface and allocate on every call.
+	adBuf [8]byte
 }
 
 func newCryptor(key []byte) (*cryptor, error) {
@@ -122,31 +241,57 @@ func newCryptor(key []byte) (*cryptor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("oram: %w", err)
 	}
-	return &cryptor{aead: aead}, nil
+	c := &cryptor{aead: aead}
+	c.nonceOff = len(c.nonceBuf) // force a refill on first use
+	return c, nil
+}
+
+// nextNonce returns ns bytes of fresh CSPRNG output, refilling the
+// bulk buffer when exhausted.
+func (c *cryptor) nextNonce(ns int) ([]byte, error) {
+	if c.nonceOff+ns > len(c.nonceBuf) {
+		if _, err := rand.Read(c.nonceBuf[:]); err != nil {
+			return nil, fmt.Errorf("oram: nonce: %w", err)
+		}
+		c.nonceOff = 0
+	}
+	n := c.nonceBuf[c.nonceOff : c.nonceOff+ns]
+	c.nonceOff += ns
+	return n, nil
 }
 
 // seal encrypts a bucket plaintext with a fresh random nonce. The
 // bucket index is bound as associated data to prevent relocation.
 func (c *cryptor) seal(bucketIdx uint64, plaintext []byte) ([]byte, error) {
-	nonce := make([]byte, c.aead.NonceSize())
-	if _, err := rand.Read(nonce); err != nil {
-		return nil, fmt.Errorf("oram: nonce: %w", err)
+	return c.sealInto(bucketIdx, plaintext, nil)
+}
+
+// sealInto is seal appending nonce||ciphertext to dst (pass a pooled
+// buffer truncated to length 0 to avoid the allocation).
+func (c *cryptor) sealInto(bucketIdx uint64, plaintext, dst []byte) ([]byte, error) {
+	nonce, err := c.nextNonce(c.aead.NonceSize())
+	if err != nil {
+		return nil, err
 	}
-	var ad [8]byte
-	binary.BigEndian.PutUint64(ad[:], bucketIdx)
-	out := c.aead.Seal(nonce, nonce, plaintext, ad[:])
-	return out, nil
+	binary.BigEndian.PutUint64(c.adBuf[:], bucketIdx)
+	dst = append(dst, nonce...)
+	return c.aead.Seal(dst, nonce, plaintext, c.adBuf[:]), nil
 }
 
 // open decrypts and authenticates a bucket ciphertext.
 func (c *cryptor) open(bucketIdx uint64, ciphertext []byte) ([]byte, error) {
+	return c.openInto(bucketIdx, ciphertext, nil)
+}
+
+// openInto is open appending the plaintext to dst (pass a pooled
+// buffer truncated to length 0 to avoid the allocation).
+func (c *cryptor) openInto(bucketIdx uint64, ciphertext, dst []byte) ([]byte, error) {
 	ns := c.aead.NonceSize()
 	if len(ciphertext) < ns {
 		return nil, ErrTampered
 	}
-	var ad [8]byte
-	binary.BigEndian.PutUint64(ad[:], bucketIdx)
-	pt, err := c.aead.Open(nil, ciphertext[:ns], ciphertext[ns:], ad[:])
+	binary.BigEndian.PutUint64(c.adBuf[:], bucketIdx)
+	pt, err := c.aead.Open(dst, ciphertext[:ns], ciphertext[ns:], c.adBuf[:])
 	if err != nil {
 		return nil, ErrTampered
 	}
@@ -173,6 +318,26 @@ func pathIndices(leaf uint64, depth int) []uint64 {
 		node /= 2
 	}
 	return out
+}
+
+// pathIndicesInto is pathIndices writing into a caller-owned slice of
+// length depth.
+func pathIndicesInto(leaf uint64, depth int, out []uint64) {
+	node := leaf + (uint64(1) << (depth - 1))
+	for i := depth - 1; i >= 0; i-- {
+		out[i] = node
+		node /= 2
+	}
+}
+
+// intersectLevel returns the deepest tree level (0 = root) shared by
+// the paths to leaves a and b: the level below which the two paths
+// diverge. Equal leaves share the whole path (depth-1).
+func intersectLevel(a, b uint64, depth int) int {
+	if a == b {
+		return depth - 1
+	}
+	return depth - 1 - bits.Len64(a^b)
 }
 
 // treeDepth returns the number of levels needed for capacity blocks:

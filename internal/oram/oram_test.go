@@ -455,6 +455,230 @@ func TestTreeDepth(t *testing.T) {
 	}
 }
 
+func TestBatchReadWriteRoundTrip(t *testing.T) {
+	cli, _ := newTestORAM(t, 256)
+	ops := make([]BatchOp, 8)
+	for i := range ops {
+		ops[i] = BatchOp{Op: OpWrite, ID: BlockID(i), Data: []byte(fmt.Sprintf("batch-%d", i))}
+	}
+	if _, err := cli.AccessBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]BlockID, 8)
+	for i := range ids {
+		ids[i] = BlockID(i)
+	}
+	got, err := cli.ReadMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("got %d results for %d ids", len(got), len(ids))
+	}
+	for i, data := range got {
+		want := fmt.Sprintf("batch-%d", i)
+		if data == nil || string(data[:len(want)]) != want {
+			t.Fatalf("block %d corrupted in batch read", i)
+		}
+		if len(data) != BlockSize {
+			t.Fatalf("batch blocks must be fixed size, got %d", len(data))
+		}
+	}
+	// Batched and sequential paths interoperate on the same tree.
+	one, err := cli.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(one[:7]) != "batch-3" {
+		t.Fatal("sequential read after batch write failed")
+	}
+	if cli.Stats().Batches == 0 {
+		t.Fatal("batches counter never bumped")
+	}
+}
+
+func TestBatchMissingBlocks(t *testing.T) {
+	cli, _ := newTestORAM(t, 64)
+	if err := cli.Write(1, []byte("present")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadMany([]BlockID{1, 42, 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == nil || got[1] != nil || got[2] != nil {
+		t.Fatalf("missing blocks must be nil entries: %v", []bool{got[0] == nil, got[1] == nil, got[2] == nil})
+	}
+	// Misses still perform full oblivious path accesses.
+	if cli.Stats().Accesses != 4 {
+		t.Fatalf("accesses = %d, want 4", cli.Stats().Accesses)
+	}
+}
+
+func TestBatchDuplicateIDs(t *testing.T) {
+	cli, _ := newTestORAM(t, 64)
+	if err := cli.Write(7, []byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadMany([]BlockID{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range got {
+		if data == nil || string(data[:3]) != "dup" {
+			t.Fatalf("duplicate id read %d failed", i)
+		}
+	}
+	// And the block survives the multi-remap.
+	after, err := cli.Read(7)
+	if err != nil || string(after[:3]) != "dup" {
+		t.Fatalf("block lost after duplicate batch: %v", err)
+	}
+}
+
+// TestBatchLeafSequenceLooksUniform is the batched twin of
+// TestLeafSequenceLooksUniform: hammering ONE block through ReadMany
+// (including duplicate ids inside one batch) must still show a uniform
+// adversary-observed leaf sequence, because every op in a batch draws
+// its own fresh remap.
+func TestBatchLeafSequenceLooksUniform(t *testing.T) {
+	var leaves []uint64
+	srv, err := NewMemServer(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetObserver(func(ev AccessEvent) {
+		if !ev.Write {
+			leaves = append(leaves, ev.Leaf)
+		}
+	})
+	cli, err := NewClient(srv, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Write(99, []byte("hot block")); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 500
+	for i := 0; i < rounds; i++ {
+		if _, err := cli.ReadMany([]BlockID{99, 99, 99, 99}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make(map[uint64]int)
+	for _, l := range leaves {
+		counts[l]++
+	}
+	n := srv.Leaves()
+	expected := float64(len(leaves)) / float64(n)
+	var chi2 float64
+	for leaf := uint64(0); leaf < n; leaf++ {
+		diff := float64(counts[leaf]) - expected
+		chi2 += diff * diff / expected
+	}
+	df := float64(n - 1)
+	if chi2 > df+6*1.4142*df {
+		t.Fatalf("batched leaf distribution non-uniform: chi2=%.1f df=%.0f", chi2, df)
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if float64(maxCount) > 10*expected {
+		t.Fatalf("one leaf appears %dx (expected %.1f) — batched access pattern leaks", maxCount, expected)
+	}
+}
+
+// TestBatchStashStaysBounded is the batched twin of
+// TestStashStaysBounded: union eviction must keep the stash O(log n)
+// just like per-access eviction.
+func TestBatchStashStaysBounded(t *testing.T) {
+	cli, _ := newTestORAM(t, 512)
+	rng := mrand.New(mrand.NewSource(43))
+	for round := 0; round < 60; round++ {
+		ops := make([]BatchOp, 8)
+		for i := range ops {
+			if rng.Intn(3) == 0 {
+				ops[i] = BatchOp{Op: OpRead, ID: BlockID(rng.Intn(300))}
+			} else {
+				ops[i] = BatchOp{Op: OpWrite, ID: BlockID(rng.Intn(300)), Data: []byte{byte(round), byte(i)}}
+			}
+		}
+		if _, err := cli.AccessBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := cli.Stats()
+	if stats.MaxStash > 8*stats.Depth {
+		t.Fatalf("batched stash grew to %d (depth %d)", stats.MaxStash, stats.Depth)
+	}
+}
+
+// Property: mixed batched and sequential ops behave exactly like a map.
+func TestQuickBatchMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		srv, err := NewMemServer(128)
+		if err != nil {
+			return false
+		}
+		cli, err := NewClient(srv, testKey())
+		if err != nil {
+			return false
+		}
+		ref := map[BlockID][]byte{}
+		for round := 0; round < 25; round++ {
+			if rng.Intn(3) == 0 {
+				// Interleave a sequential op.
+				id := BlockID(rng.Intn(40))
+				v := []byte(fmt.Sprintf("s%d", rng.Intn(1000)))
+				if err := cli.Write(id, v); err != nil {
+					return false
+				}
+				ref[id] = v
+				continue
+			}
+			ops := make([]BatchOp, 2+rng.Intn(7))
+			want := make([][]byte, len(ops))
+			for i := range ops {
+				id := BlockID(rng.Intn(40))
+				// The batch semantics return the PRIOR content; compute
+				// the expectation against the evolving reference, which
+				// earlier ops in the same batch may have written.
+				want[i] = ref[id]
+				if rng.Intn(2) == 0 {
+					v := []byte(fmt.Sprintf("b%d", rng.Intn(1000)))
+					ops[i] = BatchOp{Op: OpWrite, ID: id, Data: v}
+					ref[id] = v
+				} else {
+					ops[i] = BatchOp{Op: OpRead, ID: id}
+				}
+			}
+			got, err := cli.AccessBatch(ops)
+			if err != nil {
+				return false
+			}
+			for i := range ops {
+				if want[i] == nil {
+					if got[i] != nil {
+						return false
+					}
+					continue
+				}
+				if got[i] == nil || !bytes.Equal(got[i][:len(want[i])], want[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkORAMAccess(b *testing.B) {
 	cli, _ := newTestORAM(b, 4096)
 	payload := make([]byte, BlockSize)

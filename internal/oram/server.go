@@ -15,6 +15,15 @@ type Server interface {
 	// WritePath stores the encrypted buckets along the path to leaf,
 	// root first.
 	WritePath(leaf uint64, buckets [][]byte) error
+	// ReadPaths returns the encrypted buckets along each leaf's path in
+	// one server round trip (batched transports pay one link RTT for
+	// the whole set). The result is aligned with leaves.
+	ReadPaths(leaves []uint64) ([][][]byte, error)
+	// WritePaths stores the encrypted buckets along each leaf's path in
+	// one server round trip. Buckets shared between paths carry
+	// identical ciphertexts, so write order within the batch is
+	// immaterial.
+	WritePaths(leaves []uint64, paths [][][]byte) error
 	// Depth returns the tree depth (levels).
 	Depth() int
 	// Leaves returns the number of leaves.
@@ -41,6 +50,8 @@ type MemServer struct {
 	leaves  uint64
 	buckets [][]byte // heap layout, 1-indexed (index 0 unused)
 	seq     uint64
+	// idxScratch holds one path's node indices; guarded by mu.
+	idxScratch []uint64
 	// observer receives the adversary-visible trace; may be nil.
 	observer func(AccessEvent)
 }
@@ -55,9 +66,10 @@ func NewMemServer(capacity uint64) (*MemServer, error) {
 	depth := treeDepth(capacity)
 	nodes := (uint64(1) << depth) // 1-indexed heap with 2^depth-1 nodes
 	return &MemServer{
-		depth:   depth,
-		leaves:  uint64(1) << (depth - 1),
-		buckets: make([][]byte, nodes),
+		depth:      depth,
+		leaves:     uint64(1) << (depth - 1),
+		buckets:    make([][]byte, nodes),
+		idxScratch: make([]uint64, depth),
 	}, nil
 }
 
@@ -78,44 +90,97 @@ func (s *MemServer) Leaves() uint64 { return s.leaves }
 func (s *MemServer) ReadPath(leaf uint64) ([][]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	out := make([][]byte, s.depth)
+	if err := s.readPathLocked(leaf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readPathLocked copies the path's buckets into out (length depth).
+func (s *MemServer) readPathLocked(leaf uint64, out [][]byte) error {
 	if leaf >= s.leaves {
-		return nil, fmt.Errorf("oram: leaf %d out of range (%d leaves)", leaf, s.leaves)
+		return fmt.Errorf("oram: leaf %d out of range (%d leaves)", leaf, s.leaves)
 	}
 	s.seq++
 	if s.observer != nil {
 		s.observer(AccessEvent{Seq: s.seq, Leaf: leaf})
 	}
-	idx := pathIndices(leaf, s.depth)
-	out := make([][]byte, len(idx))
-	for i, node := range idx {
-		if s.buckets[node] != nil {
-			cp := make([]byte, len(s.buckets[node]))
-			copy(cp, s.buckets[node])
+	pathIndicesInto(leaf, s.depth, s.idxScratch)
+	for i, node := range s.idxScratch {
+		out[i] = nil
+		if b := s.buckets[node]; b != nil {
+			// Copies are caller-owned; sealed buckets fit the shared
+			// cipher pool, so consumers can recycle them after decoding.
+			var cp []byte
+			if len(b) <= cipherBufCap {
+				cp = getCipherBuf()[:len(b)]
+			} else {
+				cp = make([]byte, len(b))
+			}
+			copy(cp, b)
 			out[i] = cp
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // WritePath implements Server.
 func (s *MemServer) WritePath(leaf uint64, buckets [][]byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.writePathLocked(leaf, buckets)
+}
+
+func (s *MemServer) writePathLocked(leaf uint64, buckets [][]byte) error {
 	if leaf >= s.leaves {
 		return fmt.Errorf("oram: leaf %d out of range (%d leaves)", leaf, s.leaves)
 	}
-	idx := pathIndices(leaf, s.depth)
-	if len(buckets) != len(idx) {
-		return fmt.Errorf("oram: WritePath got %d buckets, want %d", len(buckets), len(idx))
+	if len(buckets) != s.depth {
+		return fmt.Errorf("oram: WritePath got %d buckets, want %d", len(buckets), s.depth)
 	}
 	s.seq++
 	if s.observer != nil {
 		s.observer(AccessEvent{Seq: s.seq, Leaf: leaf, Write: true})
 	}
-	for i, node := range idx {
-		cp := make([]byte, len(buckets[i]))
-		copy(cp, buckets[i])
-		s.buckets[node] = cp
+	pathIndicesInto(leaf, s.depth, s.idxScratch)
+	for i, node := range s.idxScratch {
+		// Reuse the stored slice's capacity: bucket ciphertexts are a
+		// stable size, so steady-state writes allocate nothing.
+		s.buckets[node] = append(s.buckets[node][:0], buckets[i]...)
+	}
+	return nil
+}
+
+// ReadPaths implements Server. The batch is served under one lock
+// acquisition; the adversary trace still records one event per path.
+// All per-path bucket lists share one flat backing allocation.
+func (s *MemServer) ReadPaths(leaves []uint64) ([][][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][][]byte, len(leaves))
+	flat := make([][]byte, len(leaves)*s.depth)
+	for i, leaf := range leaves {
+		path := flat[i*s.depth : (i+1)*s.depth]
+		if err := s.readPathLocked(leaf, path); err != nil {
+			return nil, err
+		}
+		out[i] = path
+	}
+	return out, nil
+}
+
+// WritePaths implements Server.
+func (s *MemServer) WritePaths(leaves []uint64, paths [][][]byte) error {
+	if len(paths) != len(leaves) {
+		return fmt.Errorf("oram: WritePaths got %d paths for %d leaves", len(paths), len(leaves))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, leaf := range leaves {
+		if err := s.writePathLocked(leaf, paths[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,7 +2,6 @@ package oram
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -16,12 +15,26 @@ import (
 // the Server interface over the wire. Buckets are already encrypted by
 // the ORAM client, so the transport itself needs no confidentiality —
 // exactly the paper's trust split.
+//
+// The protocol is pipelined: every request carries an 8-byte request
+// id, responses are matched by id, and a connection may have many
+// requests in flight at once. Multi-path opcodes (ReadPaths /
+// WritePaths) let a batched client fetch or write N paths for one
+// link round trip; the server coalesces back-to-back responses into
+// one flush while more requests are already buffered.
+//
+// Frames:
+//
+//	request:  [reqID u64][op u8][payload]
+//	response: [reqID u64][status u8][payload]
 
 // Wire opcodes.
 const (
-	opReadPath  byte = 1
-	opWritePath byte = 2
-	opMeta      byte = 3
+	opReadPath   byte = 1
+	opWritePath  byte = 2
+	opMeta       byte = 3
+	opReadPaths  byte = 4
+	opWritePaths byte = 5
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -29,6 +42,9 @@ const (
 
 // maxWireBucket bounds a single bucket ciphertext on the wire.
 const maxWireBucket = 16 * bucketPlain
+
+// maxWirePaths bounds the paths in one batched request.
+const maxWirePaths = 64
 
 // Transport errors.
 var (
@@ -77,77 +93,179 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn handles one connection. Requests are processed in arrival
+// order (so a pipelined client's read-after-write ordering holds), but
+// the response flush is deferred while further requests are already
+// buffered — pipelined responses leave in one coalesced write.
 func (s *TCPServer) serveConn(conn net.Conn) error {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
 	for {
-		op, err := r.ReadByte()
+		if w.Buffered() > 0 && r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+		reqID, err := readU64(r)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		switch op {
-		case opMeta:
-			if err := writeU64(w, uint64(s.inner.Depth())); err != nil {
-				return err
-			}
-			if err := writeU64(w, s.inner.Leaves()); err != nil {
-				return err
-			}
-		case opReadPath:
-			leaf, err := readU64(r)
-			if err != nil {
-				return err
-			}
-			buckets, err := s.inner.ReadPath(leaf)
-			if err != nil {
-				if werr := writeStatus(w, err); werr != nil {
-					return werr
-				}
-				break
-			}
-			if err := w.WriteByte(statusOK); err != nil {
-				return err
-			}
-			if err := writeBuckets(w, buckets); err != nil {
-				return err
-			}
-		case opWritePath:
-			leaf, err := readU64(r)
-			if err != nil {
-				return err
-			}
-			buckets, err := readBuckets(r)
-			if err != nil {
-				return err
-			}
-			if err := s.inner.WritePath(leaf, buckets); err != nil {
-				if werr := writeStatus(w, err); werr != nil {
-					return werr
-				}
-				break
-			}
-			if err := w.WriteByte(statusOK); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("%w: opcode %d", ErrWire, op)
+		op, err := r.ReadByte()
+		if err != nil {
+			return err
 		}
-		if err := w.Flush(); err != nil {
+		if err := s.handle(r, w, reqID, op); err != nil {
 			return err
 		}
 	}
 }
 
-// RemoteServer is a Server backed by a TCP connection. It is safe for
-// serialized use by one client (the Hypervisor serializes queries).
+// handle decodes one request, runs it against the inner server, and
+// writes the response frame. It returns an error only for transport
+// failures; server-level errors travel back as statusErr frames.
+func (s *TCPServer) handle(r *bufio.Reader, w *bufio.Writer, reqID uint64, op byte) error {
+	switch op {
+	case opMeta:
+		if err := writeU64(w, reqID); err != nil {
+			return err
+		}
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(s.inner.Depth())); err != nil {
+			return err
+		}
+		return writeU64(w, s.inner.Leaves())
+	case opReadPath:
+		leaf, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		buckets, err := s.inner.ReadPath(leaf)
+		if err != nil {
+			return respondErr(w, reqID, err)
+		}
+		if err := respondOK(w, reqID); err != nil {
+			return err
+		}
+		err = writeBuckets(w, buckets)
+		recycleBuckets(buckets)
+		return err
+	case opWritePath:
+		leaf, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		buckets, err := readBuckets(r)
+		if err != nil {
+			return err
+		}
+		// The inner server stores copies; the wire buffers recycle.
+		err = s.inner.WritePath(leaf, buckets)
+		recycleBuckets(buckets)
+		if err != nil {
+			return respondErr(w, reqID, err)
+		}
+		return respondOK(w, reqID)
+	case opReadPaths:
+		leaves, err := readLeaves(r)
+		if err != nil {
+			return err
+		}
+		paths, err := s.inner.ReadPaths(leaves)
+		if err != nil {
+			return respondErr(w, reqID, err)
+		}
+		if err := respondOK(w, reqID); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(len(paths))); err != nil {
+			return err
+		}
+		for _, buckets := range paths {
+			if err := writeBuckets(w, buckets); err != nil {
+				return err
+			}
+			recycleBuckets(buckets)
+		}
+		return nil
+	case opWritePaths:
+		count, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		if count > maxWirePaths {
+			return fmt.Errorf("%w: %d paths", ErrWire, count)
+		}
+		leaves := make([]uint64, count)
+		paths := make([][][]byte, count)
+		depth := s.inner.Depth()
+		flat := make([][]byte, int(count)*depth)
+		for i := range leaves {
+			if leaves[i], err = readU64(r); err != nil {
+				return err
+			}
+			if paths[i], err = readBucketsInto(r, flat[i*depth:(i+1)*depth]); err != nil {
+				return err
+			}
+		}
+		err = s.inner.WritePaths(leaves, paths)
+		for _, buckets := range paths {
+			recycleBuckets(buckets)
+		}
+		if err != nil {
+			return respondErr(w, reqID, err)
+		}
+		return respondOK(w, reqID)
+	default:
+		return fmt.Errorf("%w: opcode %d", ErrWire, op)
+	}
+}
+
+func respondOK(w *bufio.Writer, reqID uint64) error {
+	if err := writeU64(w, reqID); err != nil {
+		return err
+	}
+	return w.WriteByte(statusOK)
+}
+
+func respondErr(w *bufio.Writer, reqID uint64, err error) error {
+	if werr := writeU64(w, reqID); werr != nil {
+		return werr
+	}
+	return writeStatus(w, err)
+}
+
+// pendingCall tracks one in-flight request on a RemoteServer.
+type pendingCall struct {
+	op byte
+	ch chan wireResponse
+}
+
+// wireResponse is a decoded response frame (or a transport failure).
+type wireResponse struct {
+	err   error      // transport or remote error
+	meta  [2]uint64  // opMeta: depth, leaves
+	paths [][][]byte // opReadPath (one entry) / opReadPaths
+}
+
+// RemoteServer is a Server backed by one pipelined TCP connection. It
+// is safe for concurrent use: many goroutines may have requests in
+// flight at once; responses are matched by request id.
 type RemoteServer struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	r      *bufio.Reader
-	w      *bufio.Writer
+	conn net.Conn
+
+	wmu sync.Mutex // serializes request frames on the shared writer
+	w   *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]*pendingCall
+	nextID  uint64
+	broken  error // sticky transport error; set once, fails all later calls
+
 	depth  int
 	leaves uint64
 }
@@ -161,30 +279,22 @@ func DialServer(addr string) (*RemoteServer, error) {
 		return nil, fmt.Errorf("oram: dial: %w", err)
 	}
 	rs := &RemoteServer{
-		conn: conn,
-		r:    bufio.NewReader(conn),
-		w:    bufio.NewWriter(conn),
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 1<<16),
+		pending: make(map[uint64]*pendingCall),
 	}
-	if err := rs.w.WriteByte(opMeta); err != nil {
-		return nil, err
-	}
-	if err := rs.w.Flush(); err != nil {
-		return nil, err
-	}
-	depth, err := readU64(rs.r)
+	go rs.readLoop()
+	resp, err := rs.roundTrip(opMeta, nil)
 	if err != nil {
+		_ = conn.Close()
 		return nil, fmt.Errorf("oram: meta: %w", err)
 	}
-	leaves, err := readU64(rs.r)
-	if err != nil {
-		return nil, fmt.Errorf("oram: meta: %w", err)
-	}
-	rs.depth = int(depth)
-	rs.leaves = leaves
+	rs.depth = int(resp.meta[0])
+	rs.leaves = resp.meta[1]
 	return rs, nil
 }
 
-// Close closes the connection.
+// Close closes the connection; in-flight requests fail.
 func (rs *RemoteServer) Close() error { return rs.conn.Close() }
 
 // Depth implements Server.
@@ -193,59 +303,285 @@ func (rs *RemoteServer) Depth() int { return rs.depth }
 // Leaves implements Server.
 func (rs *RemoteServer) Leaves() uint64 { return rs.leaves }
 
+// readLoop decodes response frames and hands each to its waiting
+// caller. Any decode or connection failure poisons the RemoteServer.
+func (rs *RemoteServer) readLoop() {
+	r := bufio.NewReaderSize(rs.conn, 1<<16)
+	for {
+		reqID, err := readU64(r)
+		if err != nil {
+			rs.fail(err)
+			return
+		}
+		call := rs.take(reqID)
+		if call == nil {
+			rs.fail(fmt.Errorf("%w: unsolicited response id %d", ErrWire, reqID))
+			return
+		}
+		resp, err := readResponse(r, call.op, rs.depth)
+		if err != nil {
+			resp = wireResponse{err: err}
+			call.ch <- resp
+			rs.fail(err)
+			return
+		}
+		call.ch <- resp
+	}
+}
+
+// readResponse decodes one response payload for the given opcode.
+// A statusErr frame yields a response whose err wraps ErrWire; any
+// other error is a transport failure. depth (0 when unknown) sizes the
+// flat backing for batched path payloads.
+func readResponse(r *bufio.Reader, op byte, depth int) (wireResponse, error) {
+	status, err := r.ReadByte()
+	if err != nil {
+		return wireResponse{}, err
+	}
+	if status == statusErr {
+		n, err := r.ReadByte()
+		if err != nil {
+			return wireResponse{}, err
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return wireResponse{}, err
+		}
+		return wireResponse{err: fmt.Errorf("%w: remote: %s", ErrWire, msg)}, nil
+	}
+	var resp wireResponse
+	switch op {
+	case opMeta:
+		for i := range resp.meta {
+			if resp.meta[i], err = readU64(r); err != nil {
+				return wireResponse{}, err
+			}
+		}
+	case opReadPath:
+		buckets, err := readBuckets(r)
+		if err != nil {
+			return wireResponse{}, err
+		}
+		resp.paths = [][][]byte{buckets}
+	case opReadPaths:
+		count, err := readU64(r)
+		if err != nil {
+			return wireResponse{}, err
+		}
+		if count > maxWirePaths {
+			return wireResponse{}, fmt.Errorf("%w: %d paths", ErrWire, count)
+		}
+		resp.paths = make([][][]byte, count)
+		var flat [][]byte
+		if depth > 0 {
+			flat = make([][]byte, int(count)*depth)
+		}
+		for i := range resp.paths {
+			var dst [][]byte
+			if flat != nil {
+				dst = flat[i*depth : (i+1)*depth]
+			}
+			if resp.paths[i], err = readBucketsInto(r, dst); err != nil {
+				return wireResponse{}, err
+			}
+		}
+	case opWritePath, opWritePaths:
+		// no payload
+	default:
+		return wireResponse{}, fmt.Errorf("%w: opcode %d", ErrWire, op)
+	}
+	return resp, nil
+}
+
+// take removes and returns the pending call for id, if any.
+func (rs *RemoteServer) take(id uint64) *pendingCall {
+	rs.pmu.Lock()
+	defer rs.pmu.Unlock()
+	call := rs.pending[id]
+	delete(rs.pending, id)
+	return call
+}
+
+// fail poisons the connection and unblocks every in-flight caller.
+func (rs *RemoteServer) fail(err error) {
+	rs.pmu.Lock()
+	if rs.broken == nil {
+		rs.broken = err
+	}
+	calls := rs.pending
+	rs.pending = make(map[uint64]*pendingCall)
+	rs.pmu.Unlock()
+	for _, call := range calls {
+		call.ch <- wireResponse{err: fmt.Errorf("oram: connection failed: %w", err)}
+	}
+}
+
+// roundTrip registers a pending call, writes one request frame, and
+// waits for the matching response. The send lock is held only for the
+// write — not across the link round trip — so concurrent callers keep
+// multiple requests in flight on the one connection.
+func (rs *RemoteServer) roundTrip(op byte, payload func(w *bufio.Writer) error) (wireResponse, error) {
+	call := &pendingCall{op: op, ch: make(chan wireResponse, 1)}
+	rs.pmu.Lock()
+	if rs.broken != nil {
+		err := rs.broken
+		rs.pmu.Unlock()
+		return wireResponse{}, err
+	}
+	rs.nextID++
+	id := rs.nextID
+	rs.pending[id] = call
+	rs.pmu.Unlock()
+
+	rs.wmu.Lock()
+	err := writeU64(rs.w, id)
+	if err == nil {
+		err = rs.w.WriteByte(op)
+	}
+	if err == nil && payload != nil {
+		err = payload(rs.w)
+	}
+	if err == nil {
+		err = rs.w.Flush()
+	}
+	rs.wmu.Unlock()
+	if err != nil {
+		if rs.take(id) != nil {
+			return wireResponse{}, err
+		}
+		// The read loop already delivered a failure for this call.
+	}
+
+	resp := <-call.ch
+	if resp.err != nil {
+		return wireResponse{}, resp.err
+	}
+	return resp, nil
+}
+
 // ReadPath implements Server.
 func (rs *RemoteServer) ReadPath(leaf uint64) ([][]byte, error) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	if err := rs.w.WriteByte(opReadPath); err != nil {
+	resp, err := rs.roundTrip(opReadPath, func(w *bufio.Writer) error {
+		return writeU64(w, leaf)
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := writeU64(rs.w, leaf); err != nil {
-		return nil, err
-	}
-	if err := rs.w.Flush(); err != nil {
-		return nil, err
-	}
-	if err := readStatus(rs.r); err != nil {
-		return nil, err
-	}
-	return readBuckets(rs.r)
+	return resp.paths[0], nil
 }
 
 // WritePath implements Server.
 func (rs *RemoteServer) WritePath(leaf uint64, buckets [][]byte) error {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	if err := rs.w.WriteByte(opWritePath); err != nil {
-		return err
+	_, err := rs.roundTrip(opWritePath, func(w *bufio.Writer) error {
+		if err := writeU64(w, leaf); err != nil {
+			return err
+		}
+		return writeBuckets(w, buckets)
+	})
+	return err
+}
+
+// ReadPaths implements Server: N paths for one link round trip.
+func (rs *RemoteServer) ReadPaths(leaves []uint64) ([][][]byte, error) {
+	if len(leaves) == 0 {
+		return nil, nil
 	}
-	if err := writeU64(rs.w, leaf); err != nil {
-		return err
+	if len(leaves) > maxWirePaths {
+		return nil, fmt.Errorf("%w: %d paths exceeds batch limit %d", ErrWire, len(leaves), maxWirePaths)
 	}
-	if err := writeBuckets(rs.w, buckets); err != nil {
-		return err
+	resp, err := rs.roundTrip(opReadPaths, func(w *bufio.Writer) error {
+		if err := writeU64(w, uint64(len(leaves))); err != nil {
+			return err
+		}
+		for _, leaf := range leaves {
+			if err := writeU64(w, leaf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := rs.w.Flush(); err != nil {
-		return err
+	if len(resp.paths) != len(leaves) {
+		return nil, fmt.Errorf("%w: got %d paths, want %d", ErrWire, len(resp.paths), len(leaves))
 	}
-	return readStatus(rs.r)
+	return resp.paths, nil
+}
+
+// WritePaths implements Server: N path writes for one link round trip.
+func (rs *RemoteServer) WritePaths(leaves []uint64, paths [][][]byte) error {
+	if len(paths) != len(leaves) {
+		return fmt.Errorf("%w: %d paths for %d leaves", ErrWire, len(paths), len(leaves))
+	}
+	if len(leaves) == 0 {
+		return nil
+	}
+	if len(leaves) > maxWirePaths {
+		return fmt.Errorf("%w: %d paths exceeds batch limit %d", ErrWire, len(leaves), maxWirePaths)
+	}
+	_, err := rs.roundTrip(opWritePaths, func(w *bufio.Writer) error {
+		if err := writeU64(w, uint64(len(leaves))); err != nil {
+			return err
+		}
+		for i, leaf := range leaves {
+			if err := writeU64(w, leaf); err != nil {
+				return err
+			}
+			if err := writeBuckets(w, paths[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return err
 }
 
 // --- wire helpers ---
 
-func writeU64(w io.Writer, v uint64) error {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], v)
-	_, err := w.Write(buf[:])
-	return err
+// writeU64/readU64 move big-endian u64s byte-wise through the
+// CONCRETE bufio types: passing a stack buffer to an io.Writer
+// interface would force it to escape and allocate on every call, and
+// these run once per bucket on the hot path.
+func writeU64(w *bufio.Writer, v uint64) error {
+	for shift := 56; shift >= 0; shift -= 8 {
+		if err := w.WriteByte(byte(v >> shift)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func readU64(r io.Reader) (uint64, error) {
-	var buf [8]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
+func readU64(r *bufio.Reader) (uint64, error) {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			if i > 0 && errors.Is(err, io.EOF) {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		v = v<<8 | uint64(b)
 	}
-	return binary.BigEndian.Uint64(buf[:]), nil
+	return v, nil
+}
+
+func readLeaves(r *bufio.Reader) ([]uint64, error) {
+	count, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxWirePaths {
+		return nil, fmt.Errorf("%w: %d paths", ErrWire, count)
+	}
+	leaves := make([]uint64, count)
+	for i := range leaves {
+		if leaves[i], err = readU64(r); err != nil {
+			return nil, err
+		}
+	}
+	return leaves, nil
 }
 
 func writeStatus(w *bufio.Writer, err error) error {
@@ -263,26 +599,7 @@ func writeStatus(w *bufio.Writer, err error) error {
 	return werr
 }
 
-func readStatus(r *bufio.Reader) error {
-	status, err := r.ReadByte()
-	if err != nil {
-		return err
-	}
-	if status == statusOK {
-		return nil
-	}
-	n, err := r.ReadByte()
-	if err != nil {
-		return err
-	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(r, msg); err != nil {
-		return err
-	}
-	return fmt.Errorf("%w: remote: %s", ErrWire, msg)
-}
-
-func writeBuckets(w io.Writer, buckets [][]byte) error {
+func writeBuckets(w *bufio.Writer, buckets [][]byte) error {
 	if err := writeU64(w, uint64(len(buckets))); err != nil {
 		return err
 	}
@@ -297,7 +614,15 @@ func writeBuckets(w io.Writer, buckets [][]byte) error {
 	return nil
 }
 
-func readBuckets(r io.Reader) ([][]byte, error) {
+func readBuckets(r *bufio.Reader) ([][]byte, error) {
+	return readBucketsInto(r, nil)
+}
+
+// readBucketsInto reads one bucket list, decoding into dst when the
+// wire count matches its length (batch requests carry many depth-sized
+// lists; a flat caller-provided backing replaces one allocation per
+// path). A nil or mismatched dst falls back to a fresh slice.
+func readBucketsInto(r *bufio.Reader, dst [][]byte) ([][]byte, error) {
 	count, err := readU64(r)
 	if err != nil {
 		return nil, err
@@ -305,8 +630,14 @@ func readBuckets(r io.Reader) ([][]byte, error) {
 	if count > 64 {
 		return nil, fmt.Errorf("%w: %d buckets", ErrWire, count)
 	}
-	out := make([][]byte, count)
+	var out [][]byte
+	if dst != nil && int(count) == len(dst) {
+		out = dst
+	} else {
+		out = make([][]byte, count)
+	}
 	for i := range out {
+		out[i] = nil
 		n, err := readU64(r)
 		if err != nil {
 			return nil, err
@@ -317,11 +648,29 @@ func readBuckets(r io.Reader) ([][]byte, error) {
 		if n == 0 {
 			continue
 		}
-		buf := make([]byte, n)
+		// Sealed buckets fit the shared cipher pool; consumers recycle
+		// them with putCipherBuf once decoded.
+		var buf []byte
+		if n <= cipherBufCap {
+			buf = getCipherBuf()[:n]
+		} else {
+			buf = make([]byte, n)
+		}
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
 		out[i] = buf
 	}
 	return out, nil
+}
+
+// recycleBuckets returns pool-sized bucket buffers to the cipher pool
+// once their contents are fully consumed.
+func recycleBuckets(buckets [][]byte) {
+	for i, b := range buckets {
+		if len(b) > 0 {
+			putCipherBuf(b)
+		}
+		buckets[i] = nil
+	}
 }

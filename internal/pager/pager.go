@@ -64,6 +64,15 @@ var (
 type Backend interface {
 	ReadPage(key PageKey) ([]byte, error)
 	WritePage(key PageKey, data []byte) error
+	// ReadPages fetches many pages in as few backend round trips as
+	// the transport allows (one per batch chunk on the ORAM). The
+	// result is aligned with keys; missing pages are nil entries, not
+	// errors — the trusted dictionary already knows absence without
+	// touching the backend.
+	ReadPages(keys []PageKey) ([][]byte, error)
+	// WritePages stores many pages in as few backend round trips as
+	// the transport allows.
+	WritePages(keys []PageKey, pages [][]byte) error
 }
 
 // PlainBackend is a direct in-memory page store (no obliviousness).
@@ -97,6 +106,35 @@ func (p *PlainBackend) WritePage(key PageKey, data []byte) error {
 	cp := make([]byte, PageSize)
 	copy(cp, data)
 	p.pages[key] = cp
+	return nil
+}
+
+// ReadPages implements Backend.
+func (p *PlainBackend) ReadPages(keys []PageKey) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for i, key := range keys {
+		page, err := p.ReadPage(key)
+		if errors.Is(err, ErrPageNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = page
+	}
+	return out, nil
+}
+
+// WritePages implements Backend.
+func (p *PlainBackend) WritePages(keys []PageKey, pages [][]byte) error {
+	if len(pages) != len(keys) {
+		return fmt.Errorf("%w: %d pages for %d keys", ErrBadPage, len(pages), len(keys))
+	}
+	for i, key := range keys {
+		if err := p.WritePage(key, pages[i]); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -146,6 +184,71 @@ func (o *ORAMBackend) WritePage(key PageKey, data []byte) error {
 		o.ids[key] = id
 	}
 	return o.client.Write(id, data)
+}
+
+// oramBatchChunk caps one ORAM access batch: large enough to amortize
+// the link RTT, small enough to bound the transient stash growth and
+// stay under the wire's per-message path limit.
+const oramBatchChunk = 16
+
+// ReadPages implements Backend via the client's batched access path:
+// every chunk of known pages costs one link round trip instead of one
+// per page. Unknown keys contribute nil entries without any ORAM
+// traffic (as in ReadPage, the trusted dictionary decides absence).
+func (o *ORAMBackend) ReadPages(keys []PageKey) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	ids := make([]oram.BlockID, 0, len(keys))
+	slots := make([]int, 0, len(keys))
+	for i, key := range keys {
+		if id, ok := o.ids[key]; ok {
+			ids = append(ids, id)
+			slots = append(slots, i)
+		}
+	}
+	for start := 0; start < len(ids); start += oramBatchChunk {
+		end := start + oramBatchChunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		data, err := o.client.ReadMany(ids[start:end])
+		if err != nil {
+			return nil, err
+		}
+		for j, page := range data {
+			out[slots[start+j]] = page
+		}
+	}
+	return out, nil
+}
+
+// WritePages implements Backend via the client's batched access path.
+func (o *ORAMBackend) WritePages(keys []PageKey, pages [][]byte) error {
+	if len(pages) != len(keys) {
+		return fmt.Errorf("%w: %d pages for %d keys", ErrBadPage, len(pages), len(keys))
+	}
+	ops := make([]oram.BatchOp, 0, len(keys))
+	for i, key := range keys {
+		if len(pages[i]) != PageSize {
+			return fmt.Errorf("%w: size %d", ErrBadPage, len(pages[i]))
+		}
+		id, ok := o.ids[key]
+		if !ok {
+			id = o.next
+			o.next++
+			o.ids[key] = id
+		}
+		ops = append(ops, oram.BatchOp{Op: oram.OpWrite, ID: id, Data: pages[i]})
+	}
+	for start := 0; start < len(ops); start += oramBatchChunk {
+		end := start + oramBatchChunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		if _, err := o.client.AccessBatch(ops[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Pages returns the number of mapped pages.
@@ -274,9 +377,17 @@ func (s *Store) GroupKey(key types.Hash) types.Hash {
 	return g
 }
 
-// WriteCode splits contract code into pages.
+// WriteCode splits contract code into pages and stores them in one
+// batched backend write (one round trip per batch chunk on the ORAM —
+// this is block sync's hot path).
 func (s *Store) WriteCode(codeHash types.Hash, code []byte) error {
-	for i := 0; i*PageSize < len(code) || i == 0; i++ {
+	n := int(CodePages(uint32(len(code))))
+	if n == 0 {
+		n = 1
+	}
+	keys := make([]PageKey, n)
+	pages := make([][]byte, n)
+	for i := 0; i < n; i++ {
 		page := make([]byte, PageSize)
 		start := i * PageSize
 		if start < len(code) {
@@ -286,12 +397,10 @@ func (s *Store) WriteCode(codeHash types.Hash, code []byte) error {
 			}
 			copy(page, code[start:end])
 		}
-		pk := PageKey{Kind: KindCodePage, CodeHash: codeHash, Index: uint32(i)}
-		if err := s.backend.WritePage(pk, page); err != nil {
-			return err
-		}
+		keys[i] = PageKey{Kind: KindCodePage, CodeHash: codeHash, Index: uint32(i)}
+		pages[i] = page
 	}
-	return nil
+	return s.backend.WritePages(keys, pages)
 }
 
 // CodePages returns how many pages a code of the given length occupies.
@@ -305,6 +414,63 @@ func CodePages(codeLen uint32) uint32 {
 // ReadCodePage fetches one code page.
 func (s *Store) ReadCodePage(codeHash types.Hash, index uint32) ([]byte, error) {
 	return s.backend.ReadPage(PageKey{Kind: KindCodePage, CodeHash: codeHash, Index: index})
+}
+
+// ReadCodePages fetches many code pages of one contract through the
+// backend's batched read path. The result is aligned with indices;
+// missing pages are nil entries.
+func (s *Store) ReadCodePages(codeHash types.Hash, indices []uint32) ([][]byte, error) {
+	keys := make([]PageKey, len(indices))
+	for i, idx := range indices {
+		keys[i] = PageKey{Kind: KindCodePage, CodeHash: codeHash, Index: idx}
+	}
+	return s.backend.ReadPages(keys)
+}
+
+// StorageRecord is one key/value pair for WriteStorageRecords.
+type StorageRecord struct {
+	Key   types.Hash
+	Value types.Hash
+}
+
+// WriteStorageRecords writes a set of records for one account with
+// batched backend traffic: the affected group pages are fetched in one
+// batched read, modified in place, and written back in one batched
+// write — block sync pays ~2 round trips per account instead of 2 per
+// record.
+func (s *Store) WriteStorageRecords(addr types.Address, recs []StorageRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	keys := make([]PageKey, 0, len(recs))
+	keyIdx := make(map[PageKey]int, len(recs))
+	slots := make([]int, len(recs))
+	for i, rec := range recs {
+		group, slot := storageGroupKeyN(rec.Key, s.groupSize)
+		pk := PageKey{Kind: KindStorageGroup, Addr: addr, Group: group}
+		j, ok := keyIdx[pk]
+		if !ok {
+			j = len(keys)
+			keyIdx[pk] = j
+			keys = append(keys, pk)
+		}
+		slots[i] = j*RecordsPerPage + slot
+	}
+	pages, err := s.backend.ReadPages(keys)
+	if err != nil {
+		return err
+	}
+	for i := range pages {
+		if pages[i] == nil {
+			pages[i] = make([]byte, PageSize)
+		}
+	}
+	for i, rec := range recs {
+		page := pages[slots[i]/RecordsPerPage]
+		slot := slots[i] % RecordsPerPage
+		copy(page[slot*32:(slot+1)*32], rec.Value[:])
+	}
+	return s.backend.WritePages(keys, pages)
 }
 
 // ReadCode reassembles full contract code of a known length.

@@ -56,6 +56,22 @@ type Calibration struct {
 	ORAMClientPerBlock time.Duration
 }
 
+// ORAMBatchCost models a batched ORAM access of `queries` path
+// queries moving `blocks` blocks in total: the link round trip is paid
+// ONCE for the whole batch (the requests travel in one pipelined
+// message), while server processing stays serial per query and client
+// stash/crypto work stays serial per block. With queries=1 this is
+// exactly the classic per-access charge, so sequential and batched
+// paths share one arithmetic.
+func (c Calibration) ORAMBatchCost(queries, blocks int) time.Duration {
+	if queries <= 0 {
+		return 0
+	}
+	return c.ORAMLinkRTT +
+		time.Duration(queries)*c.ORAMServerPerQuery +
+		time.Duration(blocks)*c.ORAMClientPerBlock
+}
+
 // DefaultCalibration returns costs calibrated to the paper's prototype.
 func DefaultCalibration() Calibration {
 	return Calibration{
