@@ -6,6 +6,7 @@ package hardtape
 
 import (
 	"context"
+	"net"
 	"sync"
 	"testing"
 
@@ -139,6 +140,70 @@ func BenchmarkScalability(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- bundle throughput through core.Service ---
+
+// BenchmarkBundleThroughput drives multi-tx bundles through the full
+// service path — secure-channel framing, per-tx execution on the
+// device's HEVMs, trace assembly — and reports txs/sec. ConfigRaw
+// keeps crypto and ORAM out of the way so the number tracks the
+// interpreter fast path (ISSUE 4); gas/crypto-heavy variants live in
+// the Fig. 4 benchmarks.
+func BenchmarkBundleThroughput(b *testing.B) {
+	opts := DefaultTestbedOptions()
+	opts.Features = ConfigRaw
+	opts.HEVMs = 3
+	tb, err := NewTestbed(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := NewService(tb.Device)
+
+	userConn, spConn := net.Pipe()
+	defer userConn.Close()
+	go func() {
+		defer spConn.Close()
+		_ = svc.ServeConn(spConn)
+	}()
+	client, err := Dial(userConn, tb.Verifier(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// One bundle per EOA, each carrying txsPerBundle transfers from
+	// the same sender (consecutive nonces); pre-execution never
+	// commits, so the bundles replay indefinitely.
+	const txsPerBundle = 8
+	token := tb.World.Tokens[0]
+	eoas := tb.World.EOAs
+	bundles := make([]*types.Bundle, len(eoas))
+	for i := range bundles {
+		txs := make([]*types.Transaction, txsPerBundle)
+		for j := range txs {
+			tx, err := tb.World.SignedTxAt(eoas[i], uint64(j), &token, 0,
+				workload.CalldataTransfer(eoas[(i+1)%len(eoas)], 7), 200_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs[j] = tx
+		}
+		bundles[i] = &types.Bundle{Txs: txs}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.PreExecute(bundles[i%len(bundles)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AbortReason != "" {
+			b.Fatalf("bundle aborted: %s", res.AbortReason)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*txsPerBundle)/b.Elapsed().Seconds(), "txs/sec")
 }
 
 // --- fleet gateway ---

@@ -33,6 +33,7 @@ type jsonReport struct {
 	Fig5         []bench.Fig5Row          `json:"fig5,omitempty"`
 	Amortization []bench.AmortizationRow  `json:"amortization,omitempty"`
 	Scalability  *bench.ScalabilityReport `json:"scalability,omitempty"`
+	Interp       []bench.InterpRow        `json:"interp_fastpath,omitempty"`
 	Ablations    *jsonAblations           `json:"ablations,omitempty"`
 }
 
@@ -60,6 +61,7 @@ func run() error {
 		scalability = flag.Bool("scalability", false, "§VI-D: throughput and ORAM-server capacity")
 		resources   = flag.Bool("resources", false, "§VI-A: resource utility audit")
 		ablations   = flag.Bool("ablations", false, "design-choice ablations (noise, prefetch, grouping, ORAM depth)")
+		interp      = flag.Bool("interp", false, "interpreter fast-path microbenchmarks + raw bundle throughput")
 		asJSON      = flag.Bool("json", false, "emit results as JSON on stdout (progress goes to stderr)")
 		n           = flag.Int("n", 100, "transactions per experiment")
 		seed        = flag.Int64("seed", 19145194, "workload seed (paper's first block number)")
@@ -71,10 +73,10 @@ func run() error {
 	flag.Parse()
 
 	if *all {
-		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations =
-			true, true, true, true, true, true, true
+		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp =
+			true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations) {
+	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp) {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
@@ -156,6 +158,14 @@ func run() error {
 		}
 		report.Scalability = rep
 		section(rep.Render())
+	}
+	if *interp {
+		rows, err := bench.InterpFastPath(env)
+		if err != nil {
+			return fmt.Errorf("interp: %w", err)
+		}
+		report.Interp = rows
+		section(bench.RenderInterp(rows))
 	}
 	if *ablations {
 		noise, err := bench.RunNoiseAblation()

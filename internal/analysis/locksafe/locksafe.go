@@ -3,7 +3,10 @@
 // Hypervisor core serve every user session; a sync.Mutex held across
 // a channel send, a bundle execution, or network I/O turns one slow
 // backend into fleet-wide head-of-line blocking (the failover paths
-// of PR 1 are the motivating surface). Deliberate serialization — a
+// of PR 1 are the motivating surface). The interpreter's shared
+// code-analysis cache (internal/evm) is under the same rule: its
+// RWMutex sits on every frame construction, so blocking under it
+// stalls every HEVM core at once. Deliberate serialization — a
 // lock whose entire purpose is to serialize a non-concurrent-safe
 // client — must say so with an annotation.
 //
@@ -35,7 +38,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "locksafe",
 	Doc: "no mutex held across channel operations, bundle execution, " +
-		"or network I/O in hot-path packages (core, fleet, oram, node, channel, hevm)",
+		"or network I/O in hot-path packages (core, fleet, oram, node, channel, hevm, evm)",
 	Run: run,
 }
 
@@ -43,6 +46,7 @@ var Analyzer = &analysis.Analyzer{
 var scopeElems = map[string]bool{
 	"channel": true,
 	"core":    true,
+	"evm":     true,
 	"fleet":   true,
 	"hevm":    true,
 	"node":    true,

@@ -1,0 +1,77 @@
+// Package evm is a locksafe fixture modeling the interpreter's shared
+// code-analysis cache: the "evm" path element puts it in the hot-path
+// scope. The cache's RWMutex sits on every frame construction, so the
+// scan must run outside the lock and nothing blocking may run under
+// either lock mode.
+package evm
+
+import "sync"
+
+// Chain stands in for the world-state backend a careless
+// implementation might consult while holding the cache lock.
+type Chain struct{}
+
+func (c *Chain) Sync() error { return nil }
+
+// analysis is the cached per-code result.
+type analysis struct{ jumpdests []byte }
+
+// cache is the shared code-analysis cache (hash → analysis).
+type cache struct {
+	mu      sync.RWMutex
+	entries map[string]*analysis
+	chain   *Chain
+	evicted chan string
+}
+
+func scan(code []byte) *analysis { return &analysis{jumpdests: make([]byte, len(code))} }
+
+// badScanUnderLock holds the write lock across the backend sync: every
+// HEVM core constructing a frame stalls behind it.
+func (c *cache) badScanUnderLock(hash string, code []byte) *analysis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.entries[hash]; a != nil {
+		return a
+	}
+	c.chain.Sync() // want `blocking operation \(Sync\(\)\) while holding mutex c.mu`
+	a := scan(code)
+	c.entries[hash] = a
+	return a
+}
+
+// badNotifyUnderRLock sends on a channel while readers hold the lock.
+func (c *cache) badNotifyUnderRLock(hash string) *analysis {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.evicted <- hash // want `blocking operation \(channel send\) while holding mutex c.mu`
+	return c.entries[hash]
+}
+
+// goodDoubleChecked is the shipped pattern: read under RLock, scan
+// outside any lock, insert under a short write lock.
+func (c *cache) goodDoubleChecked(hash string, code []byte) *analysis {
+	c.mu.RLock()
+	a := c.entries[hash]
+	c.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	a = scan(code)
+	c.mu.Lock()
+	if existing := c.entries[hash]; existing != nil {
+		a = existing
+	} else {
+		c.entries[hash] = a
+	}
+	c.mu.Unlock()
+	return a
+}
+
+// goodNotifyAfterUnlock releases before the channel send.
+func (c *cache) goodNotifyAfterUnlock(hash string) {
+	c.mu.Lock()
+	delete(c.entries, hash)
+	c.mu.Unlock()
+	c.evicted <- hash
+}

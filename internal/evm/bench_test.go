@@ -1,0 +1,129 @@
+package evm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hardtape/internal/uint256"
+)
+
+// The interpreter microbenchmarks drive the three workloads the fast
+// path targets (ISSUE 4): a keccak-heavy loop (hash throughput), a
+// dup/swap-heavy loop (raw per-instruction overhead), and a deep-call
+// workload (frame setup/teardown cost). Each benchmark iteration is
+// one message call executing the whole contract loop, wrapped in a
+// state snapshot/revert so the overlay journal stays bounded.
+
+// loopCode assembles "PUSH2 n; loop: JUMPDEST <body> ; decrement;
+// DUP1; PUSH2 loop; JUMPI; STOP" with the body between JUMPDEST and
+// the decrement. The loop counter sits on top of the stack at body
+// entry and must still be on top (unchanged) at body exit.
+func loopCode(prologue []byte, n uint16, body []byte) []byte {
+	code := append([]byte{}, prologue...)
+	code = append(code, byte(PUSH1+1), byte(n>>8), byte(n))
+	loop := uint16(len(code))
+	code = append(code, byte(JUMPDEST))
+	code = append(code, body...)
+	// counter-1: PUSH1 1; SWAP1; SUB  (SUB computes top - next).
+	code = append(code, byte(PUSH1), 1, byte(SWAP1), byte(SUB))
+	code = append(code, byte(DUP1), byte(PUSH1+1), byte(loop>>8), byte(loop), byte(JUMPI))
+	code = append(code, byte(STOP))
+	return code
+}
+
+// keccakLoopBody hashes the 32-byte word holding the loop counter on
+// every iteration: DUP1; PUSH0; MSTORE; PUSH1 32; PUSH0; KECCAK256;
+// POP.
+var keccakLoopBody = []byte{
+	byte(DUP1), byte(PUSH0), byte(MSTORE),
+	byte(PUSH1), 32, byte(PUSH0), byte(KECCAK256), byte(POP),
+}
+
+// dupSwapLoopBody is 64 stack-neutral DUP/SWAP/POP operations: four
+// repetitions of a palindromic SWAP run (its own inverse) followed by
+// DUPn/POP pairs. The loop counter stays on top throughout.
+var dupSwapLoopBody = func() []byte {
+	block := []byte{
+		byte(SWAP1), byte(SWAP1 + 1), byte(SWAP1 + 2), byte(SWAP1 + 3),
+		byte(SWAP1 + 3), byte(SWAP1 + 2), byte(SWAP1 + 1), byte(SWAP1),
+		byte(DUP1 + 2), byte(POP), byte(DUP1 + 4), byte(POP),
+		byte(DUP1 + 6), byte(POP), byte(DUP1 + 8), byte(POP),
+	}
+	var body []byte
+	for i := 0; i < 4; i++ {
+		body = append(body, block...)
+	}
+	return body
+}()
+
+// dupSwapPrologue seeds 16 operand-stack values for the DUP/SWAP runs.
+var dupSwapPrologue = func() []byte {
+	var code []byte
+	for i := byte(1); i <= 16; i++ {
+		code = append(code, byte(PUSH1), i)
+	}
+	return code
+}()
+
+// benchCall runs one warm-up call (building jumpdest analysis and
+// expanding memory) and then measures repeated calls on the same EVM.
+func benchCall(b *testing.B, code, input []byte, gas uint64) {
+	b.Helper()
+	e := newTestEVM(b, code)
+	zero := new(uint256.Int)
+	if _, _, err := e.Call(testCaller, testContract, input, gas, zero); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := e.State.Snapshot()
+		if _, _, err := e.Call(testCaller, testContract, input, gas, zero); err != nil {
+			b.Fatal(err)
+		}
+		e.State.RevertToSnapshot(snap)
+	}
+}
+
+// BenchmarkInterpKeccakLoop measures a 256-iteration KECCAK256 loop
+// (one sponge permutation per iteration): hash-dominated throughput.
+func BenchmarkInterpKeccakLoop(b *testing.B) {
+	benchCall(b, loopCode(nil, 256, keccakLoopBody), nil, 10_000_000)
+}
+
+// BenchmarkInterpDupSwapLoop measures a 256-iteration loop of 64
+// stack-neutral DUP/SWAP/POP ops: pure per-instruction dispatch cost.
+func BenchmarkInterpDupSwapLoop(b *testing.B) {
+	benchCall(b, loopCode(dupSwapPrologue, 256, dupSwapLoopBody), nil, 10_000_000)
+}
+
+// deepCallCode returns a contract that reads a recursion depth from
+// calldata word 0 and CALLs itself with depth-1 until it hits zero.
+func deepCallCode() []byte {
+	var code []byte
+	code = append(code, byte(PUSH0), byte(CALLDATALOAD)) // d
+	code = append(code, byte(DUP1), byte(ISZERO))
+	endPatch := len(code) + 1
+	code = append(code, byte(PUSH1+1), 0, 0, byte(JUMPI))
+	// mem[0] = d-1
+	code = append(code, byte(PUSH1), 1, byte(SWAP1), byte(SUB))
+	code = append(code, byte(PUSH0), byte(MSTORE))
+	// CALL(gas, self, 0, 0, 32, 0, 0)
+	code = append(code, byte(PUSH0), byte(PUSH0), byte(PUSH1), 32, byte(PUSH0), byte(PUSH0))
+	code = append(code, byte(PUSH1+19))
+	code = append(code, testContract[:]...)
+	code = append(code, byte(GAS), byte(CALL), byte(POP), byte(PUSH0))
+	end := uint16(len(code))
+	code[endPatch] = byte(end >> 8)
+	code[endPatch+1] = byte(end)
+	code = append(code, byte(JUMPDEST), byte(STOP))
+	return code
+}
+
+// BenchmarkInterpDeepCall measures 64 nested self-calls per iteration:
+// frame construction, code (re)analysis, and call bookkeeping.
+func BenchmarkInterpDeepCall(b *testing.B) {
+	var input [32]byte
+	binary.BigEndian.PutUint64(input[24:], 64)
+	benchCall(b, deepCallCode(), input[:], 30_000_000)
+}

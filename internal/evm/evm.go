@@ -38,9 +38,37 @@ type EVM struct {
 	State *state.Overlay
 	Hooks *Hooks
 
+	// DisablePooling makes every call allocate a fresh frame instead of
+	// drawing from the shared pool (parity testing and debugging).
+	DisablePooling bool
+
 	depth int
 	// readOnly propagates STATICCALL write protection.
 	readOnly bool
+
+	// Hook-presence flags, recomputed at every depth-0 entry
+	// (refreshHookFlags). When a flag is false the interpreter skips
+	// the corresponding event assembly entirely — the zero-cost hook
+	// fast path. Hooks must not be swapped mid-transaction.
+	hookStep      bool
+	hookCallEnter bool
+	hookCallExit  bool
+	hookWS        bool
+	hookMem       bool
+	hookLog       bool
+}
+
+// refreshHookFlags recomputes the hook fast-path flags from e.Hooks.
+// Called on every top-level entry so tests and services may install
+// hooks any time between transactions.
+func (e *EVM) refreshHookFlags() {
+	h := e.Hooks
+	e.hookStep = h != nil && h.OnStep != nil
+	e.hookCallEnter = h != nil && h.OnCallEnter != nil
+	e.hookCallExit = h != nil && h.OnCallExit != nil
+	e.hookWS = h != nil && h.OnWorldState != nil
+	e.hookMem = h != nil && h.OnMemAccess != nil
+	e.hookLog = h != nil && h.OnLog != nil
 }
 
 // New constructs an EVM. Nil BaseFee/ChainID default to zero values.
@@ -65,10 +93,12 @@ type frame struct {
 	value    *uint256.Int
 	gas      uint64
 
-	stack     *Stack
-	mem       *Memory
-	retData   []byte // output of the most recent nested call
-	jumpdests []byte // lazily built bitmap of valid JUMPDESTs
+	stack   *Stack
+	mem     *Memory
+	retData []byte // output of the most recent nested call
+	// analysis is the shared static analysis of f.code; built lazily
+	// (and left uncached) for CREATE initcode, which has no stable hash.
+	analysis *CodeAnalysis
 }
 
 // useGas deducts gas, reporting false on exhaustion.
@@ -93,23 +123,10 @@ func (f *frame) validJumpdest(dest *uint256.Int) bool {
 	if OpCode(f.code[pos]) != JUMPDEST {
 		return false
 	}
-	if f.jumpdests == nil {
-		f.jumpdests = buildJumpdestBitmap(f.code)
+	if f.analysis == nil {
+		f.analysis = analyzeCode(f.code)
 	}
-	return f.jumpdests[pos/8]&(1<<(pos%8)) != 0
-}
-
-// buildJumpdestBitmap marks every valid JUMPDEST position.
-func buildJumpdestBitmap(code []byte) []byte {
-	bitmap := make([]byte, (len(code)+7)/8)
-	for i := 0; i < len(code); {
-		op := OpCode(code[i])
-		if op == JUMPDEST {
-			bitmap[i/8] |= 1 << (i % 8)
-		}
-		i += 1 + op.PushSize()
-	}
-	return bitmap
+	return f.analysis.ValidJumpdest(pos)
 }
 
 // canTransfer checks balance sufficiency.
@@ -140,6 +157,9 @@ func (e *EVM) StaticCall(caller, addr types.Address, input []byte, gas uint64) (
 // against; codeAddr is where the code is loaded from (they differ for
 // CALLCODE/DELEGATECALL).
 func (e *EVM) callInternal(kind CallKind, caller, storageCtx, codeAddr types.Address, input []byte, gas uint64, value *uint256.Int, forceReadOnly bool) ([]byte, uint64, error) {
+	if e.depth == 0 {
+		e.refreshHookFlags()
+	}
 	if e.depth > StackLimit {
 		return nil, gas, ErrDepth
 	}
@@ -155,44 +175,46 @@ func (e *EVM) callInternal(kind CallKind, caller, storageCtx, codeAddr types.Add
 
 	// Precompile dispatch.
 	if pc, ok := precompile(codeAddr); ok {
-		e.Hooks.callEnter(CallFrameInfo{
-			Kind: kind, Depth: e.depth, Caller: caller, Address: storageCtx,
-			CodeAddr: codeAddr, Gas: gas, Value: value.Clone(), InputSize: len(input),
-		})
+		if e.hookCallEnter {
+			e.Hooks.callEnter(CallFrameInfo{
+				Kind: kind, Depth: e.depth, Caller: caller, Address: storageCtx,
+				CodeAddr: codeAddr, Gas: gas, Value: value.Clone(), InputSize: len(input),
+			})
+		}
 		ret, left, err := runPrecompile(pc, input, gas)
 		if err != nil && !errors.Is(err, ErrExecutionReverted) {
 			e.State.RevertToSnapshot(snap)
 		}
-		e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas - left, ReturnSize: len(ret), Err: err})
+		if e.hookCallExit {
+			e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas - left, ReturnSize: len(ret), Err: err})
+		}
 		return ret, left, err
 	}
 
+	codeHash := e.State.GetCodeHash(codeAddr)
 	code := e.State.GetCode(codeAddr)
-	e.Hooks.worldState(WorldStateAccess{Kind: WSCode, Addr: codeAddr, Warm: true})
+	if e.hookWS {
+		e.Hooks.worldState(WorldStateAccess{Kind: WSCode, Addr: codeAddr, Warm: true})
+	}
 
-	e.Hooks.callEnter(CallFrameInfo{
-		Kind: kind, Depth: e.depth, Caller: caller, Address: storageCtx,
-		CodeAddr: codeAddr, Gas: gas, Value: value.Clone(),
-		InputSize: len(input), CodeSize: len(code),
-	})
+	if e.hookCallEnter {
+		e.Hooks.callEnter(CallFrameInfo{
+			Kind: kind, Depth: e.depth, Caller: caller, Address: storageCtx,
+			CodeAddr: codeAddr, Gas: gas, Value: value.Clone(),
+			InputSize: len(input), CodeSize: len(code),
+		})
+	}
 
 	if len(code) == 0 {
 		// Plain transfer or call to an EOA.
-		e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: 0})
+		if e.hookCallExit {
+			e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: 0})
+		}
 		return nil, gas, nil
 	}
 
-	f := &frame{
-		caller:   caller,
-		address:  storageCtx,
-		codeAddr: codeAddr,
-		code:     code,
-		input:    input,
-		value:    value.Clone(),
-		gas:      gas,
-		stack:    newStack(),
-		mem:      newMemory(),
-	}
+	f := e.newFrame(caller, storageCtx, codeAddr, code, input, value, gas,
+		sharedAnalysis.analyze(codeHash, code))
 
 	prevRO := e.readOnly
 	if forceReadOnly {
@@ -203,37 +225,53 @@ func (e *EVM) callInternal(kind CallKind, caller, storageCtx, codeAddr types.Add
 	e.depth--
 	e.readOnly = prevRO
 
+	leftGas := f.gas
+	e.releaseFrame(f)
+
 	if err != nil && !errors.Is(err, ErrExecutionReverted) {
 		// Hard failure burns remaining gas and reverts state.
 		e.State.RevertToSnapshot(snap)
-		e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas, Err: err})
+		if e.hookCallExit {
+			e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas, Err: err})
+		}
 		return nil, 0, err
 	}
 	if errors.Is(err, ErrExecutionReverted) {
 		e.State.RevertToSnapshot(snap)
 	}
-	e.Hooks.callExit(CallResultInfo{
-		Depth: e.depth, GasUsed: gas - f.gas, ReturnSize: len(ret),
-		Err: err, Reverted: errors.Is(err, ErrExecutionReverted),
-	})
-	return ret, f.gas, err
+	if e.hookCallExit {
+		e.Hooks.callExit(CallResultInfo{
+			Depth: e.depth, GasUsed: gas - leftGas, ReturnSize: len(ret),
+			Err: err, Reverted: errors.Is(err, ErrExecutionReverted),
+		})
+	}
+	return ret, leftGas, err
 }
 
 // Create deploys a contract with CREATE address derivation.
 func (e *EVM) Create(caller types.Address, initCode []byte, gas uint64, value *uint256.Int) ([]byte, types.Address, uint64, error) {
 	nonce := e.State.GetNonce(caller)
 	addr := types.CreateAddress(caller, nonce)
-	return e.createAt(CallKindCreate, caller, addr, initCode, gas, value)
+	return e.createAt(CallKindCreate, caller, addr, initCode, nil, gas, value)
 }
 
 // Create2 deploys a contract with the EIP-1014 salted address.
 func (e *EVM) Create2(caller types.Address, initCode []byte, salt types.Hash, gas uint64, value *uint256.Int) ([]byte, types.Address, uint64, error) {
-	codeHash := types.Hash(keccak.Sum256(initCode))
+	var codeHash types.Hash
+	keccak.Sum256Into(codeHash[:], initCode)
 	addr := types.Create2Address(caller, salt, codeHash)
-	return e.createAt(CallKindCreate2, caller, addr, initCode, gas, value)
+	return e.createAt(CallKindCreate2, caller, addr, initCode, &codeHash, gas, value)
 }
 
-func (e *EVM) createAt(kind CallKind, caller, addr types.Address, initCode []byte, gas uint64, value *uint256.Int) ([]byte, types.Address, uint64, error) {
+// createAt is the shared deployment path. initCodeHash, when non-nil,
+// is the already-computed keccak of initCode (CREATE2 pays for it as
+// part of address derivation) and keys the shared analysis cache;
+// CREATE initcode has no precomputed hash and is analyzed lazily per
+// frame instead.
+func (e *EVM) createAt(kind CallKind, caller, addr types.Address, initCode []byte, initCodeHash *types.Hash, gas uint64, value *uint256.Int) ([]byte, types.Address, uint64, error) {
+	if e.depth == 0 {
+		e.refreshHookFlags()
+	}
 	if e.depth > StackLimit {
 		return nil, types.Address{}, gas, ErrDepth
 	}
@@ -260,22 +298,19 @@ func (e *EVM) createAt(kind CallKind, caller, addr types.Address, initCode []byt
 	e.State.SetNonce(addr, 1)
 	e.transfer(caller, addr, value)
 
-	e.Hooks.callEnter(CallFrameInfo{
-		Kind: kind, Depth: e.depth, Caller: caller, Address: addr,
-		CodeAddr: addr, Gas: gas, Value: value.Clone(),
-		InputSize: 0, CodeSize: len(initCode),
-	})
-
-	f := &frame{
-		caller:   caller,
-		address:  addr,
-		codeAddr: addr,
-		code:     initCode,
-		value:    value.Clone(),
-		gas:      gas,
-		stack:    newStack(),
-		mem:      newMemory(),
+	if e.hookCallEnter {
+		e.Hooks.callEnter(CallFrameInfo{
+			Kind: kind, Depth: e.depth, Caller: caller, Address: addr,
+			CodeAddr: addr, Gas: gas, Value: value.Clone(),
+			InputSize: 0, CodeSize: len(initCode),
+		})
 	}
+
+	var analysis *CodeAnalysis
+	if initCodeHash != nil {
+		analysis = sharedAnalysis.analyze(*initCodeHash, initCode)
+	}
+	f := e.newFrame(caller, addr, addr, initCode, nil, value, gas, analysis)
 	e.depth++
 	ret, err := e.run(f)
 	e.depth--
@@ -298,18 +333,27 @@ func (e *EVM) createAt(kind CallKind, caller, addr types.Address, initCode []byt
 		}
 	}
 
+	leftGas := f.gas
+	e.releaseFrame(f)
+
 	if err != nil && !errors.Is(err, ErrExecutionReverted) {
 		e.State.RevertToSnapshot(snap)
-		e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas, Err: err})
+		if e.hookCallExit {
+			e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas, Err: err})
+		}
 		return nil, types.Address{}, 0, err
 	}
 	if errors.Is(err, ErrExecutionReverted) {
 		e.State.RevertToSnapshot(snap)
-		e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas - f.gas, Err: err, Reverted: true})
-		return ret, types.Address{}, f.gas, err
+		if e.hookCallExit {
+			e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas - leftGas, Err: err, Reverted: true})
+		}
+		return ret, types.Address{}, leftGas, err
 	}
-	e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas - f.gas, ReturnSize: len(ret)})
-	return ret, addr, f.gas, nil
+	if e.hookCallExit {
+		e.Hooks.callExit(CallResultInfo{Depth: e.depth, GasUsed: gas - leftGas, ReturnSize: len(ret)})
+	}
+	return ret, addr, leftGas, nil
 }
 
 // ExecutionResult summarizes one applied transaction.

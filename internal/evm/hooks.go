@@ -152,44 +152,67 @@ func (h *Hooks) log(l *types.Log) {
 }
 
 // CombineHooks fans events out to multiple consumers (e.g. the tracer
-// and the hardware shadow) in order. Nil entries are skipped.
+// and the hardware shadow) in order. Nil entries are skipped, and each
+// handler is installed only when at least one consumer implements it,
+// so the interpreter's hook-presence fast path stays effective through
+// a combined hook set.
 func CombineHooks(hooks ...*Hooks) *Hooks {
 	var list []*Hooks
+	var anyStep, anyEnter, anyExit, anyWS, anyMem, anyLog bool
 	for _, h := range hooks {
-		if h != nil {
-			list = append(list, h)
+		if h == nil {
+			continue
 		}
+		list = append(list, h)
+		anyStep = anyStep || h.OnStep != nil
+		anyEnter = anyEnter || h.OnCallEnter != nil
+		anyExit = anyExit || h.OnCallExit != nil
+		anyWS = anyWS || h.OnWorldState != nil
+		anyMem = anyMem || h.OnMemAccess != nil
+		anyLog = anyLog || h.OnLog != nil
 	}
-	return &Hooks{
-		OnStep: func(i StepInfo) {
+	out := &Hooks{}
+	if anyStep {
+		out.OnStep = func(i StepInfo) {
 			for _, h := range list {
 				h.step(i)
 			}
-		},
-		OnCallEnter: func(i CallFrameInfo) {
+		}
+	}
+	if anyEnter {
+		out.OnCallEnter = func(i CallFrameInfo) {
 			for _, h := range list {
 				h.callEnter(i)
 			}
-		},
-		OnCallExit: func(i CallResultInfo) {
+		}
+	}
+	if anyExit {
+		out.OnCallExit = func(i CallResultInfo) {
 			for _, h := range list {
 				h.callExit(i)
 			}
-		},
-		OnWorldState: func(a WorldStateAccess) {
+		}
+	}
+	if anyWS {
+		out.OnWorldState = func(a WorldStateAccess) {
 			for _, h := range list {
 				h.worldState(a)
 			}
-		},
-		OnMemAccess: func(a MemAccess) {
+		}
+	}
+	if anyMem {
+		out.OnMemAccess = func(a MemAccess) {
 			for _, h := range list {
 				h.memAccess(a)
 			}
-		},
-		OnLog: func(l *types.Log) {
+		}
+	}
+	if anyLog {
+		out.OnLog = func(l *types.Log) {
 			for _, h := range list {
 				h.log(l)
 			}
-		},
+		}
 	}
+	return out
 }

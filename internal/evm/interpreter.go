@@ -11,75 +11,135 @@ import (
 // run executes the frame's code to completion, returning the output of
 // RETURN/REVERT (with ErrExecutionReverted in the latter case).
 func (e *EVM) run(f *frame) ([]byte, error) {
-	var pc uint64
+	// Stack depth and remaining gas are mirrored in loop locals (kept
+	// in registers) so the fast-path opcodes never touch f.gas or the
+	// stack header; both are written back before anything that can
+	// observe them (execute, the step hook, every return) and reloaded
+	// after execute, which mutates them arbitrarily.
+	var (
+		pc       uint64
+		code     = f.code
+		codeLen  = uint64(len(code))
+		stack    = f.stack
+		hookStep = e.hookStep
+		ln       = stack.Len()
+		gas      = f.gas
+	)
 	for {
-		if pc >= uint64(len(f.code)) {
+		if pc >= codeLen {
 			// Implicit STOP falling off the end of code.
+			f.gas = gas
 			return nil, nil
 		}
-		op := OpCode(f.code[pc])
-		info := &_opTable[op]
-		if !info.defined {
-			return nil, ErrInvalidOpcode
+		op := OpCode(code[pc])
+		hot := &_opHotTable[op]
+		// Combined stack bounds check (see opHot). Undefined opcodes
+		// pass with zero-value bounds and fall through to execute(),
+		// whose default case returns ErrInvalidOpcode.
+		if uint(ln)-uint(hot.minStack) > uint(hot.stackSpan) {
+			f.gas = gas
+			return nil, stackBoundsErr(op, ln)
 		}
-		// Stack validation.
-		if f.stack.Len() < info.pops {
-			return nil, ErrStackUnderflow
+		var gasBefore uint64
+		if hookStep {
+			gasBefore = gas
 		}
-		if f.stack.Len()-info.pops+info.pushes > StackLimit {
-			return nil, ErrStackOverflow
-		}
-		gasBefore := f.gas
-		if !f.useGas(info.gas) {
+		if g := uint64(hot.gas); gas < g {
+			f.gas = gas
 			return nil, ErrOutOfGas
+		} else {
+			gas -= g
 		}
 
-		var (
-			ret    []byte
-			done   bool
-			err    error
-			nextPC = pc + 1
-		)
-		switch {
-		case op.IsPush():
+		// Dense dispatch on the precomputed class: the frequent
+		// stack-shuffling opcodes stay inline and jump straight back
+		// to the loop head, skipping the generic ret/done/err
+		// plumbing; everything else routes through the execute switch.
+		switch hot.class {
+		case classPush1:
+			// PUSH1 is by far the most frequent opcode; skip the
+			// general immediate decoding.
+			var v uint64
+			if pc+1 < codeLen {
+				v = uint64(code[pc+1])
+			}
+			stack.pushUint64(v)
+			ln++
+			if hookStep {
+				f.gas = gas
+				e.stepEvent(f, pc, op, gasBefore)
+			}
+			pc += 2
+			continue
+
+		case classPush:
 			n := uint64(op.PushSize())
 			end := pc + 1 + n
-			if end > uint64(len(f.code)) {
-				end = uint64(len(f.code))
+			if end > codeLen {
+				end = codeLen
 			}
-			var v uint256.Int
-			v.SetBytes(f.code[pc+1 : end])
+			v := stack.pushSlot()
+			v.SetBytes(code[pc+1 : end])
 			// Right-pad implicit zeros when code is truncated.
 			if missing := pc + 1 + n - end; missing > 0 {
-				v.Lsh(&v, uint(missing*8))
+				v.Lsh(v, uint(missing*8))
 			}
-			f.stack.push(&v)
-			nextPC = pc + 1 + n
+			ln++
+			if hookStep {
+				f.gas = gas
+				e.stepEvent(f, pc, op, gasBefore)
+			}
+			pc += 1 + n
+			continue
 
-		case op >= DUP1 && op <= DUP16:
-			f.stack.dup(int(op-DUP1) + 1)
+		case classDup:
+			stack.dup(int(op-DUP1) + 1)
+			ln++
+			if hookStep {
+				f.gas = gas
+				e.stepEvent(f, pc, op, gasBefore)
+			}
+			pc++
+			continue
 
-		case op >= SWAP1 && op <= SWAP16:
-			f.stack.swap(int(op-SWAP1) + 1)
+		case classSwap:
+			stack.swap(int(op-SWAP1) + 1)
+			if hookStep {
+				f.gas = gas
+				e.stepEvent(f, pc, op, gasBefore)
+			}
+			pc++
+			continue
 
-		default:
-			ret, nextPC, done, err = e.execute(f, op, pc)
+		case classPop:
+			stack.drop()
+			ln--
+			if hookStep {
+				f.gas = gas
+				e.stepEvent(f, pc, op, gasBefore)
+			}
+			pc++
+			continue
+
+		case classJumpdest:
+			if hookStep {
+				f.gas = gas
+				e.stepEvent(f, pc, op, gasBefore)
+			}
+			pc++
+			continue
 		}
+
+		f.gas = gas
+		ret, nextPC, done, err := e.execute(f, op, pc)
+		gas = f.gas
+		ln = stack.Len()
 		if err != nil {
 			return nil, err
 		}
-
-		e.Hooks.step(StepInfo{
-			Depth:    e.depth,
-			PC:       pc,
-			Op:       op,
-			Gas:      gasBefore,
-			Cost:     gasBefore - f.gas,
-			StackLen: f.stack.Len(),
-			MemLen:   f.mem.Len(),
-			Address:  f.address,
-		})
-
+		if hookStep {
+			e.stepEvent(f, pc, op, gasBefore)
+		}
 		if done {
 			if op == REVERT {
 				return ret, ErrExecutionReverted
@@ -88,6 +148,22 @@ func (e *EVM) run(f *frame) ([]byte, error) {
 		}
 		pc = nextPC
 	}
+}
+
+// stepEvent assembles and emits the StepInfo for one instruction. Only
+// called when an OnStep observer is installed (e.hookStep), keeping the
+// assembly cost out of the unobserved hot loop.
+func (e *EVM) stepEvent(f *frame, pc uint64, op OpCode, gasBefore uint64) {
+	e.Hooks.step(StepInfo{
+		Depth:    e.depth,
+		PC:       pc,
+		Op:       op,
+		Gas:      gasBefore,
+		Cost:     gasBefore - f.gas,
+		StackLen: f.stack.Len(),
+		MemLen:   f.mem.Len(),
+		Address:  f.address,
+	})
 }
 
 // memSpan pops nothing; it validates an (offset, size) pair already
@@ -302,13 +378,16 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if !f.useGas(keccakGasPerWord * wordCount(sz)) {
 			return nil, 0, false, ErrOutOfGas
 		}
-		e.Hooks.memAccess(MemAccess{Offset: off, Size: sz})
-		h := keccak.Sum256(f.mem.view(off, sz))
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: off, Size: sz})
+		}
+		var h [keccak.Size]byte
+		keccak.Sum256Into(h[:], f.mem.view(off, sz))
 		size.SetBytes(h[:])
 
 	// --- Environment ---
 	case ADDRESS:
-		stack.push(f.address.Word())
+		stack.pushSlot().SetBytes(f.address[:])
 	case BALANCE:
 		addrWord := stack.peek(0)
 		addr := wordToAddress(addrWord)
@@ -316,12 +395,14 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if !chargeAccountAccess(f, warm) {
 			return nil, 0, false, ErrOutOfGas
 		}
-		e.Hooks.worldState(WorldStateAccess{Kind: WSBalance, Addr: addr, Warm: warm})
+		if e.hookWS {
+			e.Hooks.worldState(WorldStateAccess{Kind: WSBalance, Addr: addr, Warm: warm})
+		}
 		addrWord.Set(e.State.GetBalance(addr))
 	case ORIGIN:
-		stack.push(e.Tx.Origin.Word())
+		stack.pushSlot().SetBytes(e.Tx.Origin[:])
 	case CALLER:
-		stack.push(f.caller.Word())
+		stack.pushSlot().SetBytes(f.caller[:])
 	case CALLVALUE:
 		stack.push(f.value)
 	case CALLDATALOAD:
@@ -332,7 +413,7 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			offset.Clear()
 		}
 	case CALLDATASIZE:
-		stack.push(uint256.NewInt(uint64(len(f.input))))
+		stack.pushUint64(uint64(len(f.input)))
 	case CALLDATACOPY:
 		memOff := stack.pop()
 		dataOff := stack.pop()
@@ -345,10 +426,12 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			return nil, 0, false, err
 		}
 		src, _ := dataOff.Uint64WithOverflow()
-		e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		}
 		f.mem.set(dst, getData(f.input, src, sz))
 	case CODESIZE:
-		stack.push(uint256.NewInt(uint64(len(f.code))))
+		stack.pushUint64(uint64(len(f.code)))
 	case CODECOPY:
 		memOff := stack.pop()
 		codeOff := stack.pop()
@@ -361,7 +444,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			return nil, 0, false, err
 		}
 		src, _ := codeOff.Uint64WithOverflow()
-		e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		}
 		f.mem.set(dst, getData(f.code, src, sz))
 	case GASPRICE:
 		stack.push(e.Tx.GasPrice)
@@ -372,7 +457,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if !chargeAccountAccess(f, warm) {
 			return nil, 0, false, ErrOutOfGas
 		}
-		e.Hooks.worldState(WorldStateAccess{Kind: WSCodeSize, Addr: addr, Warm: warm})
+		if e.hookWS {
+			e.Hooks.worldState(WorldStateAccess{Kind: WSCodeSize, Addr: addr, Warm: warm})
+		}
 		addrWord.SetUint64(uint64(e.State.GetCodeSize(addr)))
 	case EXTCODECOPY:
 		addrWord := stack.pop()
@@ -391,12 +478,16 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err := f.chargeCopy(sz); err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.worldState(WorldStateAccess{Kind: WSCode, Addr: addr, Warm: warm})
+		if e.hookWS {
+			e.Hooks.worldState(WorldStateAccess{Kind: WSCode, Addr: addr, Warm: warm})
+		}
 		src, _ := codeOff.Uint64WithOverflow()
-		e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		}
 		f.mem.set(dst, getData(e.State.GetCode(addr), src, sz))
 	case RETURNDATASIZE:
-		stack.push(uint256.NewInt(uint64(len(f.retData))))
+		stack.pushUint64(uint64(len(f.retData)))
 	case RETURNDATACOPY:
 		memOff := stack.pop()
 		dataOff := stack.pop()
@@ -416,7 +507,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err := f.chargeCopy(sz); err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+		}
 		f.mem.set(dst, f.retData[src:src+sz])
 	case EXTCODEHASH:
 		addrWord := stack.peek(0)
@@ -425,7 +518,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if !chargeAccountAccess(f, warm) {
 			return nil, 0, false, ErrOutOfGas
 		}
-		e.Hooks.worldState(WorldStateAccess{Kind: WSCodeHash, Addr: addr, Warm: warm})
+		if e.hookWS {
+			e.Hooks.worldState(WorldStateAccess{Kind: WSCodeHash, Addr: addr, Warm: warm})
+		}
 		h := e.State.GetCodeHash(addr)
 		addrWord.SetBytes(h[:])
 
@@ -442,15 +537,15 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		}
 		num.SetBytes(h[:])
 	case COINBASE:
-		stack.push(e.Block.Coinbase.Word())
+		stack.pushSlot().SetBytes(e.Block.Coinbase[:])
 	case TIMESTAMP:
-		stack.push(uint256.NewInt(e.Block.Timestamp))
+		stack.pushUint64(e.Block.Timestamp)
 	case NUMBER:
-		stack.push(uint256.NewInt(e.Block.Number))
+		stack.pushUint64(e.Block.Number)
 	case PREVRANDAO:
-		stack.push(e.Block.PrevRandao.Word())
+		stack.pushSlot().SetBytes(e.Block.PrevRandao[:])
 	case GASLIMIT:
-		stack.push(uint256.NewInt(e.Block.GasLimit))
+		stack.pushUint64(e.Block.GasLimit)
 	case CHAINID:
 		stack.push(e.Block.ChainID)
 	case SELFBALANCE:
@@ -470,7 +565,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err := e.chargeMemory(f, off, 32); err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.memAccess(MemAccess{Offset: off, Size: 32})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: off, Size: 32})
+		}
 		offset.SetBytes(f.mem.view(off, 32))
 	case MSTORE:
 		offset := stack.pop()
@@ -482,7 +579,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err := e.chargeMemory(f, off, 32); err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.memAccess(MemAccess{Offset: off, Size: 32, Write: true})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: off, Size: 32, Write: true})
+		}
 		f.mem.set32(off, &val)
 	case MSTORE8:
 		offset := stack.pop()
@@ -494,7 +593,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err := e.chargeMemory(f, off, 1); err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.memAccess(MemAccess{Offset: off, Size: 1, Write: true})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: off, Size: 1, Write: true})
+		}
 		f.mem.setByte(off, byte(val.Uint64()))
 	case SLOAD:
 		keyWord := stack.peek(0)
@@ -508,7 +609,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			return nil, 0, false, ErrOutOfGas
 		}
 		v := e.State.GetStorage(f.address, key)
-		e.Hooks.worldState(WorldStateAccess{Kind: WSStorage, Addr: f.address, Key: key, Warm: warm})
+		if e.hookWS {
+			e.Hooks.worldState(WorldStateAccess{Kind: WSStorage, Addr: f.address, Key: key, Warm: warm})
+		}
 		keyWord.SetBytes(v[:])
 	case SSTORE:
 		if e.readOnly {
@@ -525,7 +628,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err := e.sstoreGas(f, key, value); err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.worldState(WorldStateAccess{Kind: WSStorage, Addr: f.address, Key: key, Write: true, Warm: true})
+		if e.hookWS {
+			e.Hooks.worldState(WorldStateAccess{Kind: WSStorage, Addr: f.address, Key: key, Write: true, Warm: true})
+		}
 		e.State.SetStorage(f.address, key, value)
 	case JUMP:
 		dest := stack.pop()
@@ -543,11 +648,11 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			nextPC = dest.Uint64()
 		}
 	case PC:
-		stack.push(uint256.NewInt(pc))
+		stack.pushUint64(pc)
 	case MSIZE:
-		stack.push(uint256.NewInt(uint64(f.mem.Len())))
+		stack.pushUint64(uint64(f.mem.Len()))
 	case GAS:
-		stack.push(uint256.NewInt(f.gas))
+		stack.pushUint64(f.gas)
 	case JUMPDEST:
 		// No-op.
 	case TLOAD:
@@ -599,12 +704,16 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			if err := e.chargeMemory(f, src, sz); err != nil {
 				return nil, 0, false, err
 			}
-			e.Hooks.memAccess(MemAccess{Offset: src, Size: sz})
-			e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+			if e.hookMem {
+				e.Hooks.memAccess(MemAccess{Offset: src, Size: sz})
+			}
+			if e.hookMem {
+				e.Hooks.memAccess(MemAccess{Offset: dst, Size: sz, Write: true})
+			}
 			f.mem.copyWithin(dst, src, sz)
 		}
 	case PUSH0:
-		stack.push(new(uint256.Int))
+		stack.pushZero()
 
 	// --- Logs ---
 	case LOG0, LOG1, LOG2, LOG3, LOG4:
@@ -627,7 +736,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			tb := topic.Bytes32()
 			log.Topics = append(log.Topics, types.Hash(tb))
 		}
-		e.Hooks.memAccess(MemAccess{Offset: off, Size: sz})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: off, Size: sz})
+		}
 		e.State.AddLog(log)
 		e.Hooks.log(log)
 
@@ -680,9 +791,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 			f.retData = retData
 		}
 		if callErr != nil {
-			stack.push(new(uint256.Int))
+			stack.pushZero()
 		} else {
-			stack.push(created.Word())
+			stack.pushSlot().SetBytes(created[:])
 		}
 
 	case CALL, CALLCODE, DELEGATECALL, STATICCALL:
@@ -700,7 +811,9 @@ func (e *EVM) execute(f *frame, op OpCode, pc uint64) (ret []byte, nextPC uint64
 		if err != nil {
 			return nil, 0, false, err
 		}
-		e.Hooks.memAccess(MemAccess{Offset: off, Size: sz})
+		if e.hookMem {
+			e.Hooks.memAccess(MemAccess{Offset: off, Size: sz})
+		}
 		return f.mem.get(off, sz), nextPC, true, nil
 
 	case INVALID:
@@ -799,7 +912,9 @@ func (e *EVM) execCall(f *frame, op OpCode) ([]byte, error) {
 	}
 
 	input := f.mem.get(iOff, iSz)
-	e.Hooks.memAccess(MemAccess{Offset: iOff, Size: iSz})
+	if e.hookMem {
+		e.Hooks.memAccess(MemAccess{Offset: iOff, Size: iSz})
+	}
 
 	var (
 		ret     []byte
@@ -828,15 +943,17 @@ func (e *EVM) execCall(f *frame, op OpCode) ([]byte, error) {
 			n = oSz
 		}
 		if n > 0 {
-			e.Hooks.memAccess(MemAccess{Offset: oOff, Size: n, Write: true})
+			if e.hookMem {
+				e.Hooks.memAccess(MemAccess{Offset: oOff, Size: n, Write: true})
+			}
 			f.mem.set(oOff, ret[:n])
 		}
 	}
 
 	if callErr == nil {
-		stack.push(uint256.NewInt(1))
+		stack.pushUint64(1)
 	} else {
-		stack.push(new(uint256.Int))
+		stack.pushZero()
 	}
 	return ret, nil
 }

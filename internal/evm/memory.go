@@ -18,12 +18,39 @@ func newMemory() *Memory {
 func (m *Memory) Len() int { return len(m.data) }
 
 // resize grows memory to at least size bytes, rounded up to words.
+// Capacity grows geometrically so a loop that expands memory word by
+// word costs O(n) total instead of O(n²) re-copies; the newly exposed
+// region is zeroed explicitly, which also makes pooled reuse safe
+// (reset only truncates).
 func (m *Memory) resize(size uint64) {
 	if uint64(len(m.data)) >= size {
 		return
 	}
 	words := (size + 31) / 32
-	m.data = append(m.data, make([]byte, words*32-uint64(len(m.data)))...)
+	n := words * 32
+	if n <= uint64(cap(m.data)) {
+		old := len(m.data)
+		m.data = m.data[:n]
+		clear(m.data[old:])
+		return
+	}
+	newCap := uint64(cap(m.data))
+	if newCap < 256 {
+		newCap = 256
+	}
+	for newCap < n {
+		newCap *= 2
+	}
+	buf := make([]byte, n, newCap)
+	copy(buf, m.data)
+	m.data = buf
+}
+
+// reset empties the memory for pooled reuse, keeping the backing array.
+// Stale contents are unreachable afterwards: resize zeroes every byte
+// it exposes before Len covers it again.
+func (m *Memory) reset() {
+	m.data = m.data[:0]
 }
 
 // set writes value to [offset, offset+len(value)).

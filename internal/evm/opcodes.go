@@ -147,8 +147,82 @@ const (
 	gasJumpDst uint64 = 1
 )
 
+// Dispatch classes for the interpreter's inline fast paths. Everything
+// else routes through the execute switch.
+const (
+	classGeneric uint8 = iota
+	classPush1
+	classPush
+	classDup
+	classSwap
+	classPop
+	classJumpdest
+)
+
+// opHot is the compact per-opcode metadata the dispatch loop touches on
+// every instruction: 8 bytes, so 8 opcodes share a cache line (opInfo
+// drags a 16-byte name string through the cache instead).
+//
+// minStack/stackSpan encode both stack-bounds checks as one unsigned
+// comparison: depth is valid iff
+//
+//	uint(len) - uint(minStack) <= uint(stackSpan)
+//
+// where minStack = pops and stackSpan = StackLimit - pushes (depth may
+// be at most StackLimit + pops - pushes before the op runs). Undefined
+// opcodes get the zero-value pops/pushes, so they pass for free and
+// fall through to execute()'s ErrInvalidOpcode default.
+type opHot struct {
+	minStack  uint8
+	class     uint8
+	stackSpan uint16
+	gas       uint32
+}
+
 // opTable is indexed by opcode byte.
 var _opTable = buildOpTable()
+
+// _opHotTable is derived from _opTable at init.
+var _opHotTable = buildOpHotTable()
+
+func buildOpHotTable() [256]opHot {
+	var t [256]opHot
+	for i := range t {
+		info := &_opTable[i]
+		op := OpCode(i)
+		h := opHot{
+			minStack:  uint8(info.pops),
+			stackSpan: uint16(StackLimit - info.pushes),
+			gas:       uint32(info.gas),
+		}
+		if info.defined {
+			switch {
+			case op == PUSH1:
+				h.class = classPush1
+			case op.IsPush():
+				h.class = classPush
+			case op >= DUP1 && op <= DUP16:
+				h.class = classDup
+			case op >= SWAP1 && op <= SWAP16:
+				h.class = classSwap
+			case op == POP:
+				h.class = classPop
+			case op == JUMPDEST:
+				h.class = classJumpdest
+			}
+		}
+		t[i] = h
+	}
+	return t
+}
+
+// stackBoundsErr classifies a failed combined bounds check.
+func stackBoundsErr(op OpCode, depth int) error {
+	if depth < _opTable[op].pops {
+		return ErrStackUnderflow
+	}
+	return ErrStackOverflow
+}
 
 func buildOpTable() [256]opInfo {
 	var t [256]opInfo

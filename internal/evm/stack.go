@@ -10,13 +10,19 @@ const StackLimit = 1024
 // Stack is the EVM's 1024-slot 256-bit operand stack. Slots are stored
 // by value; peek returns pointers into the backing array that are valid
 // until the next mutation.
+//
+// The backing array is allocated at full capacity (StackLimit+1 words,
+// 32 KiB) up front: the interpreter validates depth before every
+// opcode, so pushes can extend by reslicing — no append machinery, no
+// growth checks — and pooled reuse keeps the one-time allocation
+// amortized across transactions.
 type Stack struct {
 	data []uint256.Int
 }
 
-// newStack returns an empty stack with modest preallocated capacity.
+// newStack returns an empty stack with full preallocated capacity.
 func newStack() *Stack {
-	return &Stack{data: make([]uint256.Int, 0, 64)}
+	return &Stack{data: make([]uint256.Int, 0, StackLimit+1)}
 }
 
 // Len returns the current depth.
@@ -24,7 +30,47 @@ func (s *Stack) Len() int { return len(s.data) }
 
 // push appends a copy of v. Depth checks happen in the interpreter.
 func (s *Stack) push(v *uint256.Int) {
-	s.data = append(s.data, *v)
+	n := len(s.data)
+	s.data = s.data[:n+1]
+	s.data[n] = *v
+}
+
+// pushSlot extends the stack by one slot and returns a pointer to it.
+// The slot is NOT zeroed — it may hold a previously popped value — so
+// the caller must fully overwrite it (SetBytes/SetUint64) before any
+// other stack operation.
+func (s *Stack) pushSlot() *uint256.Int {
+	n := len(s.data)
+	s.data = s.data[:n+1]
+	return &s.data[n]
+}
+
+// pushUint64 pushes v without an intermediate heap allocation.
+func (s *Stack) pushUint64(v uint64) {
+	n := len(s.data)
+	s.data = s.data[:n+1]
+	s.data[n].SetUint64(v)
+}
+
+// pushZero pushes a zero word.
+func (s *Stack) pushZero() {
+	n := len(s.data)
+	s.data = s.data[:n+1]
+	s.data[n] = uint256.Int{}
+}
+
+// drop removes the top value without copying it out (POP fast path).
+func (s *Stack) drop() {
+	s.data = s.data[:len(s.data)-1]
+}
+
+// reset empties the stack for pooled reuse, clearing the live slots so
+// no operand values survive into the next owner. Slots above the final
+// depth may hold residue from popped values, but they are unreachable:
+// every push path fully overwrites its slot before it becomes readable.
+func (s *Stack) reset() {
+	clear(s.data)
+	s.data = s.data[:0]
 }
 
 // pop removes and returns the top value.
@@ -40,6 +86,8 @@ func (s *Stack) peek(n int) *uint256.Int {
 }
 
 // swap exchanges the top with the n'th element below it (1-based).
+// Index form: the compiler lowers it to register moves, where the
+// pointer form would call memmove per 32-byte word.
 func (s *Stack) swap(n int) {
 	top := len(s.data) - 1
 	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
@@ -47,7 +95,9 @@ func (s *Stack) swap(n int) {
 
 // dup pushes a copy of the n'th element from the top (1-based).
 func (s *Stack) dup(n int) {
-	s.data = append(s.data, s.data[len(s.data)-n])
+	ln := len(s.data)
+	s.data = s.data[:ln+1]
+	s.data[ln] = s.data[ln-n]
 }
 
 // Snapshot returns a copy of the stack contents, bottom first

@@ -3,7 +3,11 @@
 // SHA3-256 FIPS-202 padding).
 package keccak
 
-import "hash"
+import (
+	"encoding/binary"
+	"hash"
+	"sync"
+)
 
 const (
 	// Size is the digest size of Keccak-256 in bytes.
@@ -22,15 +26,6 @@ var _roundConstants = [24]uint64{
 	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
 	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
 	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
-}
-
-// rotationOffsets are the rho rotation offsets indexed by lane (x + 5y).
-var _rotationOffsets = [25]uint{
-	0, 1, 62, 28, 27,
-	36, 44, 6, 55, 20,
-	3, 10, 43, 25, 39,
-	41, 45, 15, 21, 8,
-	18, 2, 61, 56, 14,
 }
 
 // state is a keccak sponge absorbing into a 1600-bit state.
@@ -68,10 +63,71 @@ func Hash(data ...[]byte) []byte {
 	return out
 }
 
+// Sponge is an exported, resettable Keccak-256 sponge for callers
+// that hash in a loop (the EVM's KECCAK256 opcode, CREATE2 address
+// derivation, MPT node hashing): Reset returns it to the initial
+// state without reallocating, and SumInto finalizes without copying
+// the digest through a return value. A Sponge is not safe for
+// concurrent use.
+type Sponge struct {
+	s state
+}
+
+// NewSponge returns a fresh reusable sponge.
+func NewSponge() *Sponge { return &Sponge{} }
+
+// Reset returns the sponge to its initial (empty) state.
+func (h *Sponge) Reset() { h.s.Reset() }
+
+// Write absorbs p. It never fails.
+func (h *Sponge) Write(p []byte) (int, error) { return h.s.Write(p) }
+
+// SumInto finalizes the sponge and writes the 32-byte digest into
+// out (which must hold at least Size bytes). Finalization is
+// destructive: call Reset before reusing the sponge.
+func (h *Sponge) SumInto(out []byte) { h.s.sumInto(out) }
+
+// Sum256 finalizes the sponge and returns the digest. Like SumInto,
+// it consumes the sponge: Reset before reuse.
+func (h *Sponge) Sum256() [Size]byte {
+	var out [Size]byte
+	h.s.sumInto(out[:])
+	return out
+}
+
+// spongePool recycles sponges for the Into helpers below; sponges are
+// returned reset, so Get yields a ready-to-absorb state.
+var spongePool = sync.Pool{New: func() any { return new(Sponge) }}
+
+// Sum256Into computes the Keccak-256 digest of data into out (which
+// must hold at least Size bytes) using a pooled sponge: no per-call
+// sponge setup and no digest copies, for hot paths that hash per
+// opcode or per trie node.
+func Sum256Into(out []byte, data []byte) {
+	h := spongePool.Get().(*Sponge)
+	_, _ = h.s.Write(data)
+	h.s.sumInto(out)
+	h.s.Reset()
+	spongePool.Put(h)
+}
+
+// HashInto is Sum256Into over the concatenation of multiple slices
+// (CREATE2's 0xff ++ sender ++ salt ++ codeHash preimage).
+func HashInto(out []byte, data ...[]byte) {
+	h := spongePool.Get().(*Sponge)
+	for _, d := range data {
+		_, _ = h.s.Write(d)
+	}
+	h.s.sumInto(out)
+	h.s.Reset()
+	spongePool.Put(h)
+}
+
 // Write absorbs p into the sponge. It never fails.
 func (s *state) Write(p []byte) (int, error) {
 	n := len(p)
-	for len(p) > 0 {
+	// Finish a partially filled buffer first.
+	if s.bufLen > 0 {
 		space := rate - s.bufLen
 		if space > len(p) {
 			space = len(p)
@@ -80,8 +136,18 @@ func (s *state) Write(p []byte) (int, error) {
 		s.bufLen += space
 		p = p[space:]
 		if s.bufLen == rate {
-			s.absorbBlock()
+			s.absorbBlock(s.buf[:])
+			s.bufLen = 0
 		}
+	}
+	// Absorb full blocks straight from the input, no staging copy.
+	for len(p) >= rate {
+		s.absorbBlock(p[:rate])
+		p = p[rate:]
+	}
+	if len(p) > 0 {
+		copy(s.buf[:], p)
+		s.bufLen = len(p)
 	}
 	return n, nil
 }
@@ -114,24 +180,21 @@ func (s *state) sumInto(out []byte) {
 		s.buf[i] = 0
 	}
 	s.buf[rate-1] |= 0x80
-	s.bufLen = rate
-	s.absorbBlock()
+	s.absorbBlock(s.buf[:])
+	s.bufLen = 0
 
-	for i := 0; i < Size; i++ {
-		out[i] = byte(s.a[i/8] >> (8 * uint(i%8)))
-	}
+	binary.LittleEndian.PutUint64(out[0:], s.a[0])
+	binary.LittleEndian.PutUint64(out[8:], s.a[1])
+	binary.LittleEndian.PutUint64(out[16:], s.a[2])
+	binary.LittleEndian.PutUint64(out[24:], s.a[3])
 }
 
-// absorbBlock XORs the buffered block into the state and permutes.
-func (s *state) absorbBlock() {
+// absorbBlock XORs one rate-sized block into the state and permutes.
+func (s *state) absorbBlock(block []byte) {
+	_ = block[rate-1]
 	for i := 0; i < rate/8; i++ {
-		var lane uint64
-		for j := 7; j >= 0; j-- {
-			lane = lane<<8 | uint64(s.buf[i*8+j])
-		}
-		s.a[i] ^= lane
+		s.a[i] ^= binary.LittleEndian.Uint64(block[i*8:])
 	}
-	s.bufLen = 0
 	keccakF1600(&s.a)
 }
 
@@ -140,37 +203,77 @@ func rotl64(x uint64, n uint) uint64 {
 	return x<<n | x>>(64-n)
 }
 
-// keccakF1600 applies the 24-round keccak-f[1600] permutation.
+// keccakF1600 applies the 24-round keccak-f[1600] permutation. The
+// round body is fully unrolled (theta, rho+pi, chi fused per lane):
+// the generic nested-loop form spends most of its time on the %5
+// index arithmetic, and this routine is the single hottest function
+// under KECCAK256-heavy contracts, CREATE2, and MPT root hashing.
 func keccakF1600(a *[25]uint64) {
-	var c [5]uint64
-	var d [5]uint64
 	var b [25]uint64
-
 	for round := 0; round < 24; round++ {
 		// Theta.
-		for x := 0; x < 5; x++ {
-			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
-		}
-		for x := 0; x < 5; x++ {
-			d[x] = c[(x+4)%5] ^ rotl64(c[(x+1)%5], 1)
-		}
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] ^= d[x]
-			}
-		}
+		c0 := a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20]
+		c1 := a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21]
+		c2 := a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22]
+		c3 := a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23]
+		c4 := a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24]
+		d0 := c4 ^ rotl64(c1, 1)
+		d1 := c0 ^ rotl64(c2, 1)
+		d2 := c1 ^ rotl64(c3, 1)
+		d3 := c2 ^ rotl64(c4, 1)
+		d4 := c3 ^ rotl64(c0, 1)
 		// Rho and Pi.
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				b[y+5*((2*x+3*y)%5)] = rotl64(a[x+5*y], _rotationOffsets[x+5*y])
-			}
-		}
+		b[0] = a[0] ^ d0
+		b[16] = rotl64(a[5]^d0, 36)
+		b[7] = rotl64(a[10]^d0, 3)
+		b[23] = rotl64(a[15]^d0, 41)
+		b[14] = rotl64(a[20]^d0, 18)
+		b[10] = rotl64(a[1]^d1, 1)
+		b[1] = rotl64(a[6]^d1, 44)
+		b[17] = rotl64(a[11]^d1, 10)
+		b[8] = rotl64(a[16]^d1, 45)
+		b[24] = rotl64(a[21]^d1, 2)
+		b[20] = rotl64(a[2]^d2, 62)
+		b[11] = rotl64(a[7]^d2, 6)
+		b[2] = rotl64(a[12]^d2, 43)
+		b[18] = rotl64(a[17]^d2, 15)
+		b[9] = rotl64(a[22]^d2, 61)
+		b[5] = rotl64(a[3]^d3, 28)
+		b[21] = rotl64(a[8]^d3, 55)
+		b[12] = rotl64(a[13]^d3, 25)
+		b[3] = rotl64(a[18]^d3, 21)
+		b[19] = rotl64(a[23]^d3, 56)
+		b[15] = rotl64(a[4]^d4, 27)
+		b[6] = rotl64(a[9]^d4, 20)
+		b[22] = rotl64(a[14]^d4, 39)
+		b[13] = rotl64(a[19]^d4, 8)
+		b[4] = rotl64(a[24]^d4, 14)
 		// Chi.
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
-			}
-		}
+		a[0] = b[0] ^ (^b[1] & b[2])
+		a[1] = b[1] ^ (^b[2] & b[3])
+		a[2] = b[2] ^ (^b[3] & b[4])
+		a[3] = b[3] ^ (^b[4] & b[0])
+		a[4] = b[4] ^ (^b[0] & b[1])
+		a[5] = b[5] ^ (^b[6] & b[7])
+		a[6] = b[6] ^ (^b[7] & b[8])
+		a[7] = b[7] ^ (^b[8] & b[9])
+		a[8] = b[8] ^ (^b[9] & b[5])
+		a[9] = b[9] ^ (^b[5] & b[6])
+		a[10] = b[10] ^ (^b[11] & b[12])
+		a[11] = b[11] ^ (^b[12] & b[13])
+		a[12] = b[12] ^ (^b[13] & b[14])
+		a[13] = b[13] ^ (^b[14] & b[10])
+		a[14] = b[14] ^ (^b[10] & b[11])
+		a[15] = b[15] ^ (^b[16] & b[17])
+		a[16] = b[16] ^ (^b[17] & b[18])
+		a[17] = b[17] ^ (^b[18] & b[19])
+		a[18] = b[18] ^ (^b[19] & b[15])
+		a[19] = b[19] ^ (^b[15] & b[16])
+		a[20] = b[20] ^ (^b[21] & b[22])
+		a[21] = b[21] ^ (^b[22] & b[23])
+		a[22] = b[22] ^ (^b[23] & b[24])
+		a[23] = b[23] ^ (^b[24] & b[20])
+		a[24] = b[24] ^ (^b[20] & b[21])
 		// Iota.
 		a[0] ^= _roundConstants[round]
 	}

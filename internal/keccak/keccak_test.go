@@ -3,6 +3,7 @@ package keccak
 import (
 	"bytes"
 	"encoding/hex"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -120,6 +121,85 @@ func TestQuickSplitInvariance(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The reusable-sponge API must agree with the one-shot functions,
+// including across Reset reuse and the pooled Into helpers.
+func TestSpongeMatchesSum256(t *testing.T) {
+	inputs := [][]byte{nil, []byte("abc"), bytes.Repeat([]byte{0x5a}, 137)}
+	h := NewSponge()
+	for _, in := range inputs {
+		h.Reset()
+		if _, err := h.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		want := Sum256(in)
+		if got := h.Sum256(); got != want {
+			t.Errorf("Sponge(%q) = %x, want %x", in, got, want)
+		}
+
+		var into [Size]byte
+		Sum256Into(into[:], in)
+		if into != want {
+			t.Errorf("Sum256Into(%q) = %x, want %x", in, into, want)
+		}
+	}
+}
+
+func TestSpongeSumInto(t *testing.T) {
+	h := NewSponge()
+	if _, err := h.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	var out [Size]byte
+	h.SumInto(out[:])
+	want := Sum256([]byte("hello world"))
+	if out != want {
+		t.Errorf("SumInto = %x, want %x", out, want)
+	}
+}
+
+func TestHashInto(t *testing.T) {
+	want := Sum256([]byte("foobarbaz"))
+	var got [Size]byte
+	HashInto(got[:], []byte("foo"), []byte("bar"), []byte("baz"))
+	if got != want {
+		t.Errorf("HashInto = %x, want %x", got, want)
+	}
+}
+
+// Pooled helpers must leave no residue: interleaved concurrent use
+// from many goroutines yields correct digests (run with -race).
+func TestSum256IntoConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(g)}, 64+g)
+			want := Sum256(data)
+			for i := 0; i < 200; i++ {
+				var got [Size]byte
+				Sum256Into(got[:], data)
+				if got != want {
+					t.Errorf("goroutine %d iter %d: %x != %x", g, i, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSum256IntoAllocs(t *testing.T) {
+	data := make([]byte, 64)
+	var out [Size]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		Sum256Into(out[:], data)
+	})
+	if allocs > 0 {
+		t.Errorf("Sum256Into allocates %v times per call, want 0", allocs)
 	}
 }
 

@@ -165,7 +165,9 @@ func (t *Trie) Hash() [32]byte {
 		return EmptyRoot
 	}
 	enc := encodeNode(t.root)
-	return [32]byte(keccak.Sum256(enc))
+	var h [32]byte
+	keccak.Sum256Into(h[:], enc)
+	return h
 }
 
 // Len walks the trie and counts stored values (test/diagnostic helper).
@@ -412,7 +414,8 @@ func nodeRef(n node) *rlp.Item {
 		}
 		return it
 	}
-	h := keccak.Sum256(enc)
+	var h [32]byte
+	keccak.Sum256Into(h[:], enc)
 	return rlp.String(h[:])
 }
 

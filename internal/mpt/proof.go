@@ -69,7 +69,9 @@ func VerifyProof(root [32]byte, key []byte, proof *Proof) ([]byte, error) {
 	// Index nodes by hash.
 	byHash := make(map[[32]byte][]byte, len(proof.Nodes))
 	for _, enc := range proof.Nodes {
-		byHash[[32]byte(keccak.Sum256(enc))] = enc
+		var h [32]byte
+		keccak.Sum256Into(h[:], enc)
+		byHash[h] = enc
 	}
 
 	want := root

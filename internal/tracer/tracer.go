@@ -81,15 +81,21 @@ func New(captureSteps bool) *Tracer {
 	return &Tracer{CaptureSteps: captureSteps}
 }
 
-// Hooks returns the evm.Hooks wired to this tracer.
+// Hooks returns the evm.Hooks wired to this tracer. OnStep is only
+// installed when CaptureSteps is set (decide before calling Hooks):
+// leaving it nil lets the interpreter skip per-instruction StepInfo
+// assembly entirely on throughput runs.
 func (t *Tracer) Hooks() *evm.Hooks {
-	return &evm.Hooks{
-		OnStep:       t.onStep,
+	h := &evm.Hooks{
 		OnCallEnter:  t.onCallEnter,
 		OnCallExit:   t.onCallExit,
 		OnWorldState: t.onWorldState,
 		OnLog:        t.onLog,
 	}
+	if t.CaptureSteps {
+		h.OnStep = t.onStep
+	}
+	return h
 }
 
 // BeginTx starts recording a transaction.

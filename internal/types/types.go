@@ -390,6 +390,7 @@ func CreateAddress(sender Address, nonce uint64) Address {
 // Create2Address computes the EIP-1014 deterministic deployment
 // address: keccak256(0xff ++ sender ++ salt ++ keccak256(code))[12:].
 func Create2Address(sender Address, salt Hash, codeHash Hash) Address {
-	h := keccak.Hash([]byte{0xff}, sender[:], salt[:], codeHash[:])
+	var h [keccak.Size]byte
+	keccak.HashInto(h[:], []byte{0xff}, sender[:], salt[:], codeHash[:])
 	return BytesToAddress(h[12:])
 }
