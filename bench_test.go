@@ -206,6 +206,65 @@ func BenchmarkBundleThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N*txsPerBundle)/b.Elapsed().Seconds(), "txs/sec")
 }
 
+// BenchmarkBundleThroughputTelemetry is BenchmarkBundleThroughput with
+// a live registry: compare allocs/op and txs/sec between the two to
+// read off the enabled-telemetry overhead (the disabled case is
+// BenchmarkBundleThroughput itself — telemetry off is the default and
+// must cost nothing, which TestDisabledZeroAllocs pins per-call).
+func BenchmarkBundleThroughputTelemetry(b *testing.B) {
+	opts := DefaultTestbedOptions()
+	opts.Features = ConfigRaw
+	opts.HEVMs = 3
+	opts.Telemetry = NewTelemetry()
+	tb, err := NewTestbed(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := NewService(tb.Device)
+
+	userConn, spConn := net.Pipe()
+	defer userConn.Close()
+	go func() {
+		defer spConn.Close()
+		_ = svc.ServeConn(spConn)
+	}()
+	client, err := Dial(userConn, tb.Verifier(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const txsPerBundle = 8
+	token := tb.World.Tokens[0]
+	eoas := tb.World.EOAs
+	bundles := make([]*types.Bundle, len(eoas))
+	for i := range bundles {
+		txs := make([]*types.Transaction, txsPerBundle)
+		for j := range txs {
+			tx, err := tb.World.SignedTxAt(eoas[i], uint64(j), &token, 0,
+				workload.CalldataTransfer(eoas[(i+1)%len(eoas)], 7), 200_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs[j] = tx
+		}
+		bundles[i] = &types.Bundle{Txs: txs}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.PreExecute(bundles[i%len(bundles)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AbortReason != "" {
+			b.Fatalf("bundle aborted: %s", res.AbortReason)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*txsPerBundle)/b.Elapsed().Seconds(), "txs/sec")
+}
+
 // --- fleet gateway ---
 
 // BenchmarkGatewayThroughput measures parallel bundle throughput

@@ -15,10 +15,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
+	"hardtape"
 	"hardtape/internal/bench"
 	"hardtape/internal/hevm"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
 )
 
 // jsonReport is the machine-readable form of a benchtab run. Sections
@@ -62,6 +66,7 @@ func run() error {
 		resources   = flag.Bool("resources", false, "§VI-A: resource utility audit")
 		ablations   = flag.Bool("ablations", false, "design-choice ablations (noise, prefetch, grouping, ORAM depth)")
 		interp      = flag.Bool("interp", false, "interpreter fast-path microbenchmarks + raw bundle throughput")
+		telem       = flag.Bool("telemetry", false, "drive an instrumented -full pipeline and dump the registry JSON snapshot on stdout")
 		asJSON      = flag.Bool("json", false, "emit results as JSON on stdout (progress goes to stderr)")
 		n           = flag.Int("n", 100, "transactions per experiment")
 		seed        = flag.Int64("seed", 19145194, "workload seed (paper's first block number)")
@@ -75,6 +80,11 @@ func run() error {
 	if *all {
 		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp =
 			true, true, true, true, true, true, true, true
+	}
+	if *telem {
+		// Telemetry mode is its own run: stdout carries exactly the
+		// registry snapshot (the same document /metrics.json serves).
+		return runTelemetry(*n, *seed, *eoas, *tokens, *dexes, *hevms)
 	}
 	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp) {
 		flag.Usage()
@@ -201,4 +211,71 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runTelemetry drives n transactions through a fully instrumented
+// -full pipeline — attestation, DHKE, sealed bundles, ORAM-backed
+// world state — and writes the telemetry registry's JSON snapshot to
+// stdout. It is the same document the admin endpoint's /metrics.json
+// serves, so dashboards and CI artifacts share one schema.
+func runTelemetry(n int, seed int64, eoas, tokens, dexes, hevms int) error {
+	reg := hardtape.NewTelemetry()
+	opts := hardtape.DefaultTestbedOptions()
+	opts.Seed = seed
+	opts.EOAs = eoas
+	opts.Tokens = tokens
+	opts.DEXes = dexes
+	opts.HEVMs = hevms
+	opts.Features = hardtape.ConfigFull
+	opts.Telemetry = reg
+
+	fmt.Fprintf(os.Stderr, "Building instrumented -full testbed (seed %d)...\n", seed)
+	tb, err := hardtape.NewTestbed(opts)
+	if err != nil {
+		return err
+	}
+	svc := hardtape.NewService(tb.Device)
+	userConn, spConn := net.Pipe()
+	defer userConn.Close()
+	go func() {
+		defer spConn.Close()
+		//hardtape:faulterr-ok the session ends when the driver closes the pipe; its EOF is the shutdown signal
+		_ = svc.ServeConn(spConn)
+	}()
+	client, err := hardtape.Dial(userConn, tb.Verifier(), true)
+	if err != nil {
+		return err
+	}
+
+	// One 4-tx bundle per EOA, replayed until n transactions ran
+	// (pre-execution never commits, so replays stay valid).
+	const txsPerBundle = 4
+	token := tb.World.Tokens[0]
+	eoaList := tb.World.EOAs
+	bundles := make([]*types.Bundle, len(eoaList))
+	for i := range bundles {
+		txs := make([]*types.Transaction, txsPerBundle)
+		for j := range txs {
+			tx, err := tb.World.SignedTxAt(eoaList[i], uint64(j), &token, 0,
+				workload.CalldataTransfer(eoaList[(i+1)%len(eoaList)], 7), 200_000)
+			if err != nil {
+				return err
+			}
+			txs[j] = tx
+		}
+		bundles[i] = &types.Bundle{Txs: txs}
+	}
+	ran := 0
+	for i := 0; ran < n; i++ {
+		res, err := client.PreExecute(bundles[i%len(bundles)])
+		if err != nil {
+			return fmt.Errorf("bundle %d: %w", i, err)
+		}
+		if res.AbortReason != "" {
+			return fmt.Errorf("bundle %d aborted: %s", i, res.AbortReason)
+		}
+		ran += txsPerBundle
+	}
+	fmt.Fprintf(os.Stderr, "Pre-executed %d txs; dumping registry snapshot\n", ran)
+	return reg.WriteJSON(os.Stdout)
 }

@@ -54,10 +54,11 @@ func run() error {
 		deadline   = flag.Duration("deadline", 10*time.Second, "per-bundle deadline (0 = none)")
 		healthInt  = flag.Duration("health-interval", 100*time.Millisecond, "healthy-backend probe cadence")
 
-		remotes     = flag.String("backend", "", "comma-separated remote hardtape service addresses to pool")
-		remoteCred  = flag.String("backend-credentials", "", "manufacturer credential file for remote backends")
-		remoteSess  = flag.Int("backend-sessions", 3, "parallel sessions per remote backend")
-		statsEvery  = flag.Duration("stats", 10*time.Second, "fleet stats print interval (0 = off)")
+		remotes    = flag.String("backend", "", "comma-separated remote hardtape service addresses to pool")
+		remoteCred = flag.String("backend-credentials", "", "manufacturer credential file for remote backends")
+		remoteSess = flag.Int("backend-sessions", 3, "parallel sessions per remote backend")
+		statsEvery = flag.Duration("stats", 10*time.Second, "fleet stats print interval (0 = off)")
+		admin      = flag.String("admin", "", "admin endpoint address (e.g. 127.0.0.1:7441); empty disables telemetry")
 	)
 	flag.Parse()
 
@@ -78,6 +79,15 @@ func run() error {
 	fcfg.QueueDepth = *queueDepth
 	fcfg.BundleDeadline = *deadline
 	fcfg.HealthInterval = *healthInt
+
+	// Telemetry is opt-in: without -admin devices and gateway run with
+	// nil instruments (the gateway keeps a private registry for Stats).
+	var reg *hardtape.Telemetry
+	if *admin != "" {
+		reg = hardtape.NewTelemetry()
+		opts.Telemetry = reg
+		fcfg.Telemetry = reg
+	}
 
 	fmt.Printf("Provisioning %d devices (%d HEVMs each) and syncing world state (seed %d)...\n",
 		*devices, *hevms, *seed)
@@ -133,6 +143,15 @@ func run() error {
 		}()
 	}
 
+	if reg != nil {
+		a, err := hardtape.StartAdmin(*admin, reg)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer a.Close()
+		fmt.Printf("Admin endpoint (metrics, pprof) on http://%s\n", a.Addr())
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -140,6 +159,7 @@ func run() error {
 	fmt.Printf("Fleet gateway (%s, %d slots) listening on %s\n",
 		features.Name(), gw.SlotCount(), l.Addr())
 	svc := hardtape.NewFleetService(gw, ftb.Devices[0], features.Sign)
+	svc.SetTelemetry(reg)
 	return svc.ServeListener(l)
 }
 

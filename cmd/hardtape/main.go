@@ -38,6 +38,7 @@ func run() error {
 		tokens  = flag.Int("tokens", 3, "ERC-20 tokens")
 		dexes   = flag.Int("dexes", 2, "DEX pools")
 		credOut = flag.String("credentials", "mfr.pub", "file to write the manufacturer public key")
+		admin   = flag.String("admin", "", "admin endpoint address (e.g. 127.0.0.1:7338); empty disables telemetry")
 	)
 	flag.Parse()
 
@@ -54,6 +55,14 @@ func run() error {
 	opts.Features = features
 	opts.HEVMs = *hevms
 
+	// Telemetry is opt-in: without -admin the pipeline runs with nil
+	// instruments (one branch per record site, zero allocations).
+	var reg *hardtape.Telemetry
+	if *admin != "" {
+		reg = hardtape.NewTelemetry()
+		opts.Telemetry = reg
+	}
+
 	fmt.Printf("Provisioning device and syncing world state (seed %d)...\n", *seed)
 	tb, err := hardtape.NewTestbed(opts)
 	if err != nil {
@@ -67,6 +76,15 @@ func run() error {
 		return fmt.Errorf("write credentials: %w", err)
 	}
 	fmt.Printf("Manufacturer credential written to %s\n", *credOut)
+
+	if reg != nil {
+		a, err := hardtape.StartAdmin(*admin, reg)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer a.Close()
+		fmt.Printf("Admin endpoint (metrics, pprof) on http://%s\n", a.Addr())
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

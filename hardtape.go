@@ -28,6 +28,7 @@ import (
 	"hardtape/internal/fleet"
 	"hardtape/internal/node"
 	"hardtape/internal/state"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/types"
 	"hardtape/internal/workload"
 )
@@ -79,6 +80,12 @@ type (
 	// Service endpoint over TCP.
 	LocalBackend  = fleet.LocalBackend
 	RemoteBackend = fleet.RemoteBackend
+
+	// Telemetry is the opt-in metrics registry threaded through the
+	// pipeline; AdminServer serves it over HTTP (Prometheus text, JSON
+	// snapshot, pprof).
+	Telemetry   = telemetry.Registry
+	AdminServer = telemetry.AdminServer
 )
 
 // Fleet gateway errors.
@@ -101,6 +108,17 @@ var (
 // DefaultConfig mirrors the paper's prototype (3 HEVMs, 1 MB L2,
 // 2 ms ORAM RTT, -full features).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewTelemetry creates a metrics registry. Pass it via
+// TestbedOptions.Telemetry (or Config.Telemetry / FleetConfig.Telemetry)
+// to enable instrumentation; leave nil for the zero-overhead default.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// StartAdmin serves a registry's admin endpoint (/metrics,
+// /metrics.json, /healthz, /debug/pprof) on addr until Close.
+func StartAdmin(addr string, reg *Telemetry) (*AdminServer, error) {
+	return telemetry.StartAdmin(addr, reg)
+}
 
 // NewManufacturer creates a trusted device manufacturer.
 func NewManufacturer() (*Manufacturer, error) { return attest.NewManufacturer() }
@@ -186,6 +204,9 @@ type TestbedOptions struct {
 	DEXes    int
 	Features Features
 	HEVMs    int
+	// Telemetry, when non-nil, instruments the testbed's device(s) —
+	// and, for fleet testbeds, the gateway — on this registry.
+	Telemetry *Telemetry
 }
 
 // DefaultTestbedOptions returns a laptop-scale -full testbed.
@@ -217,6 +238,7 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	if opts.HEVMs > 0 {
 		cfg.HEVMs = opts.HEVMs
 	}
+	cfg.Telemetry = opts.Telemetry
 	dev, err := core.NewDevice(cfg, mfr, chain)
 	if err != nil {
 		return nil, fmt.Errorf("hardtape: device: %w", err)
@@ -275,6 +297,7 @@ func NewFleetTestbed(opts TestbedOptions, n int, fcfg FleetConfig) (*FleetTestbe
 		if opts.HEVMs > 0 {
 			cfg.HEVMs = opts.HEVMs
 		}
+		cfg.Telemetry = opts.Telemetry
 		cfg.NoiseSeed = int64(i + 1)
 		dev, err := core.NewDevice(cfg, mfr, chain)
 		if err != nil {
@@ -287,6 +310,9 @@ func NewFleetTestbed(opts TestbedOptions, n int, fcfg FleetConfig) (*FleetTestbe
 		lb := fleet.NewLocalBackend(fmt.Sprintf("dev-%d", i), dev)
 		ftb.Backends = append(ftb.Backends, lb)
 		backends = append(backends, lb)
+	}
+	if fcfg.Telemetry == nil {
+		fcfg.Telemetry = opts.Telemetry
 	}
 	ftb.Gateway = fleet.NewGateway(fcfg, backends...)
 	return ftb, nil

@@ -8,6 +8,7 @@ import (
 	"hardtape/internal/analysis/faulterr"
 	"hardtape/internal/analysis/locksafe"
 	"hardtape/internal/analysis/oramleak"
+	"hardtape/internal/analysis/telemetrysafe"
 )
 
 // Analyzers returns every analyzer in the hardtape-lint suite, in
@@ -19,5 +20,6 @@ func Analyzers() []*analysis.Analyzer {
 		oramleak.Analyzer,
 		locksafe.Analyzer,
 		faulterr.Analyzer,
+		telemetrysafe.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package telemetrysafe_test
+
+import (
+	"testing"
+
+	"hardtape/internal/analysis/analysistest"
+	"hardtape/internal/analysis/telemetrysafe"
+)
+
+func TestTelemetrySafe(t *testing.T) {
+	analysistest.Run(t, "testdata", telemetrysafe.Analyzer, "svc", "telemetry")
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"hardtape/internal/hevm"
 	"hardtape/internal/simclock"
+	"hardtape/internal/telemetry"
 )
 
 // Features selects the security mechanisms, mirroring Fig. 4.
@@ -95,6 +96,11 @@ type Config struct {
 	// deployment shape (the SP runs one ORAM server over Ethernet for
 	// multiple HarDTAPE instances, §IV-D).
 	RemoteORAMAddr string
+	// Telemetry, when non-nil, registers the device's metric series on
+	// this registry and records per bundle. Nil (the default) disables
+	// telemetry entirely: the pipeline pays one branch per record site
+	// and allocates nothing.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig mirrors the paper's prototype.

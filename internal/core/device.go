@@ -16,6 +16,7 @@ import (
 	"hardtape/internal/pager"
 	"hardtape/internal/simclock"
 	"hardtape/internal/state"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/tracer"
 	"hardtape/internal/types"
 	"hardtape/internal/workload"
@@ -43,6 +44,10 @@ type slot struct {
 	wsCache     *hevm.WSCache
 	prefetcher  *pager.Prefetcher
 	oramQueries uint64
+	// opCounts samples retired instructions by class for telemetry.
+	// Plain memory owned by this slot — flushed to shared counters
+	// between bundles, so the interpreter loop never touches atomics.
+	opCounts evm.OpClassCounts
 	// queryTimes/queryKinds record the virtual time and kind ('k' for
 	// K-V, 'c' for code) of every ORAM query this bundle issued (for
 	// the prefetch ablation).
@@ -61,6 +66,7 @@ func (s *slot) reset() {
 	s.prefetcher.Reset()
 	s.clock.Reset()
 	s.oramQueries = 0
+	s.opCounts.Reset()
 	s.queryTimes = nil
 	s.queryKinds = nil
 	s.codeCache = make(map[types.Hash][]byte)
@@ -86,6 +92,10 @@ type Device struct {
 	// oramClient is the shared Path ORAM client (nil without ORAM
 	// features); kept for occupancy/stats reporting.
 	oramClient *oram.Client
+
+	// tm is always non-nil; with telemetry disabled its instruments
+	// are nil and every record call is a single branch.
+	tm *devMetrics
 
 	mu       sync.Mutex
 	codeLens map[types.Hash]uint32
@@ -127,6 +137,7 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 		mirror:   pager.NewStore(pager.NewPlainBackend()),
 		codeLens: make(map[types.Hash]uint32),
 		slots:    make(chan *slot, cfg.HEVMs),
+		tm:       newDevMetrics(cfg.Telemetry),
 	}
 
 	// ORAM server + shared client (the SP runs the server; the
@@ -158,6 +169,9 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 		}
 		d.oramKey = append([]byte(nil), key...)
 		var opts []oram.ClientOption
+		if cfg.Telemetry != nil {
+			opts = append(opts, oram.WithTelemetry(cfg.Telemetry))
+		}
 		if cfg.RecursivePositionMap {
 			pmKey := make([]byte, oram.KeySize)
 			if _, err := rand.Read(pmKey); err != nil {
@@ -310,6 +324,7 @@ func (d *Device) ExecuteContext(ctx context.Context, bundle *types.Bundle) (*Bun
 
 // executeOn runs the bundle on a specific slot.
 func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error) {
+	sp := telemetry.StartSpan(d.tm.enabled)
 	cal := d.cfg.Calibration
 	feat := d.cfg.Features
 
@@ -333,10 +348,17 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 
 	tr := tracer.New(d.cfg.CaptureSteps)
 	e.Hooks = evm.CombineHooks(tr.Hooks(), s.machine.Hooks())
+	if d.tm.enabled {
+		// Op-class sampling rides the interpreter's hook fast path:
+		// installed only here, so disabled telemetry re-uses the
+		// existing hook-presence flags at zero extra cost.
+		e.Hooks = evm.CombineHooks(e.Hooks, s.opCounts.Hooks())
+	}
 
 	result := &BundleResult{}
 	err := d.runTxs(e, tr, s, bundle, result)
 	if err != nil {
+		d.tm.bundlesErr.Inc()
 		return nil, err
 	}
 
@@ -354,6 +376,9 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 	result.ORAMQueries = s.oramQueries
 	result.QueryTimes = append([]time.Duration(nil), s.queryTimes...)
 	result.QueryKinds = append([]byte(nil), s.queryKinds...)
+	d.tm.txs.Add(uint64(len(bundle.Txs)))
+	d.tm.recordBundle(s, result)
+	sp.End(d.tm.execWall)
 	return result, nil
 }
 

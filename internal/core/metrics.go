@@ -1,0 +1,152 @@
+package core
+
+import (
+	"hardtape/internal/evm"
+	"hardtape/internal/telemetry"
+)
+
+// devMetrics holds a device's registered series. The struct is always
+// allocated — with telemetry disabled every instrument is nil and each
+// record call costs one branch (the telemetry package's nil-receiver
+// contract), so the pipeline never checks "is the holder there".
+//
+// Everything exported here is SP-observable already: bundle counts and
+// sizes, wall/virtual latencies, swap-event and page-movement totals,
+// ORAM query counts. Nothing carries addresses, calldata, keys, or
+// leaf positions.
+type devMetrics struct {
+	enabled bool
+
+	bundlesOK      *telemetry.Counter
+	bundlesAborted *telemetry.Counter
+	bundlesErr     *telemetry.Counter
+	txs            *telemetry.Counter
+	gas            *telemetry.Counter
+
+	execWall    *telemetry.Histogram
+	execVirtual *telemetry.Histogram
+
+	hevmSteps      *telemetry.Counter
+	hevmSwaps      *telemetry.Counter
+	hevmEvicted    *telemetry.Counter
+	hevmLoaded     *telemetry.Counter
+	hevmCodeFaults *telemetry.Counter
+	hevmOverflows  *telemetry.Counter
+	hevmL2Peak     *telemetry.Gauge
+
+	wsHits   *telemetry.Counter
+	wsMisses *telemetry.Counter
+
+	oramQueries *telemetry.Counter
+
+	opClasses [evm.NumOpClasses]*telemetry.Counter
+}
+
+func newDevMetrics(reg *telemetry.Registry) *devMetrics {
+	m := &devMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.enabled = true
+	m.bundlesOK = reg.Counter("hardtape_device_bundles_total", "bundles pre-executed by outcome", "outcome", "ok")
+	m.bundlesAborted = reg.Counter("hardtape_device_bundles_total", "bundles pre-executed by outcome", "outcome", "aborted")
+	m.bundlesErr = reg.Counter("hardtape_device_bundles_total", "bundles pre-executed by outcome", "outcome", "error")
+	m.txs = reg.Counter("hardtape_device_txs_total", "transactions pre-executed")
+	m.gas = reg.Counter("hardtape_device_gas_total", "gas consumed by pre-executed transactions")
+	m.execWall = reg.Histogram("hardtape_device_execute_seconds", "wall time of bundle execution on an HEVM slot", nil)
+	m.execVirtual = reg.Histogram("hardtape_device_virtual_seconds", "modeled device time per bundle (the Fig. 4 quantity)", nil)
+	m.hevmSteps = reg.Counter("hardtape_hevm_steps_total", "EVM instructions retired by the HEVM shadow")
+	m.hevmSwaps = reg.Counter("hardtape_hevm_swap_events_total", "L2/L3 swap events (adversary-observable bursts)")
+	m.hevmEvicted = reg.Counter("hardtape_hevm_pages_evicted_total", "pages sealed to L3, including eviction noise")
+	m.hevmLoaded = reg.Counter("hardtape_hevm_pages_loaded_total", "pages reloaded from L3, including preload noise")
+	m.hevmCodeFaults = reg.Counter("hardtape_hevm_code_faults_total", "L1 code-cache misses faulting to L2")
+	m.hevmOverflows = reg.Counter("hardtape_hevm_overflows_total", "Memory Overflow aborts")
+	m.hevmL2Peak = reg.Gauge("hardtape_hevm_l2_pages_peak", "high-water L2 ring occupancy in pages")
+	m.wsHits = reg.Counter("hardtape_wscache_hits_total", "L1 world-state cache hits")
+	m.wsMisses = reg.Counter("hardtape_wscache_misses_total", "L1 world-state cache misses")
+	m.oramQueries = reg.Counter("hardtape_device_oram_queries_total", "world-state queries answered through the ORAM")
+	for i := range m.opClasses {
+		// The class label is drawn from the fixed OpClass enum, never
+		// from program data.
+		//hardtape:telemetry-ok class labels enumerate the closed OpClass set
+		m.opClasses[i] = reg.Counter("hardtape_evm_ops_total", "instructions retired by opcode class", "class", evm.OpClass(i).String())
+	}
+	return m
+}
+
+// recordBundle flushes one finished bundle's per-slot state into the
+// shared series. Called with the slot still held, before reset.
+func (m *devMetrics) recordBundle(s *slot, res *BundleResult) {
+	if !m.enabled {
+		return
+	}
+	st := res.HEVMStats
+	m.hevmSteps.Add(st.Steps)
+	m.hevmSwaps.Add(uint64(st.SwapEvents))
+	m.hevmEvicted.Add(uint64(st.PagesEvicted))
+	m.hevmLoaded.Add(uint64(st.PagesLoaded))
+	m.hevmCodeFaults.Add(st.CodeFaults)
+	if st.Overflowed {
+		m.hevmOverflows.Inc()
+	}
+	m.hevmL2Peak.SetMax(int64(st.L2PagesUsed))
+	hits, misses := s.wsCache.HitRate()
+	m.wsHits.Add(hits)
+	m.wsMisses.Add(misses)
+	m.oramQueries.Add(s.oramQueries)
+	for i, n := range s.opCounts {
+		if n != 0 {
+			m.opClasses[i].Add(n)
+		}
+	}
+	m.execVirtual.Observe(res.VirtualTime.Seconds())
+	m.gas.Add(res.GasUsed)
+	if res.Aborted != nil {
+		m.bundlesAborted.Inc()
+	} else {
+		m.bundlesOK.Inc()
+	}
+}
+
+// svcMetrics holds the Service's registered series: session and
+// handshake counts, per-stage latencies of the bundle loop, and
+// message sizes. Same allocation discipline as devMetrics.
+type svcMetrics struct {
+	enabled bool
+
+	sessions   *telemetry.Counter
+	handshakes *telemetry.Counter
+
+	attest *telemetry.Histogram
+	dhke   *telemetry.Histogram
+
+	decode  *telemetry.Histogram
+	execute *telemetry.Histogram
+	seal    *telemetry.Histogram
+
+	bytesIn  *telemetry.Histogram
+	bytesOut *telemetry.Histogram
+
+	bundlesOK  *telemetry.Counter
+	bundlesErr *telemetry.Counter
+}
+
+func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
+	m := &svcMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.enabled = true
+	m.sessions = reg.Counter("hardtape_service_sessions_total", "user sessions accepted")
+	m.handshakes = reg.Counter("hardtape_service_handshakes_total", "attest+DHKE handshakes completed")
+	m.attest = reg.Histogram("hardtape_service_handshake_seconds", "handshake stage latency", nil, "stage", "attest")
+	m.dhke = reg.Histogram("hardtape_service_handshake_seconds", "handshake stage latency", nil, "stage", "dhke")
+	m.decode = reg.Histogram("hardtape_service_bundle_stage_seconds", "bundle pipeline stage latency", nil, "stage", "decode")
+	m.execute = reg.Histogram("hardtape_service_bundle_stage_seconds", "bundle pipeline stage latency", nil, "stage", "execute")
+	m.seal = reg.Histogram("hardtape_service_bundle_stage_seconds", "bundle pipeline stage latency", nil, "stage", "seal")
+	m.bytesIn = reg.Histogram("hardtape_service_request_bytes", "sealed bundle request size", telemetry.SizeBuckets)
+	m.bytesOut = reg.Histogram("hardtape_service_response_bytes", "sealed trace response size", telemetry.SizeBuckets)
+	m.bundlesOK = reg.Counter("hardtape_service_bundles_total", "bundle requests served by outcome", "outcome", "ok")
+	m.bundlesErr = reg.Counter("hardtape_service_bundles_total", "bundle requests served by outcome", "outcome", "error")
+	return m
+}

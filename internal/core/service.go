@@ -17,6 +17,7 @@ import (
 
 	"hardtape/internal/attest"
 	"hardtape/internal/channel"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/tracer"
 	"hardtape/internal/types"
 )
@@ -92,18 +93,28 @@ type Service struct {
 	booted    *attest.BootedDevice
 	sign      bool
 	sessionID atomic.Uint64
+	// tm is always non-nil (nil instruments when disabled).
+	tm *svcMetrics
 }
 
-// NewService wraps a device.
+// NewService wraps a device, inheriting its telemetry registry.
 func NewService(dev *Device) *Service {
-	return NewServiceFor(dev, dev.Booted(), dev.cfg.Features.Sign)
+	s := NewServiceFor(dev, dev.Booted(), dev.cfg.Features.Sign)
+	s.SetTelemetry(dev.cfg.Telemetry)
+	return s
 }
 
 // NewServiceFor wraps any executor with an attestation identity. The
 // fleet gateway uses this: it terminates user sessions with one booted
 // identity and fans bundles out to the pool behind it.
 func NewServiceFor(exec BundleExecutor, booted *attest.BootedDevice, sign bool) *Service {
-	return &Service{exec: exec, booted: booted, sign: sign}
+	return &Service{exec: exec, booted: booted, sign: sign, tm: newSvcMetrics(nil)}
+}
+
+// SetTelemetry registers the service's series on reg (nil disables).
+// Call before serving connections.
+func (s *Service) SetTelemetry(reg *telemetry.Registry) {
+	s.tm = newSvcMetrics(reg)
 }
 
 // ServeListener accepts and serves connections until the listener
@@ -125,11 +136,13 @@ func (s *Service) ServeListener(l net.Listener) error {
 
 // ServeConn runs one user session over a stream (steps 2–10).
 func (s *Service) ServeConn(conn io.ReadWriter) error {
+	s.tm.sessions.Inc()
 	// --- Step 2: remote attestation + DHKE ---
 	raw, err := channel.ReadMessage(conn)
 	if err != nil {
 		return err
 	}
+	hsp := telemetry.StartSpan(s.tm.enabled)
 	hdr, body, err := parsePlain(raw, channel.MsgAttestRequest)
 	if err != nil {
 		return err
@@ -158,6 +171,7 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 	if err := writePlain(conn, channel.MsgAttestReport, sessionID, &resp); err != nil {
 		return err
 	}
+	hsp.Mark(s.tm.attest)
 
 	raw, err = channel.ReadMessage(conn)
 	if err != nil {
@@ -189,6 +203,8 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 		}
 		secure.EnableSigning(devSigKey, userPub)
 	}
+	hsp.Mark(s.tm.dhke)
+	s.tm.handshakes.Inc()
 
 	// --- Steps 3–10: bundle loop ---
 	for {
@@ -214,14 +230,19 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 				return err
 			}
 		case channel.MsgBundle:
+			bsp := telemetry.StartSpan(s.tm.enabled)
+			s.tm.bytesIn.Observe(float64(len(raw)))
 			var bm bundleMsg
 			if err := gobDecode(payload, &bm); err != nil {
 				return err
 			}
+			bsp.Mark(s.tm.decode)
 			res, err := s.exec.ExecuteContext(context.Background(), &bm.Bundle)
+			bsp.Mark(s.tm.execute)
 			var out traceMsg
 			if err != nil {
 				out.AbortReason = err.Error()
+				s.tm.bundlesErr.Inc()
 			} else {
 				out.Trace = *res.Trace
 				out.VirtualTime = res.VirtualTime
@@ -229,6 +250,7 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 				if res.Aborted != nil {
 					out.AbortReason = res.Aborted.Error()
 				}
+				s.tm.bundlesOK.Inc()
 			}
 			sealed, err := secure.Seal(channel.MsgTrace, gobEncode(&out))
 			if err != nil {
@@ -237,6 +259,8 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 			if err := channel.WriteMessage(conn, sealed); err != nil {
 				return err
 			}
+			bsp.Mark(s.tm.seal)
+			s.tm.bytesOut.Observe(float64(len(sealed)))
 		default:
 			return fmt.Errorf("%w: expected bundle, got %d", ErrProtocol, hdr.Type)
 		}

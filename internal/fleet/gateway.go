@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hardtape/internal/core"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/types"
 )
 
@@ -24,14 +25,21 @@ type Config struct {
 	HealthInterval time.Duration
 	// HealthBackoff is the initial re-probe delay after a failure; it
 	// doubles per consecutive failure up to HealthBackoffMax.
-	HealthBackoff    time.Duration
+	HealthBackoff time.Duration
 	// HealthBackoffMax caps the exponential backoff.
 	HealthBackoffMax time.Duration
 	// DispatchRetries is how many times one accepted bundle may fail
 	// over to another backend after a BackendError.
 	DispatchRetries int
-	// WaitWindow sizes the queue-wait sample ring for p50/p99.
+	// WaitWindow is retained for configuration compatibility. The
+	// sample ring it sized was replaced by a fixed-bucket telemetry
+	// histogram, which needs no window.
 	WaitWindow int
+	// Telemetry, when non-nil, registers the gateway's series there so
+	// they export alongside the rest of the pipeline. When nil the
+	// gateway keeps a private registry: the same instruments back the
+	// Stats() snapshot either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns production-ish gateway settings.
@@ -42,7 +50,6 @@ func DefaultConfig() Config {
 		HealthBackoff:    50 * time.Millisecond,
 		HealthBackoffMax: 5 * time.Second,
 		DispatchRetries:  3,
-		WaitWindow:       1024,
 	}
 }
 
@@ -52,14 +59,14 @@ type backendState struct {
 	healthy bool
 	// lastFree is the most recent occupancy probe, decremented on
 	// dispatch and restored on completion between probes.
-	lastFree   int
-	inflight   int
-	dispatched uint64
-	failures   uint64
-	lastErr    error
-	backoff    time.Duration
-	nextProbe  time.Time
-	hevmAgg    hevmTotals
+	lastFree  int
+	inflight  int
+	lastErr   error
+	backoff   time.Duration
+	nextProbe time.Time
+	// m holds the backend's telemetry series — also the source of
+	// truth for dispatch/failure counts and HEVM aggregates.
+	m *backendMetrics
 }
 
 // effectiveFree is the slots the gateway may still dispatch to.
@@ -87,13 +94,7 @@ type Gateway struct {
 	wake     chan struct{}
 	closed   bool
 
-	totalAdmitted  uint64
-	totalRejected  uint64
-	totalCompleted uint64
-	totalFailed    uint64
-	totalRetries   uint64
-
-	waits  *waitSampler
+	tm     *gwMetrics
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -115,18 +116,20 @@ func NewGateway(cfg Config, backends ...Backend) *Gateway {
 	if cfg.DispatchRetries <= 0 {
 		cfg.DispatchRetries = def.DispatchRetries
 	}
-	if cfg.WaitWindow <= 0 {
-		cfg.WaitWindow = def.WaitWindow
+	reg := cfg.Telemetry
+	if reg == nil {
+		// Private registry: Stats() is backed by instruments either way.
+		reg = telemetry.NewRegistry()
 	}
 	g := &Gateway{
 		cfg:    cfg,
 		wake:   make(chan struct{}),
-		waits:  newWaitSampler(cfg.WaitWindow),
+		tm:     newGwMetrics(reg),
 		stopCh: make(chan struct{}),
 	}
 	capacity := 0
 	for _, b := range backends {
-		bs := &backendState{b: b}
+		bs := &backendState{b: b, m: newBackendMetrics(reg, b.Name())}
 		free, err := b.FreeSlots()
 		if err == nil {
 			bs.healthy = true
@@ -168,14 +171,14 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 		return nil, ErrClosed
 	}
 	if g.admitted >= g.cfg.QueueDepth {
-		g.totalRejected++
+		g.tm.rejected.Inc()
 		g.mu.Unlock()
 		return nil, ErrOverloaded
 	}
 	g.admitted++
-	g.totalAdmitted++
 	g.waiting++
 	g.mu.Unlock()
+	g.tm.admitted.Inc()
 	defer func() {
 		g.mu.Lock()
 		g.admitted--
@@ -200,8 +203,8 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 			case <-ctx.Done():
 				g.mu.Lock()
 				g.waiting--
-				g.totalFailed++
 				g.mu.Unlock()
+				g.tm.failed.Inc()
 				return nil, fmt.Errorf("%w: %w", ErrNoBackends, ctx.Err())
 			case <-g.stopCh:
 				g.mu.Lock()
@@ -211,34 +214,34 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 			}
 		}
 		if !waitDone {
-			g.waits.record(time.Since(start))
+			g.tm.queueWait.ObserveDuration(time.Since(start))
 			waitDone = true
 		}
 
 		res, err := bs.b.Execute(ctx, bundle)
 		g.release(bs, res, err)
 		if err == nil {
-			g.count(&g.totalCompleted)
+			g.tm.completed.Inc()
 			return res, nil
 		}
 		var be *BackendError
 		if !errors.As(err, &be) {
 			// The bundle's own fault (invalid tx, context expiry while
 			// holding a slot): no failover, surface it.
-			g.count(&g.totalFailed)
+			g.tm.failed.Inc()
 			return nil, err
 		}
 		// Infrastructure fault: drain the backend and retry the bundle
 		// on a survivor.
 		retries++
 		if ctx.Err() != nil || retries > g.cfg.DispatchRetries {
-			g.count(&g.totalFailed)
+			g.tm.failed.Inc()
 			return nil, err
 		}
 		g.mu.Lock()
 		g.waiting++
-		g.totalRetries++
 		g.mu.Unlock()
+		g.tm.retries.Inc()
 	}
 }
 
@@ -268,7 +271,8 @@ func (g *Gateway) reserve() (*backendState, chan struct{}) {
 		switch {
 		case best == nil,
 			bs.effectiveFree() > best.effectiveFree(),
-			bs.effectiveFree() == best.effectiveFree() && bs.dispatched < best.dispatched:
+			bs.effectiveFree() == best.effectiveFree() &&
+				bs.m.dispatched.Value() < best.m.dispatched.Value():
 			best = bs
 		}
 	}
@@ -292,27 +296,21 @@ func (g *Gateway) release(bs *backendState, res *core.BundleResult, err error) {
 	}
 	var be *BackendError
 	if err == nil {
-		bs.dispatched++
+		bs.m.dispatched.Inc()
 		if res != nil {
-			bs.hevmAgg.add(res.HEVMStats)
+			bs.m.addHEVM(res.HEVMStats)
 		}
 	} else if errors.As(err, &be) {
-		bs.failures++
+		bs.m.failures.Inc()
 		bs.healthy = false
 		bs.lastErr = err
 		bs.backoff = g.cfg.HealthBackoff
 		bs.nextProbe = time.Now().Add(bs.backoff)
 	} else {
 		// Bundle-fault errors still consumed a dispatch.
-		bs.dispatched++
+		bs.m.dispatched.Inc()
 	}
 	g.broadcastLocked()
-}
-
-func (g *Gateway) count(c *uint64) {
-	g.mu.Lock()
-	*c++
-	g.mu.Unlock()
 }
 
 // broadcastLocked wakes every Submit waiting for capacity.
@@ -352,7 +350,7 @@ func (g *Gateway) healthLoop() {
 			g.mu.Lock()
 			if err != nil {
 				if bs.healthy {
-					bs.failures++
+					bs.m.failures.Inc()
 				}
 				bs.healthy = false
 				bs.lastErr = err

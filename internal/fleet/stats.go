@@ -1,15 +1,16 @@
 package fleet
 
 import (
-	"sort"
-	"sync"
 	"time"
 
 	"hardtape/internal/hevm"
 	"hardtape/internal/oram"
 )
 
-// Stats is a point-in-time snapshot of the gateway.
+// Stats is a point-in-time snapshot of the gateway. The struct is
+// wire-stable: PR 5 moved its backing store from private aggregate
+// structs onto the shared telemetry series, but every field keeps its
+// name, type, and meaning.
 type Stats struct {
 	// Capacity/FreeSlots describe the fleet's HEVM pool (free counts
 	// only healthy backends).
@@ -25,7 +26,8 @@ type Stats struct {
 	Completed uint64
 	Failed    uint64
 	Retries   uint64
-	// Queue-wait quantiles over the recent WaitWindow submissions.
+	// Queue-wait quantiles, interpolated from the admission-to-slot
+	// wait histogram.
 	QueueWaitP50 time.Duration
 	QueueWaitP99 time.Duration
 	Backends     []BackendStats
@@ -57,20 +59,20 @@ type oramStatser interface {
 	ORAMStats() oram.Stats
 }
 
-// Stats snapshots the gateway.
+// Stats snapshots the gateway from its telemetry series plus the
+// mutex-guarded live scheduling state.
 func (g *Gateway) Stats() Stats {
-	p50, p99 := g.waits.quantiles()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	st := Stats{
 		Waiting:      g.waiting,
-		Admitted:     g.totalAdmitted,
-		Rejected:     g.totalRejected,
-		Completed:    g.totalCompleted,
-		Failed:       g.totalFailed,
-		Retries:      g.totalRetries,
-		QueueWaitP50: p50,
-		QueueWaitP99: p99,
+		Admitted:     g.tm.admitted.Value(),
+		Rejected:     g.tm.rejected.Value(),
+		Completed:    g.tm.completed.Value(),
+		Failed:       g.tm.failed.Value(),
+		Retries:      g.tm.retries.Value(),
+		QueueWaitP50: g.tm.queueWait.QuantileDuration(0.50),
+		QueueWaitP99: g.tm.queueWait.QuantileDuration(0.99),
 	}
 	for _, bs := range g.backends {
 		b := BackendStats{
@@ -79,9 +81,9 @@ func (g *Gateway) Stats() Stats {
 			Capacity:   bs.b.Capacity(),
 			FreeSlots:  bs.effectiveFree(),
 			InFlight:   bs.inflight,
-			Dispatched: bs.dispatched,
-			Failures:   bs.failures,
-			HEVM:       bs.hevmAgg.Stats,
+			Dispatched: bs.m.dispatched.Value(),
+			Failures:   bs.m.failures.Value(),
+			HEVM:       bs.m.hevmStats(),
 		}
 		if bs.lastErr != nil {
 			b.LastError = bs.lastErr.Error()
@@ -97,59 +99,4 @@ func (g *Gateway) Stats() Stats {
 		st.Backends = append(st.Backends, b)
 	}
 	return st
-}
-
-// hevmTotals accumulates per-bundle machine stats.
-type hevmTotals struct {
-	hevm.Stats
-}
-
-func (t *hevmTotals) add(s hevm.Stats) {
-	t.Steps += s.Steps
-	t.SwapEvents += s.SwapEvents
-	t.PagesEvicted += s.PagesEvicted
-	t.PagesLoaded += s.PagesLoaded
-	if s.L2PagesUsed > t.L2PagesUsed {
-		t.L2PagesUsed = s.L2PagesUsed
-	}
-	t.Overflowed = t.Overflowed || s.Overflowed
-}
-
-// waitSampler keeps a ring of recent queue waits for quantiles.
-type waitSampler struct {
-	mu   sync.Mutex
-	ring []time.Duration
-	n    int
-}
-
-func newWaitSampler(window int) *waitSampler {
-	return &waitSampler{ring: make([]time.Duration, window)}
-}
-
-func (w *waitSampler) record(d time.Duration) {
-	w.mu.Lock()
-	w.ring[w.n%len(w.ring)] = d
-	w.n++
-	w.mu.Unlock()
-}
-
-// quantiles returns the p50/p99 of the recorded window (zeros when
-// nothing was recorded yet).
-func (w *waitSampler) quantiles() (p50, p99 time.Duration) {
-	w.mu.Lock()
-	filled := w.n
-	if filled > len(w.ring) {
-		filled = len(w.ring)
-	}
-	sorted := append([]time.Duration(nil), w.ring[:filled]...)
-	w.mu.Unlock()
-	if filled == 0 {
-		return 0, 0
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := func(q float64) time.Duration {
-		i := int(q * float64(filled-1))
-		return sorted[i]
-	}
-	return idx(0.50), idx(0.99)
 }

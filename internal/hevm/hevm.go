@@ -123,6 +123,7 @@ type Machine struct {
 
 	swaps      []SwapEvent
 	stepCount  uint64
+	codeFaults uint64
 	overflowed bool
 	nonceCtr   uint64
 }
@@ -178,6 +179,7 @@ func (m *Machine) Reset() {
 	m.nextPage = 0
 	m.swaps = nil
 	m.stepCount = 0
+	m.codeFaults = 0
 	m.overflowed = false
 }
 
@@ -190,6 +192,10 @@ type Stats struct {
 	PagesLoaded  int
 	L2PagesUsed  uint64
 	Overflowed   bool
+	// CodeFaults counts L1 code-cache misses (code pages beyond the
+	// 64 KB window faulting to L2) — the L1 side of the memory
+	// hierarchy the telemetry layer exports.
+	CodeFaults uint64
 }
 
 // Stats returns the counters.
@@ -199,6 +205,7 @@ func (m *Machine) Stats() Stats {
 		SwapEvents:  len(m.swaps),
 		L2PagesUsed: m.l2Used,
 		Overflowed:  m.overflowed,
+		CodeFaults:  m.codeFaults,
 	}
 	for _, ev := range m.swaps {
 		if ev.Evict {
@@ -250,6 +257,7 @@ func (m *Machine) onStep(info evm.StepInfo) {
 			f.codePagesTouched = make(map[uint64]bool)
 		}
 		f.codePagesTouched[page] = true
+		m.codeFaults++
 		m.clock.Advance(m.cal.L2SwapPerPage)
 	}
 }

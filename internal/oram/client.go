@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hardtape/internal/simclock"
+	"hardtape/internal/telemetry"
 )
 
 // Op is the logical operation of an Access.
@@ -59,6 +60,64 @@ type Client struct {
 	batches    uint64
 	maxStash   int
 	bytesMoved uint64
+	// tm is the optional telemetry sink (nil when disabled: the hot
+	// path pays one pointer check per access, nothing else).
+	tm *clientTelemetry
+}
+
+// clientTelemetry holds the client's registered series. Exported
+// values are aggregates the untrusted server already observes — path
+// counts, wall latencies, ciphertext bytes, stash occupancy — never
+// block IDs or leaf positions (telemetrysafe discipline).
+type clientTelemetry struct {
+	accesses  *telemetry.Counter
+	batches   *telemetry.Counter
+	bytes     *telemetry.Counter
+	single    *telemetry.Histogram
+	batch     *telemetry.Histogram
+	batchSize *telemetry.Histogram
+	stash     *telemetry.Gauge
+	stashPeak *telemetry.Gauge
+}
+
+// WithTelemetry registers the client's series on reg and records per
+// access. A nil registry leaves telemetry disabled.
+func WithTelemetry(reg *telemetry.Registry) ClientOption {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.tm = &clientTelemetry{
+			accesses:  reg.Counter("hardtape_oram_accesses_total", "logical ORAM block accesses"),
+			batches:   reg.Counter("hardtape_oram_batches_total", "ORAM server round trips (single or batched)"),
+			bytes:     reg.Counter("hardtape_oram_bytes_moved_total", "ciphertext bytes moved between client and server"),
+			single:    reg.Histogram("hardtape_oram_access_seconds", "wall latency of one ORAM access round trip", nil, "kind", "single"),
+			batch:     reg.Histogram("hardtape_oram_access_seconds", "wall latency of one ORAM access round trip", nil, "kind", "batch"),
+			batchSize: reg.Histogram("hardtape_oram_batch_blocks", "blocks per batched access", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+			stash:     reg.Gauge("hardtape_oram_stash_depth", "stash occupancy after the last access"),
+			stashPeak: reg.Gauge("hardtape_oram_stash_peak", "high-water stash occupancy"),
+		}
+	}
+}
+
+// recordAccess flushes one completed access (or batch) into the
+// telemetry sink; bytes is the bytesMoved delta for the operation.
+func (c *Client) recordAccess(sp *telemetry.Span, ops uint64, bytes uint64, batched bool) {
+	t := c.tm
+	if t == nil {
+		return
+	}
+	t.accesses.Add(ops)
+	t.batches.Inc()
+	t.bytes.Add(bytes)
+	if batched {
+		sp.End(t.batch)
+		t.batchSize.Observe(float64(ops))
+	} else {
+		sp.End(t.single)
+	}
+	t.stash.Set(int64(len(c.stash)))
+	t.stashPeak.SetMax(int64(c.maxStash))
 }
 
 // ClientOption configures a Client.
@@ -167,6 +226,8 @@ func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
 			return nil, ErrBlockTooBig
 		}
 	}
+	sp := telemetry.StartSpan(c.tm != nil)
+	bytesBefore := c.bytesMoved
 
 	// Remap every block before touching the server (obliviousness
 	// requirement): each op draws its own uniform leaf, exactly as in
@@ -234,6 +295,7 @@ func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
 	if len(c.stash) > c.maxStash {
 		c.maxStash = len(c.stash)
 	}
+	c.recordAccess(&sp, uint64(len(ops)), c.bytesMoved-bytesBefore, true)
 	if len(c.stash) > stashSafetyFactor*c.depth+BucketSize*len(ops) {
 		return nil, fmt.Errorf("%w: %d blocks at depth %d", ErrStashOverrun, len(c.stash), c.depth)
 	}
@@ -246,6 +308,8 @@ func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
 // access is the Path ORAM protocol: remap, read path into stash,
 // mutate, evict path.
 func (c *Client) access(op Op, id BlockID, newData []byte) ([]byte, error) {
+	sp := telemetry.StartSpan(c.tm != nil)
+	bytesBefore := c.bytesMoved
 	leaf, known := c.pos.Get(id)
 	if !known {
 		leaf = randomLeaf(c.leaves)
@@ -286,6 +350,7 @@ func (c *Client) access(op Op, id BlockID, newData []byte) ([]byte, error) {
 	if len(c.stash) > c.maxStash {
 		c.maxStash = len(c.stash)
 	}
+	c.recordAccess(&sp, 1, c.bytesMoved-bytesBefore, false)
 	if len(c.stash) > stashSafetyFactor*c.depth {
 		return nil, fmt.Errorf("%w: %d blocks at depth %d", ErrStashOverrun, len(c.stash), c.depth)
 	}

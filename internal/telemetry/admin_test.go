@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hardtape_admin_test_total", "admin test").Add(42)
+	a, err := StartAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	base := "http://" + a.Addr()
+
+	if code, body := scrape(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := scrape(t, base+"/metrics"); code != 200 ||
+		!strings.Contains(body, "hardtape_admin_test_total 42") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := scrape(t, base+"/metrics.json"); code != 200 ||
+		!strings.Contains(body, `"hardtape_admin_test_total"`) {
+		t.Fatalf("/metrics.json: %d\n%s", code, body)
+	}
+	if code, body := scrape(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+// TestAdminServerGoroutineLeak mirrors core's ServeListener leak
+// tests: many concurrent scrapes — some abandoned mid-request — then a
+// Close, after which every connection goroutine must drain back to the
+// pre-server baseline.
+func TestAdminServerGoroutineLeak(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hardtape_leak_test_total", "leak test").Inc()
+
+	baseline := runtime.NumGoroutine()
+
+	a, err := StartAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				// Well-behaved scrape.
+				resp, err := http.Get("http://" + a.Addr() + "/metrics")
+				if err != nil {
+					t.Errorf("scrape %d: %v", i, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return
+			}
+			// Abrupt teardown: open a raw connection, send half a
+			// request (or nothing), slam the door.
+			conn, err := net.Dial("tcp", a.Addr())
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			if i%4 == 1 {
+				fmt.Fprintf(conn, "GET /metrics HTTP/1.1\r\nHost: x") // truncated
+			}
+			conn.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Idempotent.
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	// The listener must be released...
+	if _, _, err := net.SplitHostPort(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + a.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+
+	// ...and every goroutine drained (small slack for runtime pollers).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdminServerGracefulShutdown checks that a scrape in flight when
+// Close is called completes instead of being reset.
+func TestAdminServerGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hardtape_graceful_total", "graceful").Inc()
+	a, err := StartAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold a request open past the Close call: the handler sleeps
+	// briefly, Close must wait it out (it is well inside ShutdownGrace).
+	started := make(chan struct{})
+	result := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", a.Addr())
+		if err != nil {
+			result <- err
+			return
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+		close(started)
+		buf, err := io.ReadAll(conn)
+		if err != nil {
+			result <- err
+			return
+		}
+		if !strings.Contains(string(buf), "hardtape_graceful_total") {
+			result <- fmt.Errorf("in-flight scrape truncated: %q", buf)
+			return
+		}
+		result <- nil
+	}()
+
+	<-started
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("in-flight scrape: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight scrape never finished")
+	}
+}

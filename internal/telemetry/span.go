@@ -1,0 +1,60 @@
+package telemetry
+
+import "time"
+
+// Span is a request-scoped stopwatch for per-stage latency breakdowns
+// (attest → DHKE → decode → execute → seal). It is a small value type:
+// starting, marking, and ending a span never allocates, and an
+// inactive span (disabled telemetry) returns before reading the clock,
+// so the disabled cost is exactly one branch per call.
+//
+// Spans carry no attributes by design — stage identity lives in the
+// histogram a Mark records into, which keeps user-controlled data
+// structurally unable to reach an export (see the package comment on
+// the threat model).
+type Span struct {
+	start time.Time
+	last  time.Time
+}
+
+// StartSpan opens a span; with on=false the span is inactive and every
+// method no-ops without touching the clock.
+func StartSpan(on bool) Span {
+	if !on {
+		return Span{}
+	}
+	now := time.Now()
+	return Span{start: now, last: now}
+}
+
+// Active reports whether the span records anything.
+func (s *Span) Active() bool { return !s.start.IsZero() }
+
+// Mark records the time since the previous Mark (or the start) into h
+// and advances the stage boundary. Nil h records nothing but still
+// advances, so optional stages don't skew the next one.
+func (s *Span) Mark(h *Histogram) {
+	if s.start.IsZero() {
+		return
+	}
+	now := time.Now()
+	h.ObserveDuration(now.Sub(s.last))
+	s.last = now
+}
+
+// Skip advances the stage boundary without recording (a stage that
+// didn't run).
+func (s *Span) Skip() {
+	if s.start.IsZero() {
+		return
+	}
+	s.last = time.Now()
+}
+
+// End records the total time since the span started into h.
+func (s *Span) End(h *Histogram) {
+	if s.start.IsZero() {
+		return
+	}
+	h.ObserveDuration(time.Since(s.start))
+}
