@@ -10,7 +10,9 @@ import (
 	"sync"
 	"testing"
 
+	"hardtape/internal/attest"
 	"hardtape/internal/bench"
+	"hardtape/internal/core"
 	"hardtape/internal/types"
 	"hardtape/internal/workload"
 )
@@ -326,4 +328,79 @@ func BenchmarkEvalSetGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- session resumption ---
+
+// BenchmarkSessionResume pits the full attested dial (ECDSA + DHKE +
+// certificate chain) against the ticket resume (AES-GCM only). The
+// warm path's entire point is the gap between these two numbers.
+func BenchmarkSessionResume(b *testing.B) {
+	env := benchEnv(b)
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dcfg := core.DefaultConfig()
+	dcfg.Features = core.ConfigE // resumes never carry the -ES layer
+	dev, err := core.NewDevice(dcfg, mfr, env.Chain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	svc := core.NewService(dev)
+	verifier := attest.NewVerifier(mfr.PublicKey(), core.ImageMeasurement())
+	serve := func() net.Conn {
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			_ = svc.ServeConn(server)
+		}()
+		return client
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			conn := serve()
+			c, err := core.Dial(conn, verifier, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			c.Close()
+			conn.Close()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		conn := serve()
+		c, err := core.Dial(conn, verifier, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticket := c.Ticket()
+		c.Close()
+		conn.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conn := serve()
+			c, err := core.Resume(conn, ticket)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			ticket = c.Ticket()
+			c.Close()
+			conn.Close()
+			if ticket == nil {
+				b.Fatal("resume minted no successor ticket")
+			}
+			b.StartTimer()
+		}
+	})
 }

@@ -28,17 +28,19 @@ import (
 // jsonReport is the machine-readable form of a benchtab run. Sections
 // not selected on the command line are omitted from the output.
 type jsonReport struct {
-	Seed         int64                    `json:"seed"`
-	N            int                      `json:"n"`
-	TableI       string                   `json:"table1,omitempty"`
-	Resources    *bench.ResourceReport    `json:"resources,omitempty"`
-	Correctness  *bench.CorrectnessReport `json:"correctness,omitempty"`
-	Fig4         []bench.Fig4Row          `json:"fig4,omitempty"`
-	Fig5         []bench.Fig5Row          `json:"fig5,omitempty"`
-	Amortization []bench.AmortizationRow  `json:"amortization,omitempty"`
-	Scalability  *bench.ScalabilityReport `json:"scalability,omitempty"`
-	Interp       []bench.InterpRow        `json:"interp_fastpath,omitempty"`
-	Ablations    *jsonAblations           `json:"ablations,omitempty"`
+	Seed         int64                     `json:"seed"`
+	N            int                       `json:"n"`
+	TableI       string                    `json:"table1,omitempty"`
+	Resources    *bench.ResourceReport     `json:"resources,omitempty"`
+	Correctness  *bench.CorrectnessReport  `json:"correctness,omitempty"`
+	Fig4         []bench.Fig4Row           `json:"fig4,omitempty"`
+	Fig5         []bench.Fig5Row           `json:"fig5,omitempty"`
+	Amortization []bench.AmortizationRow   `json:"amortization,omitempty"`
+	Scalability  *bench.ScalabilityReport  `json:"scalability,omitempty"`
+	Interp       []bench.InterpRow         `json:"interp_fastpath,omitempty"`
+	Ablations    *jsonAblations            `json:"ablations,omitempty"`
+	Sessions     *bench.SessionsReport     `json:"sessions,omitempty"`
+	SessionScale *bench.SessionScaleReport `json:"session_scale,omitempty"`
 }
 
 type jsonAblations struct {
@@ -66,6 +68,8 @@ func run() error {
 		resources   = flag.Bool("resources", false, "§VI-A: resource utility audit")
 		ablations   = flag.Bool("ablations", false, "design-choice ablations (noise, prefetch, grouping, ORAM depth)")
 		interp      = flag.Bool("interp", false, "interpreter fast-path microbenchmarks + raw bundle throughput")
+		sessions    = flag.Bool("sessions", false, "cold-dial vs ticket-resume sweep + gateway resume stampede")
+		scaleN      = flag.Int("scale-sessions", 10000, "session count for the -sessions gateway stampede")
 		telem       = flag.Bool("telemetry", false, "drive an instrumented -full pipeline and dump the registry JSON snapshot on stdout")
 		asJSON      = flag.Bool("json", false, "emit results as JSON on stdout (progress goes to stderr)")
 		n           = flag.Int("n", 100, "transactions per experiment")
@@ -78,15 +82,15 @@ func run() error {
 	flag.Parse()
 
 	if *all {
-		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp =
-			true, true, true, true, true, true, true, true
+		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions =
+			true, true, true, true, true, true, true, true, true
 	}
 	if *telem {
 		// Telemetry mode is its own run: stdout carries exactly the
 		// registry snapshot (the same document /metrics.json serves).
 		return runTelemetry(*n, *seed, *eoas, *tokens, *dexes, *hevms)
 	}
-	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp) {
+	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions) {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
@@ -201,6 +205,21 @@ func run() error {
 		report.Ablations = &jsonAblations{
 			Noise: noise, Prefetch: prefetch, Grouping: grouping, Depth: depth,
 		}
+	}
+
+	if *sessions {
+		rep, err := bench.Sessions(env, *n)
+		if err != nil {
+			return fmt.Errorf("sessions: %w", err)
+		}
+		report.Sessions = rep
+		section(rep.Render())
+		scale, err := bench.SessionScale(env, *scaleN, 64)
+		if err != nil {
+			return fmt.Errorf("session scale: %w", err)
+		}
+		report.SessionScale = scale
+		section(scale.Render())
 	}
 
 	if *asJSON {

@@ -16,6 +16,8 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"hardtape"
 	"hardtape/internal/uint256"
@@ -41,8 +43,14 @@ func run() error {
 		sign     = flag.Bool("sign", true, "use the -ES signature layer (match server config)")
 		status   = flag.Bool("status", false, "probe live occupancy (free HEVM slots) instead of executing")
 		repeat   = flag.Int("repeat", 1, "submit the bundle this many times (fleet load demo)")
+		resumes  = flag.Int("resumes", 0, "after the cold dial, resume the session this many times via ticket (requires -sign=false)")
+		parallel = flag.Int("parallel", 1, "submit the bundle from this many goroutines at once over the multiplexed session")
 	)
 	flag.Parse()
+
+	if *resumes > 0 && *sign {
+		return fmt.Errorf("-resumes requires -sign=false: resumed channels never carry the per-bundle signature layer")
+	}
 
 	credHex, err := os.ReadFile(*credFile)
 	if err != nil {
@@ -94,6 +102,30 @@ func run() error {
 
 	fmt.Printf("Pre-executing: %s\n\n", describe)
 
+	if *parallel > 1 {
+		// All submissions interleave on the one secure channel; the mux
+		// matches replies by request id.
+		var wg sync.WaitGroup
+		errs := make(chan error, *parallel)
+		for i := 0; i < *parallel; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := client.PreExecute(bundle)
+				if err != nil {
+					errs <- fmt.Errorf("parallel submission %d: %w", i+1, err)
+					return
+				}
+				fmt.Printf("parallel submission %d/%d: device time %v\n", i+1, *parallel, r.VirtualTime)
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+	}
+
 	var res *hardtape.TraceResult
 	for i := 0; i < *repeat; i++ {
 		res, err = client.PreExecute(bundle)
@@ -103,6 +135,34 @@ func run() error {
 		if *repeat > 1 {
 			fmt.Printf("submission %d/%d: device time %v\n", i+1, *repeat, res.VirtualTime)
 		}
+	}
+
+	// Ticket-resume sweep: tear the connection down and come back warm,
+	// re-running the bundle on each resumed session. Each resume consumes
+	// its ticket and harvests the rotated successor.
+	for i := 0; i < *resumes; i++ {
+		ticket := client.Ticket()
+		if ticket == nil {
+			return fmt.Errorf("resume %d: no resumption ticket held (server declined to mint one?)", i+1)
+		}
+		client.Close()
+		conn.Close()
+		if conn, err = net.Dial("tcp", *addr); err != nil {
+			return err
+		}
+		start := time.Now()
+		client, err = hardtape.Resume(conn, ticket)
+		if err != nil {
+			return fmt.Errorf("resume %d: %w", i+1, err)
+		}
+		warmTime := time.Since(start)
+		r, err := client.PreExecute(bundle)
+		if err != nil {
+			return fmt.Errorf("resume %d submission: %w", i+1, err)
+		}
+		fmt.Printf("resume %d/%d: warm handshake %v (no asymmetric crypto), device time %v\n",
+			i+1, *resumes, warmTime, r.VirtualTime)
+		res = r
 	}
 	if res.AbortReason != "" {
 		fmt.Printf("Bundle ABORTED: %s\n", res.AbortReason)

@@ -27,6 +27,7 @@ import (
 	"hardtape/internal/core"
 	"hardtape/internal/fleet"
 	"hardtape/internal/node"
+	"hardtape/internal/session"
 	"hardtape/internal/state"
 	"hardtape/internal/telemetry"
 	"hardtape/internal/types"
@@ -86,6 +87,25 @@ type (
 	// snapshot, pprof).
 	Telemetry   = telemetry.Registry
 	AdminServer = telemetry.AdminServer
+
+	// SessionTicket is a resumption ticket: the opaque service-sealed
+	// state plus the locally derived PSK. Present it to Resume to skip
+	// the ~80 ms asymmetric handshake; tickets are single-use and every
+	// session (cold or warm) mints a successor, via Client.Ticket.
+	SessionTicket = session.ClientTicket
+	// VerdictCache remembers verified attestation verdicts per device
+	// identity + image measurement, with epoch expiry and an explicit
+	// revocation list.
+	VerdictCache = session.VerdictCache
+	// CachingVerifier wraps a Verifier with a VerdictCache so repeat
+	// cold dials skip the manufacturer-chain ECDSA verify.
+	CachingVerifier = session.CachingVerifier
+	// ReportVerifier is the user-side attestation contract Dial accepts:
+	// *Verifier or *CachingVerifier.
+	ReportVerifier = core.ReportVerifier
+	// Admission bounds concurrent cold handshakes on a Service; warm
+	// resumes bypass it.
+	Admission = session.Admission
 )
 
 // Fleet gateway errors.
@@ -94,6 +114,17 @@ var (
 	ErrOverloaded = fleet.ErrOverloaded
 	// ErrNoBackends means every backend is down.
 	ErrNoBackends = fleet.ErrNoBackends
+)
+
+// Session-resumption errors. Every adversarial resume path fails
+// closed with one of these typed sentinels.
+var (
+	ErrTicketTampered     = session.ErrTicketTampered
+	ErrTicketExpired      = session.ErrTicketExpired
+	ErrTicketReplayed     = session.ErrTicketReplayed
+	ErrMeasurementChanged = session.ErrMeasurementChanged
+	ErrDeviceRevoked      = session.ErrDeviceRevoked
+	ErrResumeRejected     = session.ErrResumeRejected
 )
 
 // The paper's named feature configurations (Fig. 4).
@@ -139,8 +170,13 @@ func NewService(dev *Device) *Service { return core.NewService(dev) }
 // NewFleetService exposes a whole gateway over the message protocol,
 // using the attestation identity of one of its devices (the gateway
 // runs inside the trusted boundary — see DESIGN.md "Fleet deployment").
+// The gateway's cold-handshake admission gate, when configured
+// (FleetConfig.ColdHandshakeLimit), is wired into the service so warm
+// resumes never queue behind cold attestations.
 func NewFleetService(g *Gateway, identity *Device, sign bool) *Service {
-	return core.NewServiceFor(g, identity.Booted(), sign)
+	s := core.NewServiceFor(g, identity.Booted(), sign)
+	s.SetAdmission(g.SessionAdmission())
+	return s
 }
 
 // DefaultFleetConfig returns production-ish gateway settings.
@@ -181,9 +217,26 @@ func NewVerifierForKey(raw []byte) (*Verifier, error) {
 }
 
 // Dial attests a service over a stream and opens the secure channel.
-// sign must match the service's Features.Sign.
-func Dial(conn io.ReadWriter, verifier *Verifier, sign bool) (*Client, error) {
+// sign must match the service's Features.Sign. The verifier may be a
+// plain *Verifier or a *CachingVerifier. The returned client carries a
+// resumption ticket (Client.Ticket) for later warm reconnects.
+func Dial(conn io.ReadWriter, verifier ReportVerifier, sign bool) (*Client, error) {
 	return core.Dial(conn, verifier, sign)
+}
+
+// Resume re-establishes a session from a ticket with zero asymmetric
+// crypto: ticket redemption plus an AES-GCM rekey, microseconds
+// instead of the ~80 ms cold handshake. The ticket is consumed either
+// way; on a typed failure (ErrTicket*, ErrMeasurementChanged) fall
+// back to a cold Dial on a fresh connection.
+func Resume(conn io.ReadWriter, ticket *SessionTicket) (*Client, error) {
+	return core.Resume(conn, ticket)
+}
+
+// NewVerdictCache builds an attestation-verdict cache with the default
+// TTL, for wiring into a CachingVerifier.
+func NewVerdictCache() *VerdictCache {
+	return session.NewVerdictCache(nil, 0)
 }
 
 // Testbed is a fully wired single-process deployment: synthetic world,

@@ -12,7 +12,7 @@
 //   - a == b / a != b on byte arrays where either side is secret-named
 //
 // "Secret-named" is a name-heuristic match (key, secret, mac, tag,
-// hmac, nonce, measurement, digest, token, password) on any
+// hmac, nonce, measurement, digest, token, password, psk) on any
 // identifier in the operand expression.
 //
 // Escape hatch (reason required): //hardtape:consttime-ok reason
@@ -35,7 +35,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-var secretName = regexp.MustCompile(`(?i)(key|secret|mac\b|tag|hmac|nonce|measurement|digest|token|password)`)
+var secretName = regexp.MustCompile(`(?i)(key|secret|mac\b|tag|hmac|nonce|measurement|digest|token|password|psk)`)
 
 func run(pass *analysis.Pass) (any, error) {
 	if !analysis.SensitivePackage(pass.Pkg.Path()) {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestConsttime(t *testing.T) {
-	analysistest.Run(t, "testdata", consttime.Analyzer, "attest", "plain")
+	analysistest.Run(t, "testdata", consttime.Analyzer, "attest", "plain", "session")
 }

@@ -1,0 +1,37 @@
+// Package session is a consttime fixture: the "session" path element
+// makes it security-sensitive (resumption PSKs and ticket keys live
+// there in the real tree).
+package session
+
+import (
+	"bytes"
+	"crypto/subtle"
+)
+
+func pskMatches(psk, derivedPSK [32]byte) bool {
+	return psk == derivedPSK // want `variable-time comparison of secret material \(== on byte array\)`
+}
+
+func trafficKeyMatches(trafficKey, want []byte) bool {
+	return bytes.Equal(trafficKey, want) // want `variable-time comparison of secret material \(bytes.Equal\)`
+}
+
+func measurementChanged(measurement, booted [32]byte) bool {
+	return measurement != booted // want `variable-time comparison of secret material \(!= on byte array\)`
+}
+
+// The fix: subtle.ConstantTimeCompare is never flagged.
+func pskMatchesGood(psk, want []byte) bool {
+	return subtle.ConstantTimeCompare(psk, want) == 1
+}
+
+// Ticket wire bytes are STEK-sealed and travel in plaintext; comparing
+// them is not a secret comparison.
+func sameWire(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}
+
+func waivedKeyID(keyIDA, keyIDB []byte) bool {
+	//hardtape:consttime-ok fixture: key-id routing is public; mirrors ticket.go's waiver
+	return bytes.Equal(keyIDA, keyIDB)
+}

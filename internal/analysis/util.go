@@ -19,6 +19,7 @@ var sensitiveElems = map[string]bool{
 	"hevm":      true,
 	"oram":      true,
 	"secp256k1": true,
+	"session":   true,
 }
 
 // SensitivePackage reports whether the import path names a

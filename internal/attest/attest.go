@@ -19,7 +19,22 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 )
+
+// asymOps counts asymmetric operations (ECDSA sign/verify, ECDH
+// keygen/agreement) performed through this package. The session
+// subsystem's core claim — a warm resume performs ZERO asymmetric
+// crypto — is asserted against this counter by test instrumentation,
+// not argued from code reading.
+var asymOps atomic.Uint64
+
+// AsymOps returns the cumulative asymmetric-operation count.
+func AsymOps() uint64 { return asymOps.Load() }
+
+// RecordAsymOps adds n external asymmetric operations (e.g. per-bundle
+// ECDSA signatures performed by the channel layer) to the counter.
+func RecordAsymOps(n uint64) { asymOps.Add(n) }
 
 // Errors.
 var (
@@ -166,6 +181,10 @@ func (d *Device) SecureBoot(image []byte) (*BootedDevice, error) {
 // Measurement returns the booted image hash.
 func (b *BootedDevice) Measurement() [32]byte { return b.measurement }
 
+// Serial returns the device identity (ticket binding, verdict-cache
+// keys).
+func (b *BootedDevice) Serial() string { return b.dev.Serial }
+
 // Report is the remote attestation response: the device signs the
 // measurement, its ephemeral session (ECDH) public key, and the user's
 // nonce.
@@ -188,6 +207,7 @@ type Session struct {
 // report plus a continuation that completes the exchange when the
 // user's ECDH public key arrives.
 func (b *BootedDevice) Attest(nonce [32]byte) (*Report, func(userPub []byte) (*Session, error), error) {
+	asymOps.Add(2) // ephemeral ECDH keygen + report ECDSA sign
 	eph, err := ecdh.P256().GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, nil, fmt.Errorf("attest: ephemeral key: %w", err)
@@ -206,6 +226,7 @@ func (b *BootedDevice) Attest(nonce [32]byte) (*Report, func(userPub []byte) (*S
 	report.Sig = sig
 
 	complete := func(userPub []byte) (*Session, error) {
+		asymOps.Add(1) // ECDH agreement
 		peer, err := ecdh.P256().NewPublicKey(userPub)
 		if err != nil {
 			return nil, fmt.Errorf("attest: peer key: %w", err)
@@ -265,13 +286,30 @@ func (v *Verifier) NewNonce() ([32]byte, error) {
 // with a fresh user key, returning the session and the user's ECDH
 // public key (to send to the device).
 func (v *Verifier) Verify(report *Report, nonce [32]byte) (*Session, []byte, error) {
+	asymOps.Add(1) // certificate-chain ECDSA verify
 	// 1. Certificate chain: manufacturer signed the device key.
 	certHash := certDigest(report.Cert.Serial, report.Cert.DevicePub)
 	if !ecdsa.VerifyASN1(v.manufacturerPub, certHash, report.Cert.Sig) {
 		return nil, nil, ErrBadCertificate
 	}
+	return v.verifyReport(report, nonce, report.Cert.DevicePub)
+}
+
+// VerifyCached checks a report against an already chain-verified
+// device public key — the verdict-cache fast path. It skips only the
+// manufacturer-certificate ECDSA verify; the report signature is still
+// checked against the pinned key, so a forged report cannot ride a
+// cached verdict.
+func (v *Verifier) VerifyCached(report *Report, nonce [32]byte, trustedDevPub []byte) (*Session, []byte, error) {
+	return v.verifyReport(report, nonce, trustedDevPub)
+}
+
+// verifyReport runs steps 2-5 of the chain: report signature under
+// devPubBytes, nonce freshness, measurement, and the DHKE completion.
+func (v *Verifier) verifyReport(report *Report, nonce [32]byte, devPubBytes []byte) (*Session, []byte, error) {
+	asymOps.Add(3) // report verify + user ECDH keygen + agreement
 	// 2. Report signature by the device key.
-	x, y := elliptic.Unmarshal(elliptic.P256(), report.Cert.DevicePub)
+	x, y := elliptic.Unmarshal(elliptic.P256(), devPubBytes)
 	if x == nil {
 		return nil, nil, ErrBadCertificate
 	}

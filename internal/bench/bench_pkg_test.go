@@ -172,3 +172,49 @@ func TestAmortizationFallsWithBundleSize(t *testing.T) {
 		t.Fatal("render incomplete")
 	}
 }
+
+func TestSessionsSweepRuns(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := Sessions(env, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarmAsymOps != 0 {
+		t.Fatalf("warm resume performed %d asymmetric ops, want 0", rep.WarmAsymOps)
+	}
+	if rep.ColdAsymOps == 0 {
+		t.Fatal("cold dial should perform asymmetric ops")
+	}
+	if rep.WarmMean >= rep.ColdMean {
+		t.Fatalf("warm resume (%v) not faster than cold dial (%v)", rep.WarmMean, rep.ColdMean)
+	}
+	if rep.ModelWarm >= rep.ModelCold {
+		t.Fatalf("modeled warm cost (%v) not below cold (%v)", rep.ModelWarm, rep.ModelCold)
+	}
+	out := rep.Render()
+	for _, want := range []string{"cold dial", "warm resume", "speedup", "ticket size"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionScaleRuns(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := SessionScale(env, 300, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AsymOps != 0 {
+		t.Fatalf("resume stampede performed %d asymmetric ops, want 0", rep.AsymOps)
+	}
+	if rep.AdmissionWait != 0 {
+		t.Fatalf("resumes queued on the cold gate %d times, want 0", rep.AdmissionWait)
+	}
+	if rep.ResumesPerSec <= 0 {
+		t.Fatal("no resume throughput measured")
+	}
+	if !strings.Contains(rep.Render(), "resume throughput") {
+		t.Fatalf("render missing throughput:\n%s", rep.Render())
+	}
+}

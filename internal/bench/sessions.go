@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/core"
+	"hardtape/internal/fleet"
+	"hardtape/internal/session"
+	"hardtape/internal/simclock"
+)
+
+// SessionsReport is the cold-vs-warm handshake sweep: the wall-clock
+// and asymmetric-operation cost of a full attested dial against a
+// ticket resume, plus the simclock-modeled hardware costs (the
+// software ECDSA on the A53 dominates the real device's cold dial; our
+// host CPU hides it, so both views are reported).
+type SessionsReport struct {
+	N           int           `json:"n"`
+	TicketBytes int           `json:"ticket_bytes"`
+	ColdMean    time.Duration `json:"cold_mean_ns"`
+	ColdP95     time.Duration `json:"cold_p95_ns"`
+	WarmMean    time.Duration `json:"warm_mean_ns"`
+	WarmP95     time.Duration `json:"warm_p95_ns"`
+	Speedup     float64       `json:"speedup"`
+	ColdAsymOps uint64        `json:"cold_asym_ops"`
+	WarmAsymOps uint64        `json:"warm_asym_ops"`
+	// Modeled device-clock costs from the simclock calibration.
+	ModelCold time.Duration `json:"model_cold_ns"`
+	ModelWarm time.Duration `json:"model_warm_ns"`
+}
+
+// sessionRig is a service over an unsigned device (resume forbids the
+// per-message ECDSA layer) with its own manufacturer so the verifier
+// can pin a root of trust.
+type sessionRig struct {
+	dev *core.Device
+	svc *core.Service
+	vrf *attest.Verifier
+}
+
+func newSessionRig(env *Env) (*sessionRig, error) {
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		return nil, err
+	}
+	dcfg := core.DefaultConfig()
+	dcfg.Features = core.ConfigE
+	dev, err := core.NewDevice(dcfg, mfr, env.Chain)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, err
+	}
+	return &sessionRig{
+		dev: dev,
+		svc: core.NewService(dev),
+		vrf: attest.NewVerifier(mfr.PublicKey(), core.ImageMeasurement()),
+	}, nil
+}
+
+// serve answers one connection in the background and returns the
+// client end.
+func (sr *sessionRig) serve() net.Conn {
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		_ = sr.svc.ServeConn(server)
+	}()
+	return client
+}
+
+func durStats(times []time.Duration) (mean, p95 time.Duration) {
+	if len(times) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return total / time.Duration(len(sorted)), sorted[len(sorted)*95/100]
+}
+
+// Sessions sweeps n cold dials and n warm resumes against one service
+// and reports both wall-clock and asymmetric-op costs.
+func Sessions(env *Env, n int) (*SessionsReport, error) {
+	if n < 2 {
+		n = 2
+	}
+	sr, err := newSessionRig(env)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cold sweep. The last dial's ticket seeds the warm chain.
+	var ticket *session.ClientTicket
+	coldTimes := make([]time.Duration, 0, n)
+	coldBefore := attest.AsymOps()
+	for i := 0; i < n; i++ {
+		conn := sr.serve()
+		start := time.Now()
+		c, err := core.Dial(conn, sr.vrf, false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cold dial %d: %w", i, err)
+		}
+		coldTimes = append(coldTimes, time.Since(start))
+		ticket = c.Ticket()
+		c.Close()
+		conn.Close()
+	}
+	coldOps := attest.AsymOps() - coldBefore
+	if ticket == nil {
+		return nil, fmt.Errorf("bench: cold dial minted no ticket")
+	}
+	ticketBytes := len(ticket.Opaque)
+
+	// Warm sweep: each resume consumes the previous ticket and harvests
+	// the rotated successor — the chain the real client lives on.
+	warmTimes := make([]time.Duration, 0, n)
+	warmBefore := attest.AsymOps()
+	for i := 0; i < n; i++ {
+		conn := sr.serve()
+		start := time.Now()
+		c, err := core.Resume(conn, ticket)
+		if err != nil {
+			return nil, fmt.Errorf("bench: warm resume %d: %w", i, err)
+		}
+		warmTimes = append(warmTimes, time.Since(start))
+		ticket = c.Ticket()
+		c.Close()
+		conn.Close()
+		if ticket == nil {
+			return nil, fmt.Errorf("bench: resume %d minted no successor ticket", i)
+		}
+	}
+	warmOps := attest.AsymOps() - warmBefore
+
+	cal := simclock.DefaultCalibration()
+	rep := &SessionsReport{
+		N:           n,
+		TicketBytes: ticketBytes,
+		ColdAsymOps: coldOps / uint64(n),
+		WarmAsymOps: warmOps / uint64(n),
+		ModelCold:   cal.ColdHandshakeCost(),
+		ModelWarm:   cal.WarmResumeCost(ticketBytes),
+	}
+	rep.ColdMean, rep.ColdP95 = durStats(coldTimes)
+	rep.WarmMean, rep.WarmP95 = durStats(warmTimes)
+	if rep.WarmMean > 0 {
+		rep.Speedup = float64(rep.ColdMean) / float64(rep.WarmMean)
+	}
+	return rep, nil
+}
+
+// Render produces the report text.
+func (r *SessionsReport) Render() string {
+	var sb strings.Builder
+	sb.WriteString("sessions — cold dial vs ticket resume\n\n")
+	fmt.Fprintf(&sb, "handshakes per sweep:     %d\n", r.N)
+	fmt.Fprintf(&sb, "ticket size:              %d B\n", r.TicketBytes)
+	fmt.Fprintf(&sb, "cold dial:                %v mean, %v p95, %d asym ops\n",
+		r.ColdMean.Round(time.Microsecond), r.ColdP95.Round(time.Microsecond), r.ColdAsymOps)
+	fmt.Fprintf(&sb, "warm resume:              %v mean, %v p95, %d asym ops\n",
+		r.WarmMean.Round(time.Microsecond), r.WarmP95.Round(time.Microsecond), r.WarmAsymOps)
+	fmt.Fprintf(&sb, "speedup:                  %.1f×\n", r.Speedup)
+	fmt.Fprintf(&sb, "modeled device cost:      %v cold (A53 ECDSA+DHKE) vs %v warm (A.E.DMA only)\n",
+		r.ModelCold, r.ModelWarm)
+	return sb.String()
+}
+
+// SessionScaleReport is the gateway resume-stampede benchmark: many
+// clients resuming against one fleet service at once, the worst case a
+// restarted gateway faces when its whole user population reconnects.
+type SessionScaleReport struct {
+	Sessions      int           `json:"sessions"`
+	Workers       int           `json:"workers"`
+	ColdLimit     int           `json:"cold_limit"`
+	Total         time.Duration `json:"total_ns"`
+	ResumesPerSec float64       `json:"resumes_per_sec"`
+	AsymOps       uint64        `json:"asym_ops"`
+	AdmissionWait uint64        `json:"admission_waits"`
+}
+
+// SessionScale mints `sessions` resumable tickets directly from the
+// service's issuer (standing in for that many previously attested
+// users) and replays them concurrently against a fleet gateway.
+func SessionScale(env *Env, sessions, workers int) (*SessionScaleReport, error) {
+	if sessions <= 0 {
+		sessions = 10000
+	}
+	if workers <= 0 {
+		workers = 64
+	}
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		return nil, err
+	}
+	dcfg := core.DefaultConfig()
+	dcfg.Features = core.ConfigE
+	dev, err := core.NewDevice(dcfg, mfr, env.Chain)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, err
+	}
+	gcfg := fleet.DefaultConfig()
+	gcfg.ColdHandshakeLimit = 4
+	gw := fleet.NewGateway(gcfg, fleet.NewLocalBackend("bench-0", dev))
+	defer gw.Close()
+	svc := core.NewServiceFor(gw, dev.Booted(), false)
+	svc.SetAdmission(gw.SessionAdmission())
+
+	issuer := svc.SessionIssuer()
+	serial := dev.Booted().Serial()
+	measurement := core.ImageMeasurement()
+	tickets := make([]*session.ClientTicket, sessions)
+	for i := range tickets {
+		st := &session.State{
+			// High ids keep minted sessions clear of the ones the service
+			// allocates live.
+			SessionID:   uint64(1_000_000 + i),
+			Serial:      serial,
+			Measurement: measurement,
+		}
+		if _, err := rand.Read(st.PSK[:]); err != nil {
+			return nil, err
+		}
+		wire, err := issuer.Issue(st)
+		if err != nil {
+			return nil, err
+		}
+		tickets[i] = &session.ClientTicket{
+			Opaque: wire, PSK: st.PSK, SessionID: st.SessionID,
+			Serial: st.Serial, Measurement: st.Measurement, ExpiryEpoch: st.ExpiryEpoch,
+		}
+	}
+
+	before := attest.AsymOps()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	next := make(chan *session.ClientTicket, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ticket := range next {
+				client, server := net.Pipe()
+				go func() {
+					defer server.Close()
+					_ = svc.ServeConn(server)
+				}()
+				c, err := core.Resume(client, ticket)
+				if err != nil {
+					client.Close()
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				c.Close()
+				client.Close()
+			}
+		}()
+	}
+	for _, t := range tickets {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	total := time.Since(start)
+	select {
+	case err := <-errs:
+		return nil, fmt.Errorf("bench: session scale: %w", err)
+	default:
+	}
+
+	rep := &SessionScaleReport{
+		Sessions:      sessions,
+		Workers:       workers,
+		ColdLimit:     gcfg.ColdHandshakeLimit,
+		Total:         total,
+		AsymOps:       attest.AsymOps() - before,
+		AdmissionWait: gw.SessionAdmission().Waits(),
+	}
+	if total > 0 {
+		rep.ResumesPerSec = float64(sessions) / total.Seconds()
+	}
+	return rep, nil
+}
+
+// Render produces the report text.
+func (r *SessionScaleReport) Render() string {
+	var sb strings.Builder
+	sb.WriteString("sessions — gateway resume stampede\n\n")
+	fmt.Fprintf(&sb, "sessions resumed:         %d (%d workers, cold-limit %d)\n", r.Sessions, r.Workers, r.ColdLimit)
+	fmt.Fprintf(&sb, "total wall clock:         %v\n", r.Total.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "resume throughput:        %.0f sessions/s\n", r.ResumesPerSec)
+	fmt.Fprintf(&sb, "asymmetric ops:           %d (must be 0)\n", r.AsymOps)
+	fmt.Fprintf(&sb, "cold-gate queue events:   %d (resumes bypass the gate)\n", r.AdmissionWait)
+	return sb.String()
+}

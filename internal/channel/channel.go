@@ -42,6 +42,22 @@ const (
 	// MsgStatus probes live device occupancy (free HEVM slots) inside
 	// an established session — schedulers use it for health checks.
 	MsgStatus
+	// Session-resumption handshake (internal/session). The request,
+	// accept, and reject legs travel in plaintext — they carry only the
+	// opaque ticket, rekey nonces, and key-confirmation tags, none of
+	// which is confidential — while confirm and ticket-issue ride the
+	// freshly rekeyed secure channel.
+	MsgResumeRequest
+	MsgResumeAccept
+	MsgResumeReject
+	MsgResumeConfirm
+	// MsgTicketIssue delivers a (rotated) resumption ticket over the
+	// established channel at the end of a cold or warm handshake.
+	MsgTicketIssue
+	// MsgMux / MsgMuxReply carry multiplexed request-id-framed exchanges
+	// — many interleaved bundles on one connection.
+	MsgMux
+	MsgMuxReply
 )
 
 // Flags.
@@ -109,7 +125,7 @@ func ParseHeader(raw []byte) (*Header, error) {
 		Seq:     binary.BigEndian.Uint64(raw[16:24]),
 		Length:  binary.BigEndian.Uint32(raw[24:28]),
 	}
-	if h.Type < MsgAttestRequest || h.Type > MsgStatus {
+	if h.Type < MsgAttestRequest || h.Type > MsgMuxReply {
 		return nil, fmt.Errorf("%w: type %d", ErrBadHeader, h.Type)
 	}
 	if h.Length > MaxPayload {

@@ -114,15 +114,29 @@ func (m *devMetrics) recordBundle(s *slot, res *BundleResult) {
 type svcMetrics struct {
 	enabled bool
 
-	sessions   *telemetry.Counter
-	handshakes *telemetry.Counter
+	sessions *telemetry.Counter
+	// Handshakes split by mode: cold pays attest+DHKE (~80 ms of
+	// asymmetric crypto), warm is a ticket redemption plus an AES rekey.
+	handshakesCold *telemetry.Counter
+	handshakesWarm *telemetry.Counter
 
 	attest *telemetry.Histogram
 	dhke   *telemetry.Histogram
+	resume *telemetry.Histogram
 
-	decode  *telemetry.Histogram
+	// Ticket lifecycle counters, one per event outcome.
+	ticketsIssued     *telemetry.Counter
+	ticketsRedeemed   *telemetry.Counter
+	ticketsExpired    *telemetry.Counter
+	ticketsReplayed   *telemetry.Counter
+	ticketsTampered   *telemetry.Counter
+	ticketsMismatched *telemetry.Counter
+
+	// admissionWait is how long a cold handshake queued at the gate
+	// (resumes bypass it by design, so they never appear here).
+	admissionWait *telemetry.Histogram
+
 	execute *telemetry.Histogram
-	seal    *telemetry.Histogram
 
 	bytesIn  *telemetry.Histogram
 	bytesOut *telemetry.Histogram
@@ -138,12 +152,19 @@ func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
 	}
 	m.enabled = true
 	m.sessions = reg.Counter("hardtape_service_sessions_total", "user sessions accepted")
-	m.handshakes = reg.Counter("hardtape_service_handshakes_total", "attest+DHKE handshakes completed")
+	m.handshakesCold = reg.Counter("hardtape_service_handshakes_total", "handshakes completed by mode", "mode", "cold")
+	m.handshakesWarm = reg.Counter("hardtape_service_handshakes_total", "handshakes completed by mode", "mode", "warm")
 	m.attest = reg.Histogram("hardtape_service_handshake_seconds", "handshake stage latency", nil, "stage", "attest")
 	m.dhke = reg.Histogram("hardtape_service_handshake_seconds", "handshake stage latency", nil, "stage", "dhke")
-	m.decode = reg.Histogram("hardtape_service_bundle_stage_seconds", "bundle pipeline stage latency", nil, "stage", "decode")
+	m.resume = reg.Histogram("hardtape_service_handshake_seconds", "handshake stage latency", nil, "stage", "resume")
+	m.ticketsIssued = reg.Counter("hardtape_service_tickets_total", "resumption tickets by lifecycle event", "event", "issued")
+	m.ticketsRedeemed = reg.Counter("hardtape_service_tickets_total", "resumption tickets by lifecycle event", "event", "redeemed")
+	m.ticketsExpired = reg.Counter("hardtape_service_tickets_total", "resumption tickets by lifecycle event", "event", "expired")
+	m.ticketsReplayed = reg.Counter("hardtape_service_tickets_total", "resumption tickets by lifecycle event", "event", "replayed")
+	m.ticketsTampered = reg.Counter("hardtape_service_tickets_total", "resumption tickets by lifecycle event", "event", "tampered")
+	m.ticketsMismatched = reg.Counter("hardtape_service_tickets_total", "resumption tickets by lifecycle event", "event", "mismatched")
+	m.admissionWait = reg.Histogram("hardtape_service_admission_wait_seconds", "cold-handshake admission queue wait", nil)
 	m.execute = reg.Histogram("hardtape_service_bundle_stage_seconds", "bundle pipeline stage latency", nil, "stage", "execute")
-	m.seal = reg.Histogram("hardtape_service_bundle_stage_seconds", "bundle pipeline stage latency", nil, "stage", "seal")
 	m.bytesIn = reg.Histogram("hardtape_service_request_bytes", "sealed bundle request size", telemetry.SizeBuckets)
 	m.bytesOut = reg.Histogram("hardtape_service_response_bytes", "sealed trace response size", telemetry.SizeBuckets)
 	m.bundlesOK = reg.Counter("hardtape_service_bundles_total", "bundle requests served by outcome", "outcome", "ok")

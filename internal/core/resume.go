@@ -1,0 +1,271 @@
+package core
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+
+	"hardtape/internal/channel"
+	"hardtape/internal/session"
+	"hardtape/internal/telemetry"
+)
+
+// Warm handshake: a ticket redemption plus an AES-GCM rekey, no
+// asymmetric crypto on either side.
+//
+//	user                                device
+//	 │ MsgResumeRequest{ticket, cn}        │  plaintext
+//	 │────────────────────────────────────►│  redeem ticket (GCM open)
+//	 │                                     │  K' = HKDF(PSK, cn‖sn, sid')
+//	 │ MsgResumeAccept{sid', sn, devTag}   │  plaintext (tag proves K')
+//	 │◄────────────────────────────────────│
+//	 │ MsgResumeConfirm{userTag}           │  sealed under K'
+//	 │────────────────────────────────────►│  verify tag
+//	 │ MsgTicketIssue{next ticket}         │  sealed under K'
+//	 │◄────────────────────────────────────│  (rotation: old one is burned)
+//	 │            bundle loop (mux)        │
+//
+// Mutual authentication comes from the PSK: only the endpoint that ran
+// the original attested handshake can derive K', and the ticket binds
+// the device identity + measurement the user originally verified. The
+// confirm tags reuse channel.ConfirmTag (role-bound HMAC), so neither
+// side's proof can be reflected back.
+//
+// Resumed channels never enable per-message ECDSA signatures: the
+// bundle stream is authenticated by the PSK-bound AEAD, and keeping the
+// warm path free of asymmetric operations is the subsystem's entire
+// point. A deployment that requires the -ES signature layer simply
+// re-dials cold.
+
+// resumeRequestMsg presents a ticket. Plaintext: the ticket is opaque
+// (STEK-sealed) and the nonce is public salt.
+type resumeRequestMsg struct {
+	Ticket      []byte
+	ClientNonce [session.NonceSize]byte
+}
+
+// resumeAcceptMsg answers with the new session id, the server's rekey
+// nonce, and the device's key-confirmation tag under the new traffic
+// key — possession proof before the user sends anything sealed.
+type resumeAcceptMsg struct {
+	SessionID   uint64
+	ServerNonce [session.NonceSize]byte
+	Confirm     []byte
+}
+
+// resumeRejectMsg carries the coarse reject code (session.Reject*).
+type resumeRejectMsg struct {
+	Code uint8
+}
+
+// resumeConfirmMsg closes the rekey: the user's confirmation tag,
+// sealed under the traffic key it claims to hold.
+type resumeConfirmMsg struct {
+	Confirm []byte
+}
+
+// ticketIssueMsg delivers a (possibly rotated) resumption ticket at
+// the end of a handshake. An empty Ticket means the service could not
+// mint one; the session still works, it just cannot be resumed.
+type ticketIssueMsg struct {
+	Ticket      []byte
+	ExpiryEpoch uint64
+}
+
+// serveResume runs the server side of the warm handshake, then enters
+// the shared session loop. Every failure path is fail-closed: a typed
+// reject goes back in plaintext (the client maps it to the same
+// sentinel) and the connection dies.
+func (s *Service) serveResume(conn io.ReadWriter, raw []byte) error {
+	hsp := telemetry.StartSpan(s.tm.enabled)
+	_, body, err := parsePlain(raw, channel.MsgResumeRequest)
+	if err != nil {
+		return err
+	}
+	var req resumeRequestMsg
+	if err := gobDecode(body, &req); err != nil {
+		return err
+	}
+
+	st, err := s.redeemTicket(req.Ticket)
+	if err != nil {
+		s.recordTicketFailure(err)
+		//hardtape:faulterr-ok the reject write is best-effort; the redeem failure is the error that matters
+		_ = writePlain(conn, channel.MsgResumeReject, 0, &resumeRejectMsg{Code: session.RejectCode(err)})
+		return err
+	}
+	s.tm.ticketsRedeemed.Inc()
+
+	// A fresh session id: the ticket's PSK is bound to the old id, the
+	// traffic key to the new one, so transcripts never collide.
+	newID := s.sessionID.Add(1)
+	var serverNonce [session.NonceSize]byte
+	if _, err := rand.Read(serverNonce[:]); err != nil {
+		session.ZeroKey(&st.PSK)
+		return fmt.Errorf("core: resume nonce: %w", err)
+	}
+	traffic := session.TrafficKey(st.PSK, req.ClientNonce, serverNonce, newID)
+	session.ZeroKey(&st.PSK)
+
+	devTag := channel.ConfirmTag(traffic, newID, "device")
+	accept := resumeAcceptMsg{SessionID: newID, ServerNonce: serverNonce, Confirm: devTag[:]}
+	if err := writePlain(conn, channel.MsgResumeAccept, newID, &accept); err != nil {
+		session.ZeroKey(&traffic)
+		return err
+	}
+
+	secure, err := channel.NewSecureChannel(traffic, newID)
+	if err != nil {
+		session.ZeroKey(&traffic)
+		return err
+	}
+	raw, err = channel.ReadMessage(conn)
+	if err != nil {
+		session.ZeroKey(&traffic)
+		return err
+	}
+	hdr, payload, err := secure.Open(raw)
+	if err != nil {
+		session.ZeroKey(&traffic)
+		return err
+	}
+	if hdr.Type != channel.MsgResumeConfirm {
+		session.ZeroKey(&traffic)
+		return fmt.Errorf("%w: expected resume confirm, got %d", ErrProtocol, hdr.Type)
+	}
+	var cm resumeConfirmMsg
+	if err := gobDecode(payload, &cm); err != nil {
+		session.ZeroKey(&traffic)
+		return err
+	}
+	if err := channel.VerifyConfirmTag(traffic, newID, "user", cm.Confirm); err != nil {
+		session.ZeroKey(&traffic)
+		return err
+	}
+
+	// Rotate: derive the next PSK from the traffic key and mint the
+	// successor ticket before any bundles flow.
+	nextPSK := session.ResumptionPSK(traffic, newID)
+	session.ZeroKey(&traffic)
+	if err := s.sendTicket(conn, secure, nil, nextPSK, newID); err != nil {
+		return err
+	}
+
+	hsp.Mark(s.tm.resume)
+	s.tm.handshakesWarm.Inc()
+	return s.serveSession(conn, secure)
+}
+
+// redeemTicket consumes a wire ticket and checks it against the booted
+// identity: a ticket minted for a different image measurement (the
+// device re-flashed since issue) fails closed.
+func (s *Service) redeemTicket(wire []byte) (*session.State, error) {
+	if s.issuer == nil {
+		return nil, session.ErrResumeRejected
+	}
+	st, err := s.issuer.Redeem(wire)
+	if err != nil {
+		return nil, err
+	}
+	measurement := s.booted.Measurement()
+	ok := subtle.ConstantTimeCompare(st.Measurement[:], measurement[:]) == 1
+	if st.Serial != s.booted.Serial() || !ok {
+		session.ZeroKey(&st.PSK)
+		return nil, session.ErrMeasurementChanged
+	}
+	return st, nil
+}
+
+// recordTicketFailure counts a redeem failure under its event label.
+func (s *Service) recordTicketFailure(err error) {
+	switch {
+	case errors.Is(err, session.ErrTicketExpired):
+		s.tm.ticketsExpired.Inc()
+	case errors.Is(err, session.ErrTicketReplayed):
+		s.tm.ticketsReplayed.Inc()
+	case errors.Is(err, session.ErrTicketTampered):
+		s.tm.ticketsTampered.Inc()
+	case errors.Is(err, session.ErrMeasurementChanged):
+		s.tm.ticketsMismatched.Inc()
+	}
+}
+
+// Resume re-establishes a session from a ticket with zero asymmetric
+// crypto. The ticket is consumed (its PSK zeroed) whether or not the
+// resume succeeds — on failure the caller re-dials cold. Typed errors
+// (session.ErrTicket*, session.ErrMeasurementChanged) say why.
+func Resume(conn io.ReadWriter, ticket *session.ClientTicket) (*Client, error) {
+	if ticket == nil || len(ticket.Opaque) == 0 {
+		return nil, session.ErrResumeRejected
+	}
+	defer session.ZeroKey(&ticket.PSK)
+
+	var clientNonce [session.NonceSize]byte
+	if _, err := rand.Read(clientNonce[:]); err != nil {
+		return nil, fmt.Errorf("core: resume nonce: %w", err)
+	}
+	req := resumeRequestMsg{Ticket: ticket.Opaque, ClientNonce: clientNonce}
+	if err := writePlain(conn, channel.MsgResumeRequest, ticket.SessionID, &req); err != nil {
+		return nil, err
+	}
+
+	raw, err := channel.ReadMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= channel.HeaderSize {
+		if hdr, err := channel.ParseHeader(raw[:channel.HeaderSize]); err == nil && hdr.Type == channel.MsgResumeReject {
+			var rej resumeRejectMsg
+			if _, body, perr := parsePlain(raw, channel.MsgResumeReject); perr == nil {
+				//hardtape:faulterr-ok an undecodable reject still rejects; the code only refines the sentinel
+				_ = gobDecode(body, &rej)
+			}
+			return nil, session.RejectError(rej.Code)
+		}
+	}
+	_, body, err := parsePlain(raw, channel.MsgResumeAccept)
+	if err != nil {
+		return nil, err
+	}
+	var accept resumeAcceptMsg
+	if err := gobDecode(body, &accept); err != nil {
+		return nil, err
+	}
+
+	traffic := session.TrafficKey(ticket.PSK, clientNonce, accept.ServerNonce, accept.SessionID)
+	// The device's tag proves it redeemed the ticket and derived the
+	// same traffic key — without it, anyone could echo our nonce.
+	if err := channel.VerifyConfirmTag(traffic, accept.SessionID, "device", accept.Confirm); err != nil {
+		session.ZeroKey(&traffic)
+		return nil, fmt.Errorf("%w: %w", session.ErrResumeRejected, err)
+	}
+	secure, err := channel.NewSecureChannel(traffic, accept.SessionID)
+	if err != nil {
+		session.ZeroKey(&traffic)
+		return nil, err
+	}
+	userTag := channel.ConfirmTag(traffic, accept.SessionID, "user")
+	sealed, err := secure.Seal(channel.MsgResumeConfirm, gobEncode(&resumeConfirmMsg{Confirm: userTag[:]}))
+	if err != nil {
+		session.ZeroKey(&traffic)
+		return nil, err
+	}
+	if err := channel.WriteMessage(conn, sealed); err != nil {
+		session.ZeroKey(&traffic)
+		return nil, err
+	}
+
+	// Collect the rotated ticket; its PSK ratchets from the traffic key.
+	nextPSK := session.ResumptionPSK(traffic, accept.SessionID)
+	session.ZeroKey(&traffic)
+	next, err := readTicket(conn, secure, nextPSK, accept.SessionID, ticket.Serial, ticket.Measurement)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Client{conn: conn, session: accept.SessionID, warm: true, ticket: next}
+	c.mux = session.NewMux(readWriteCloser{conn}, secure)
+	return c, nil
+}

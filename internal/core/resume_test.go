@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/session"
+)
+
+// serveOnce runs the service side of one connection in the background.
+func (sr *serviceRig) serveOnce(t testing.TB) (client net.Conn) {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close() })
+	go func() {
+		defer server.Close()
+		_ = sr.svc.ServeConn(server)
+	}()
+	return client
+}
+
+// dialCold establishes a full attested session (sign=false so a later
+// resume is permitted) and returns the client.
+func (sr *serviceRig) dialCold(t testing.TB) *Client {
+	t.Helper()
+	c, err := Dial(sr.serveOnce(t), sr.verifier(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// copyTicket deep-copies a client ticket so a test can present the same
+// wire bytes twice (the real client API consumes tickets single-use).
+func copyTicket(ct *session.ClientTicket) *session.ClientTicket {
+	cp := *ct
+	cp.Opaque = append([]byte(nil), ct.Opaque...)
+	return &cp
+}
+
+func TestResumeWarmSessionZeroAsymOps(t *testing.T) {
+	sr := buildServiceRig(t, ConfigE)
+
+	cold := sr.dialCold(t)
+	if cold.Warm() {
+		t.Fatal("cold dial reported warm")
+	}
+	bundle := sr.transferBundle(t, 77)
+	coldRes, err := cold.PreExecute(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket := cold.Ticket()
+	if ticket == nil {
+		t.Fatal("cold session minted no ticket")
+	}
+	if cold.Ticket() != nil {
+		t.Fatal("Ticket must be single-use (detach)")
+	}
+	cold.Close()
+
+	// The warm handshake plus a bundle must perform ZERO asymmetric
+	// operations on either side — that is the subsystem's entire point.
+	before := attest.AsymOps()
+	warm, err := Resume(sr.serveOnce(t), ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm() {
+		t.Fatal("resumed client not marked warm")
+	}
+	if warm.SessionID() == cold.SessionID() {
+		t.Fatal("resume must mint a fresh session id")
+	}
+	warmRes, err := warm.PreExecute(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := attest.AsymOps() - before; ops != 0 {
+		t.Fatalf("warm resume + bundle performed %d asymmetric ops, want 0", ops)
+	}
+
+	// Pre-execution is stateless, so the cold and warm sessions must
+	// produce byte-identical traces for the same bundle.
+	if !bytes.Equal(gobEncode(coldRes.Trace), gobEncode(warmRes.Trace)) {
+		t.Fatal("cold and warm execution traces differ")
+	}
+
+	// The rotated ticket chains: a second resume works too.
+	next := warm.Ticket()
+	if next == nil {
+		t.Fatal("warm session minted no successor ticket")
+	}
+	warm.Close()
+	warm2, err := Resume(sr.serveOnce(t), next)
+	if err != nil {
+		t.Fatalf("second-generation resume: %v", err)
+	}
+	if _, err := warm2.PreExecute(sr.transferBundleFrom(t, 3, 9)); err != nil {
+		t.Fatal(err)
+	}
+	warm2.Close()
+}
+
+func TestResumeReplayedTicketFailsClosed(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	cold := sr.dialCold(t)
+	ticket := cold.Ticket()
+	cold.Close()
+	replay := copyTicket(ticket)
+
+	warm, err := Resume(sr.serveOnce(t), ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+
+	if _, err := Resume(sr.serveOnce(t), replay); !errors.Is(err, session.ErrTicketReplayed) {
+		t.Fatalf("replayed ticket: got %v, want ErrTicketReplayed", err)
+	}
+}
+
+func TestResumeTamperedTicketFailsClosed(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	cold := sr.dialCold(t)
+	ticket := cold.Ticket()
+	cold.Close()
+
+	ticket.Opaque[len(ticket.Opaque)/2] ^= 0x01
+	if _, err := Resume(sr.serveOnce(t), ticket); !errors.Is(err, session.ErrTicketTampered) {
+		t.Fatalf("tampered ticket: got %v, want ErrTicketTampered", err)
+	}
+}
+
+func TestResumeExpiredTicketFailsClosed(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	clk := session.NewFakeClock(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	if err := sr.svc.SetSessionPolicy(clk, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	cold := sr.dialCold(t)
+	ticket := cold.Ticket()
+	cold.Close()
+
+	clk.AdvanceEpochs(3)
+	if _, err := Resume(sr.serveOnce(t), ticket); !errors.Is(err, session.ErrTicketExpired) {
+		t.Fatalf("expired ticket: got %v, want ErrTicketExpired", err)
+	}
+}
+
+func TestResumeMeasurementChangeFailsClosed(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+	issuer := sr.svc.SessionIssuer()
+	serial := sr.device.Booted().Serial()
+
+	mint := func(serial string, measurement [32]byte) *session.ClientTicket {
+		st := &session.State{SessionID: 9999, Serial: serial, Measurement: measurement}
+		if _, err := rand.Read(st.PSK[:]); err != nil {
+			t.Fatal(err)
+		}
+		wire, err := issuer.Issue(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &session.ClientTicket{
+			Opaque: wire, PSK: st.PSK, SessionID: st.SessionID,
+			Serial: st.Serial, Measurement: st.Measurement, ExpiryEpoch: st.ExpiryEpoch,
+		}
+	}
+
+	// Right identity, wrong image measurement: the device re-flashed
+	// since the ticket was minted. Must fail closed, typed.
+	var wrongImage [32]byte
+	wrongImage[0] = 0xEE
+	if _, err := Resume(sr.serveOnce(t), mint(serial, wrongImage)); !errors.Is(err, session.ErrMeasurementChanged) {
+		t.Fatalf("changed measurement: got %v, want ErrMeasurementChanged", err)
+	}
+
+	// Wrong identity under the right measurement fails the same way.
+	if _, err := Resume(sr.serveOnce(t), mint("HT-IMPOSTOR", ImageMeasurement())); !errors.Is(err, session.ErrMeasurementChanged) {
+		t.Fatalf("wrong serial: got %v, want ErrMeasurementChanged", err)
+	}
+}
+
+func TestResumeNilAndEmptyTickets(t *testing.T) {
+	if _, err := Resume(nil, nil); !errors.Is(err, session.ErrResumeRejected) {
+		t.Fatalf("nil ticket: got %v, want ErrResumeRejected", err)
+	}
+	if _, err := Resume(nil, &session.ClientTicket{}); !errors.Is(err, session.ErrResumeRejected) {
+		t.Fatalf("empty ticket: got %v, want ErrResumeRejected", err)
+	}
+}
+
+func TestResumeBypassesAdmission(t *testing.T) {
+	sr := buildServiceRig(t, ConfigRaw)
+
+	cold := sr.dialCold(t)
+	ticket := cold.Ticket()
+	cold.Close()
+
+	// Fill the cold-handshake gate completely: any cold dial would now
+	// queue. A warm resume must sail through regardless.
+	adm := session.NewAdmission(1)
+	adm.Acquire()
+	sr.svc.SetAdmission(adm)
+
+	warm, err := Resume(sr.serveOnce(t), ticket)
+	if err != nil {
+		t.Fatalf("resume blocked by admission gate: %v", err)
+	}
+	if _, err := warm.PreExecute(sr.transferBundle(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	if adm.Waits() != 0 {
+		t.Fatal("resume queued on the cold-handshake gate")
+	}
+	adm.Release()
+}
+
+func TestResumeConcurrentMuxBundles(t *testing.T) {
+	sr := buildServiceRig(t, ConfigE)
+	cold := sr.dialCold(t)
+	ticket := cold.Ticket()
+	cold.Close()
+
+	warm, err := Resume(sr.serveOnce(t), ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+
+	// Interleave bundles and status probes on the one multiplexed
+	// session from many goroutines (run under -race in CI). Each bundle
+	// uses a distinct sender so the canonical nonce stays valid.
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := warm.PreExecute(sr.transferBundleFrom(t, w, uint64(100+w)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Trace.Txs) != 1 || res.Trace.Txs[0].Reverted {
+				errs <- errors.New("bundle trace wrong under concurrency")
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := warm.Status(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hardtape/internal/attest"
 	"hardtape/internal/channel"
+	"hardtape/internal/session"
 	"hardtape/internal/telemetry"
 	"hardtape/internal/tracer"
 	"hardtape/internal/types"
@@ -93,6 +95,13 @@ type Service struct {
 	booted    *attest.BootedDevice
 	sign      bool
 	sessionID atomic.Uint64
+	// issuer mints and redeems resumption tickets; nil only if STEK
+	// generation failed, in which case cold handshakes still work and
+	// every resume is rejected.
+	issuer *session.TicketIssuer
+	// admission gates cold handshakes; nil admits everything. Warm
+	// resumes bypass it by design.
+	admission *session.Admission
 	// tm is always non-nil (nil instruments when disabled).
 	tm *svcMetrics
 }
@@ -108,7 +117,9 @@ func NewService(dev *Device) *Service {
 // fleet gateway uses this: it terminates user sessions with one booted
 // identity and fans bundles out to the pool behind it.
 func NewServiceFor(exec BundleExecutor, booted *attest.BootedDevice, sign bool) *Service {
-	return &Service{exec: exec, booted: booted, sign: sign, tm: newSvcMetrics(nil)}
+	//hardtape:faulterr-ok a failed STEK draw degrades to issuer==nil: cold handshakes work, every resume is rejected (fail-safe)
+	issuer, _ := session.NewTicketIssuer(nil, 0)
+	return &Service{exec: exec, booted: booted, sign: sign, issuer: issuer, tm: newSvcMetrics(nil)}
 }
 
 // SetTelemetry registers the service's series on reg (nil disables).
@@ -116,6 +127,29 @@ func NewServiceFor(exec BundleExecutor, booted *attest.BootedDevice, sign bool) 
 func (s *Service) SetTelemetry(reg *telemetry.Registry) {
 	s.tm = newSvcMetrics(reg)
 }
+
+// SetSessionPolicy replaces the ticket issuer (clock + lifetime in
+// expiry epochs; zero lifetime keeps the default) and the cold-
+// handshake admission gate. Call before serving connections. Replacing
+// the issuer invalidates previously issued tickets — exactly what a
+// STEK rotation does.
+func (s *Service) SetSessionPolicy(clock session.Clock, lifetimeEpochs int, adm *session.Admission) error {
+	issuer, err := session.NewTicketIssuer(clock, lifetimeEpochs)
+	if err != nil {
+		return err
+	}
+	s.issuer = issuer
+	s.admission = adm
+	return nil
+}
+
+// SessionIssuer exposes the ticket issuer (benchmarks mint resumable
+// state directly; the gateway shares one issuer across listeners).
+func (s *Service) SessionIssuer() *session.TicketIssuer { return s.issuer }
+
+// SetAdmission installs a cold-handshake gate without rotating the
+// ticket issuer. Call before serving connections.
+func (s *Service) SetAdmission(adm *session.Admission) { s.admission = adm }
 
 // ServeListener accepts and serves connections until the listener
 // closes. It returns the first accept error (net.ErrClosed on normal
@@ -134,14 +168,35 @@ func (s *Service) ServeListener(l net.Listener) error {
 	}
 }
 
-// ServeConn runs one user session over a stream (steps 2–10).
+// ServeConn runs one user session over a stream. The first message
+// decides the path: MsgAttestRequest opens the full cold handshake
+// (steps 2–10), MsgResumeRequest redeems a ticket and rekeys without
+// touching asymmetric crypto.
 func (s *Service) ServeConn(conn io.ReadWriter) error {
 	s.tm.sessions.Inc()
-	// --- Step 2: remote attestation + DHKE ---
 	raw, err := channel.ReadMessage(conn)
 	if err != nil {
 		return err
 	}
+	if len(raw) >= channel.HeaderSize {
+		if hdr, err := channel.ParseHeader(raw[:channel.HeaderSize]); err == nil && hdr.Type == channel.MsgResumeRequest {
+			return s.serveResume(conn, raw)
+		}
+	}
+	return s.serveCold(conn, raw)
+}
+
+// serveCold performs the full attest + DHKE handshake (steps 2–10) and
+// mints the session's first resumption ticket.
+func (s *Service) serveCold(conn io.ReadWriter, raw []byte) error {
+	// Cold handshakes are the expensive path; the admission gate bounds
+	// how many run at once so resumes and live bundles are not starved.
+	asp := telemetry.StartSpan(s.tm.enabled)
+	s.admission.Acquire()
+	defer s.admission.Release()
+	asp.Mark(s.tm.admissionWait)
+
+	// --- Step 2: remote attestation + DHKE ---
 	hsp := telemetry.StartSpan(s.tm.enabled)
 	hdr, body, err := parsePlain(raw, channel.MsgAttestRequest)
 	if err != nil {
@@ -163,6 +218,7 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 	if err != nil {
 		return fmt.Errorf("core: session sig key: %w", err)
 	}
+	attest.RecordAsymOps(1) // per-session device signing key
 	resp := attestReportMsg{
 		Report:    *report,
 		SessionID: sessionID,
@@ -185,14 +241,14 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 	if err := gobDecode(body, &kx); err != nil {
 		return err
 	}
-	session, err := complete(kx.UserPub)
+	sess, err := complete(kx.UserPub)
 	if err != nil {
 		return err
 	}
-	if err := channel.VerifyConfirmTag(session.Key, sessionID, "user", kx.Confirm); err != nil {
+	if err := channel.VerifyConfirmTag(sess.Key, sessionID, "user", kx.Confirm); err != nil {
 		return err
 	}
-	secure, err := channel.NewSecureChannel(session.Key, sessionID)
+	secure, err := channel.NewSecureChannel(sess.Key, sessionID)
 	if err != nil {
 		return err
 	}
@@ -204,9 +260,80 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 		secure.EnableSigning(devSigKey, userPub)
 	}
 	hsp.Mark(s.tm.dhke)
-	s.tm.handshakes.Inc()
+	s.tm.handshakesCold.Inc()
 
-	// --- Steps 3–10: bundle loop ---
+	// Mint the session's first resumption ticket: the PSK is derived
+	// from the session key (the user derives the same one on its side),
+	// bound to this device's identity and booted measurement.
+	psk := session.ResumptionPSK(sess.Key, sessionID)
+	session.ZeroKey(&sess.Key)
+	if err := s.sendTicket(conn, secure, nil, psk, sessionID); err != nil {
+		return err
+	}
+
+	return s.serveSession(conn, secure)
+}
+
+// sendTicket seals the rotated resumption ticket into the established
+// channel. wmu (nil on a fresh handshake) serializes with concurrent
+// mux replies. The PSK is consumed: sealed into the ticket and zeroed.
+func (s *Service) sendTicket(conn io.ReadWriter, secure *channel.SecureChannel, wmu *sync.Mutex, psk [32]byte, sessionID uint64) error {
+	defer session.ZeroKey(&psk)
+	var out ticketIssueMsg
+	if s.issuer != nil {
+		st := &session.State{
+			SessionID:   sessionID,
+			PSK:         psk,
+			Serial:      s.booted.Serial(),
+			Measurement: s.booted.Measurement(),
+		}
+		wire, err := s.issuer.Issue(st)
+		session.ZeroKey(&st.PSK)
+		if err == nil {
+			out.Ticket = wire
+			out.ExpiryEpoch = st.ExpiryEpoch
+			s.tm.ticketsIssued.Inc()
+		}
+		// On issue failure the message carries no ticket; the client
+		// simply cannot resume — fail-safe, not fail-open.
+	}
+	if wmu != nil {
+		wmu.Lock()
+		defer wmu.Unlock()
+	}
+	sealed, err := secure.Seal(channel.MsgTicketIssue, gobEncode(&out))
+	if err != nil {
+		return err
+	}
+	//hardtape:locksafe-ok wmu exists to keep seal order == write order; the channel's sequence numbers demand it
+	return channel.WriteMessage(conn, sealed)
+}
+
+// serveSession is the shared post-handshake loop for cold and resumed
+// sessions: multiplexed exchanges (MsgMux) execute concurrently and
+// reply out of order by request id, while the legacy one-at-a-time
+// MsgBundle/MsgStatus forms stay supported inline. All Opens happen on
+// this goroutine (the channel's receive sequence demands it); Seals
+// are serialized by wmu.
+func (s *Service) serveSession(conn io.ReadWriter, secure *channel.SecureChannel) error {
+	var (
+		wmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	defer wg.Wait()
+	writeSealed := func(t channel.MsgType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		sealed, err := secure.Seal(t, payload)
+		if err != nil {
+			return err
+		}
+		if err := channel.WriteMessage(conn, sealed); err != nil {
+			return err
+		}
+		s.tm.bytesOut.Observe(float64(len(sealed)))
+		return nil
+	}
 	for {
 		raw, err := channel.ReadMessage(conn)
 		if errors.Is(err, io.EOF) {
@@ -220,65 +347,119 @@ func (s *Service) ServeConn(conn io.ReadWriter) error {
 			return err
 		}
 		switch hdr.Type {
+		case channel.MsgMux:
+			reqID, kind, body, err := session.ParseMuxFrame(payload)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrProtocol, err)
+			}
+			switch kind {
+			case session.MuxStatus:
+				out := statusMsg{FreeSlots: s.exec.FreeSlots(), Capacity: s.exec.SlotCount()}
+				if err := writeSealed(channel.MsgMuxReply, session.EncodeMuxFrame(reqID, session.MuxOK, gobEncode(&out))); err != nil {
+					return err
+				}
+			case session.MuxBundle:
+				s.tm.bytesIn.Observe(float64(len(raw)))
+				var bm bundleMsg
+				if err := gobDecode(body, &bm); err != nil {
+					if werr := writeSealed(channel.MsgMuxReply, session.EncodeMuxFrame(reqID, session.MuxErr, []byte(err.Error()))); werr != nil {
+						return werr
+					}
+					continue
+				}
+				// Interleaving is the point of the mux: the bundle runs on
+				// its own goroutine while this loop keeps reading, so many
+				// bundles share the connection and the executor's slots.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out := s.executeBundle(&bm)
+					//hardtape:faulterr-ok a write race with connection teardown fails the conn, which the read loop reports
+					_ = writeSealed(channel.MsgMuxReply, session.EncodeMuxFrame(reqID, session.MuxOK, gobEncode(&out)))
+				}()
+			default:
+				return fmt.Errorf("%w: mux kind %d", ErrProtocol, kind)
+			}
 		case channel.MsgStatus:
 			out := statusMsg{FreeSlots: s.exec.FreeSlots(), Capacity: s.exec.SlotCount()}
-			sealed, err := secure.Seal(channel.MsgStatus, gobEncode(&out))
-			if err != nil {
-				return err
-			}
-			if err := channel.WriteMessage(conn, sealed); err != nil {
+			if err := writeSealed(channel.MsgStatus, gobEncode(&out)); err != nil {
 				return err
 			}
 		case channel.MsgBundle:
-			bsp := telemetry.StartSpan(s.tm.enabled)
 			s.tm.bytesIn.Observe(float64(len(raw)))
 			var bm bundleMsg
 			if err := gobDecode(payload, &bm); err != nil {
 				return err
 			}
-			bsp.Mark(s.tm.decode)
-			res, err := s.exec.ExecuteContext(context.Background(), &bm.Bundle)
-			bsp.Mark(s.tm.execute)
-			var out traceMsg
-			if err != nil {
-				out.AbortReason = err.Error()
-				s.tm.bundlesErr.Inc()
-			} else {
-				out.Trace = *res.Trace
-				out.VirtualTime = res.VirtualTime
-				out.GasUsed = res.GasUsed
-				if res.Aborted != nil {
-					out.AbortReason = res.Aborted.Error()
-				}
-				s.tm.bundlesOK.Inc()
-			}
-			sealed, err := secure.Seal(channel.MsgTrace, gobEncode(&out))
-			if err != nil {
+			out := s.executeBundle(&bm)
+			if err := writeSealed(channel.MsgTrace, gobEncode(&out)); err != nil {
 				return err
 			}
-			if err := channel.WriteMessage(conn, sealed); err != nil {
-				return err
-			}
-			bsp.Mark(s.tm.seal)
-			s.tm.bytesOut.Observe(float64(len(sealed)))
 		default:
 			return fmt.Errorf("%w: expected bundle, got %d", ErrProtocol, hdr.Type)
 		}
 	}
 }
 
+// executeBundle runs one decoded bundle and shapes the trace reply.
+func (s *Service) executeBundle(bm *bundleMsg) traceMsg {
+	bsp := telemetry.StartSpan(s.tm.enabled)
+	res, err := s.exec.ExecuteContext(context.Background(), &bm.Bundle)
+	bsp.Mark(s.tm.execute)
+	var out traceMsg
+	if err != nil {
+		out.AbortReason = err.Error()
+		s.tm.bundlesErr.Inc()
+	} else {
+		out.Trace = *res.Trace
+		out.VirtualTime = res.VirtualTime
+		out.GasUsed = res.GasUsed
+		if res.Aborted != nil {
+			out.AbortReason = res.Aborted.Error()
+		}
+		s.tm.bundlesOK.Inc()
+	}
+	return out
+}
+
+// ReportVerifier is what Dial needs from the user side of attestation:
+// *attest.Verifier satisfies it, and so does session.CachingVerifier,
+// which skips the manufacturer-chain ECDSA verify on a cache hit.
+type ReportVerifier interface {
+	NewNonce() ([32]byte, error)
+	Verify(report *attest.Report, nonce [32]byte) (*attest.Session, []byte, error)
+}
+
 // Client is the user side of the pre-execution service: it attests the
-// device, establishes the secure channel, and submits bundles.
+// device (or resumes a prior session), establishes the secure channel,
+// and submits bundles over a multiplexed connection.
 type Client struct {
 	conn    io.ReadWriter
-	secure  *channel.SecureChannel
+	mux     *session.Mux
 	session uint64
+	// warm reports whether this client skipped asymmetric crypto
+	// (ticket resumption) rather than attesting from scratch.
+	warm bool
+
+	tmu    sync.Mutex
+	ticket *session.ClientTicket
+}
+
+// readWriteCloser adapts the io.ReadWriter handshake streams (net.Pipe
+// halves in tests, net.Conn in production) to the mux's closer needs.
+type readWriteCloser struct{ io.ReadWriter }
+
+func (rw readWriteCloser) Close() error {
+	if c, ok := rw.ReadWriter.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Dial attests a service over an established stream. The verifier must
 // pin the manufacturer key and the expected Hypervisor measurement;
 // sign toggles the -ES signature layer and must match the service.
-func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, error) {
+func Dial(conn io.ReadWriter, verifier ReportVerifier, sign bool) (*Client, error) {
 	nonce, err := verifier.NewNonce()
 	if err != nil {
 		return nil, err
@@ -298,7 +479,7 @@ func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, er
 	if err := gobDecode(body, &rep); err != nil {
 		return nil, err
 	}
-	session, userPub, err := verifier.Verify(&rep.Report, nonce)
+	sess, userPub, err := verifier.Verify(&rep.Report, nonce)
 	if err != nil {
 		return nil, fmt.Errorf("core: attestation failed: %w", err)
 	}
@@ -307,7 +488,8 @@ func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, er
 	if err != nil {
 		return nil, err
 	}
-	confirm := channel.ConfirmTag(session.Key, rep.SessionID, "user")
+	attest.RecordAsymOps(1) // per-session user signing key
+	confirm := channel.ConfirmTag(sess.Key, rep.SessionID, "user")
 	kx := keyExchangeMsg{
 		SessionID:  rep.SessionID,
 		UserPub:    userPub,
@@ -318,7 +500,7 @@ func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, er
 		return nil, err
 	}
 
-	secure, err := channel.NewSecureChannel(session.Key, rep.SessionID)
+	secure, err := channel.NewSecureChannel(sess.Key, rep.SessionID)
 	if err != nil {
 		return nil, err
 	}
@@ -329,31 +511,92 @@ func Dial(conn io.ReadWriter, verifier *attest.Verifier, sign bool) (*Client, er
 		}
 		secure.EnableSigning(userSigKey, devPub)
 	}
-	return &Client{conn: conn, secure: secure, session: rep.SessionID}, nil
+
+	// Derive the resumption PSK from the same session key the service
+	// used, then collect the sealed ticket it minted.
+	psk := session.ResumptionPSK(sess.Key, rep.SessionID)
+	session.ZeroKey(&sess.Key)
+	ticket, err := readTicket(conn, secure, psk, rep.SessionID,
+		rep.Report.Cert.Serial, rep.Report.Measurement)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Client{conn: conn, session: rep.SessionID, ticket: ticket}
+	c.mux = session.NewMux(readWriteCloser{conn}, secure)
+	return c, nil
 }
 
-// PreExecute submits a bundle and waits for its trace.
+// readTicket consumes the MsgTicketIssue the service sends at the end
+// of every handshake, pairing the opaque wire ticket with the locally
+// derived PSK. A service that could not mint (nil ticket) leaves the
+// client un-resumable but otherwise functional; the PSK is zeroed.
+func readTicket(conn io.ReadWriter, secure *channel.SecureChannel, psk [32]byte, sessionID uint64, serial string, measurement [32]byte) (*session.ClientTicket, error) {
+	raw, err := channel.ReadMessage(conn)
+	if err != nil {
+		session.ZeroKey(&psk)
+		return nil, err
+	}
+	hdr, payload, err := secure.Open(raw)
+	if err != nil {
+		session.ZeroKey(&psk)
+		return nil, err
+	}
+	if hdr.Type != channel.MsgTicketIssue {
+		session.ZeroKey(&psk)
+		return nil, fmt.Errorf("%w: expected ticket, got %d", ErrProtocol, hdr.Type)
+	}
+	var tim ticketIssueMsg
+	if err := gobDecode(payload, &tim); err != nil {
+		session.ZeroKey(&psk)
+		return nil, err
+	}
+	if len(tim.Ticket) == 0 {
+		session.ZeroKey(&psk)
+		return nil, nil
+	}
+	t := &session.ClientTicket{
+		Opaque:      tim.Ticket,
+		PSK:         psk,
+		SessionID:   sessionID,
+		Serial:      serial,
+		Measurement: measurement,
+		ExpiryEpoch: tim.ExpiryEpoch,
+	}
+	session.ZeroKey(&psk)
+	return t, nil
+}
+
+// Ticket detaches the client's current resumption ticket (single-use;
+// nil if the service issued none or it was already taken). The caller
+// owns the ticket's PSK from here — Resume consumes and zeroes it.
+func (c *Client) Ticket() *session.ClientTicket {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	t := c.ticket
+	c.ticket = nil
+	return t
+}
+
+// Warm reports whether this session was resumed from a ticket rather
+// than attested from scratch.
+func (c *Client) Warm() bool { return c.warm }
+
+// SessionID returns the wire session id.
+func (c *Client) SessionID() uint64 { return c.session }
+
+// Close tears down the multiplexed session.
+func (c *Client) Close() error { return c.mux.Close() }
+
+// PreExecute submits a bundle and waits for its trace. Safe for
+// concurrent use: bundles interleave on the multiplexed connection.
 func (c *Client) PreExecute(bundle *types.Bundle) (*TraceResult, error) {
-	sealed, err := c.secure.Seal(channel.MsgBundle, gobEncode(&bundleMsg{Bundle: *bundle}))
+	body, err := c.mux.RoundTrip(session.MuxBundle, gobEncode(&bundleMsg{Bundle: *bundle}))
 	if err != nil {
 		return nil, err
-	}
-	if err := channel.WriteMessage(c.conn, sealed); err != nil {
-		return nil, err
-	}
-	raw, err := channel.ReadMessage(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	hdr, payload, err := c.secure.Open(raw)
-	if err != nil {
-		return nil, err
-	}
-	if hdr.Type != channel.MsgTrace {
-		return nil, fmt.Errorf("%w: expected trace, got %d", ErrProtocol, hdr.Type)
 	}
 	var tm traceMsg
-	if err := gobDecode(payload, &tm); err != nil {
+	if err := gobDecode(body, &tm); err != nil {
 		return nil, err
 	}
 	return &TraceResult{
@@ -384,26 +627,12 @@ type ServiceStatus struct {
 // session. Schedulers (the fleet gateway) use it both as a health
 // check and to weight dispatch by free capacity.
 func (c *Client) Status() (*ServiceStatus, error) {
-	sealed, err := c.secure.Seal(channel.MsgStatus, gobEncode(&statusMsg{}))
+	body, err := c.mux.RoundTrip(session.MuxStatus, gobEncode(&statusMsg{}))
 	if err != nil {
 		return nil, err
-	}
-	if err := channel.WriteMessage(c.conn, sealed); err != nil {
-		return nil, err
-	}
-	raw, err := channel.ReadMessage(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	hdr, payload, err := c.secure.Open(raw)
-	if err != nil {
-		return nil, err
-	}
-	if hdr.Type != channel.MsgStatus {
-		return nil, fmt.Errorf("%w: expected status, got %d", ErrProtocol, hdr.Type)
 	}
 	var sm statusMsg
-	if err := gobDecode(payload, &sm); err != nil {
+	if err := gobDecode(body, &sm); err != nil {
 		return nil, err
 	}
 	return &ServiceStatus{FreeSlots: sm.FreeSlots, Capacity: sm.Capacity}, nil

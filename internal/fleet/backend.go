@@ -10,6 +10,7 @@ import (
 	"hardtape/internal/attest"
 	"hardtape/internal/core"
 	"hardtape/internal/oram"
+	"hardtape/internal/session"
 	"hardtape/internal/types"
 )
 
@@ -115,7 +116,8 @@ func (b *LocalBackend) Close() error { return nil }
 type RemoteBackend struct {
 	name        string
 	addr        string
-	verifier    *attest.Verifier
+	verifier    core.ReportVerifier
+	cache       *session.VerdictCache
 	sign        bool
 	sessions    int
 	dialTimeout time.Duration
@@ -128,13 +130,25 @@ type RemoteBackend struct {
 }
 
 // remoteConn is one pooled session slot; conn/client are nil until
-// first use (and again after a transport failure).
+// first use (and again after a transport failure). ticket is the
+// rotated resumption ticket harvested from the previous session on
+// this slot — a redial presents it and skips the asymmetric handshake.
 type remoteConn struct {
 	conn   net.Conn
 	client *core.Client
+	ticket *session.ClientTicket
 }
 
 func (rc *remoteConn) reset() {
+	if rc.client != nil {
+		// The session dies but its ticket survives: it was minted at
+		// handshake and is still unredeemed, so the next connect on this
+		// slot resumes warm (a restarted service rejects it and we fall
+		// back cold).
+		if t := rc.client.Ticket(); t != nil {
+			rc.ticket = t
+		}
+	}
 	if rc.conn != nil {
 		rc.conn.Close()
 	}
@@ -148,10 +162,14 @@ func NewRemoteBackend(name, addr string, verifier *attest.Verifier, sign bool, s
 	if sessions <= 0 {
 		sessions = 1
 	}
+	// Cold dials share a verdict cache: after the first session against
+	// a device+image, later dials skip the manufacturer-chain verify.
+	cache := session.NewVerdictCache(nil, 0)
 	b := &RemoteBackend{
 		name:        name,
 		addr:        addr,
-		verifier:    verifier,
+		verifier:    &session.CachingVerifier{Verifier: verifier, Cache: cache},
+		cache:       cache,
 		sign:        sign,
 		sessions:    sessions,
 		dialTimeout: 2 * time.Second,
@@ -170,7 +188,10 @@ func (b *RemoteBackend) Name() string { return b.name }
 // gateway holds against the service.
 func (b *RemoteBackend) Capacity() int { return b.sessions }
 
-// connect dials and attests one session.
+// connect dials one session: warm (ticket resume, zero asymmetric
+// crypto) when the slot holds a live ticket, cold attestation
+// otherwise. Signing sessions always dial cold — resumed channels
+// deliberately never carry the per-message ECDSA layer.
 func (b *RemoteBackend) connect(rc *remoteConn) error {
 	if rc.client != nil {
 		return nil
@@ -178,6 +199,24 @@ func (b *RemoteBackend) connect(rc *remoteConn) error {
 	conn, err := net.DialTimeout("tcp", b.addr, b.dialTimeout)
 	if err != nil {
 		return err
+	}
+	if ticket := rc.ticket; ticket != nil && !b.sign {
+		rc.ticket = nil
+		if err := b.cache.Check(ticket.Serial); err != nil {
+			// Revoked since the ticket was minted: fail closed, never
+			// hand the device a provable live session.
+			conn.Close()
+			return err
+		}
+		if client, rerr := core.Resume(conn, ticket); rerr == nil {
+			rc.conn, rc.client = conn, client
+			return nil
+		}
+		// Resume burned the stream (and the ticket); redial cold.
+		conn.Close()
+		if conn, err = net.DialTimeout("tcp", b.addr, b.dialTimeout); err != nil {
+			return err
+		}
 	}
 	client, err := core.Dial(conn, b.verifier, b.sign)
 	if err != nil {
@@ -187,6 +226,10 @@ func (b *RemoteBackend) connect(rc *remoteConn) error {
 	rc.conn, rc.client = conn, client
 	return nil
 }
+
+// VerdictCache exposes the backend's attestation-verdict cache (for
+// revocation: VerdictCache().Revoke(serial) blocks future sessions).
+func (b *RemoteBackend) VerdictCache() *session.VerdictCache { return b.cache }
 
 // FreeSlots implements Backend: it asks the service for its live
 // occupancy over the control session. This doubles as the health

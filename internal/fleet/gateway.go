@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hardtape/internal/core"
+	"hardtape/internal/session"
 	"hardtape/internal/telemetry"
 	"hardtape/internal/types"
 )
@@ -35,6 +36,11 @@ type Config struct {
 	// sample ring it sized was replaced by a fixed-bucket telemetry
 	// histogram, which needs no window.
 	WaitWindow int
+	// ColdHandshakeLimit bounds concurrent cold (attest+DHKE)
+	// handshakes on services fronting this gateway; warm ticket resumes
+	// bypass the gate, so a reconnect burst never queues behind cold
+	// dials. 0 means unlimited.
+	ColdHandshakeLimit int
 	// Telemetry, when non-nil, registers the gateway's series there so
 	// they export alongside the rest of the pipeline. When nil the
 	// gateway keeps a private registry: the same instruments back the
@@ -95,9 +101,14 @@ type Gateway struct {
 	closed   bool
 
 	tm     *gwMetrics
+	adm    *session.Admission
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
+
+// SessionAdmission returns the gateway's cold-handshake gate (nil when
+// unlimited) for wiring into the core.Service that fronts it.
+func (g *Gateway) SessionAdmission() *session.Admission { return g.adm }
 
 // NewGateway wires the backends and starts the health monitor. Each
 // backend is probed once synchronously so the initial healthy set is
@@ -125,6 +136,7 @@ func NewGateway(cfg Config, backends ...Backend) *Gateway {
 		cfg:    cfg,
 		wake:   make(chan struct{}),
 		tm:     newGwMetrics(reg),
+		adm:    session.NewAdmission(cfg.ColdHandshakeLimit),
 		stopCh: make(chan struct{}),
 	}
 	capacity := 0

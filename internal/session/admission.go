@@ -1,0 +1,75 @@
+package session
+
+import "sync/atomic"
+
+// Admission is a counting semaphore for cold handshakes. The fleet
+// gateway bounds how many expensive attest+DHKE rounds run at once so
+// a stampede of cold dials cannot starve the device of execution
+// cycles — while warm resumes (microseconds of AES) bypass the gate
+// entirely, which is the "session-aware admission" the ROADMAP asks
+// for: a resume never queues behind someone else's cold handshake.
+//
+// A nil *Admission admits everything immediately, so callers thread it
+// unconditionally — the same zero-cost-when-off discipline as the
+// telemetry instruments.
+type Admission struct {
+	sem   chan struct{}
+	waits atomic.Uint64
+}
+
+// NewAdmission builds a gate admitting at most limit concurrent cold
+// handshakes. limit <= 0 returns nil: unlimited, zero overhead.
+func NewAdmission(limit int) *Admission {
+	if limit <= 0 {
+		return nil
+	}
+	return &Admission{sem: make(chan struct{}, limit)}
+}
+
+// Acquire blocks until a cold-handshake slot frees. It reports whether
+// the caller had to wait (telemetry distinguishes queued admissions).
+func (a *Admission) Acquire() (waited bool) {
+	if a == nil {
+		return false
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return false
+	default:
+	}
+	a.waits.Add(1)
+	a.sem <- struct{}{}
+	return true
+}
+
+// Release frees a slot taken by Acquire.
+func (a *Admission) Release() {
+	if a == nil {
+		return
+	}
+	<-a.sem
+}
+
+// InFlight reports the cold handshakes currently holding slots.
+func (a *Admission) InFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.sem)
+}
+
+// Waits reports how many acquisitions had to queue.
+func (a *Admission) Waits() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.waits.Load()
+}
+
+// Limit reports the configured slot count (0 for unlimited).
+func (a *Admission) Limit() int {
+	if a == nil {
+		return 0
+	}
+	return cap(a.sem)
+}

@@ -1,0 +1,175 @@
+package session
+
+import (
+	"errors"
+	"testing"
+
+	"hardtape/internal/attest"
+)
+
+func newCache(t *testing.T) (*VerdictCache, *FakeClock) {
+	t.Helper()
+	clk := fakeClockAt(t)
+	return NewVerdictCache(clk, 10), clk
+}
+
+func TestVerdictCacheHitMissExpiry(t *testing.T) {
+	vc, clk := newCache(t)
+	var m [32]byte
+	m[0] = 1
+	pub := []byte{4, 5, 6}
+
+	if got := vc.Lookup("HT-1", m); got != nil {
+		t.Fatal("lookup before store must miss")
+	}
+	vc.Store("HT-1", m, pub)
+	got := vc.Lookup("HT-1", m)
+	if got == nil || got[0] != 4 {
+		t.Fatal("lookup after store must hit")
+	}
+	// Returned slice is a copy: mutating it must not poison the cache.
+	got[0] = 0xFF
+	if again := vc.Lookup("HT-1", m); again[0] != 4 {
+		t.Fatal("cache entry aliased caller's slice")
+	}
+	// A different measurement under the same serial is a miss.
+	var m2 [32]byte
+	m2[0] = 2
+	if vc.Lookup("HT-1", m2) != nil {
+		t.Fatal("different measurement must miss")
+	}
+	// Past the TTL the entry is gone.
+	clk.AdvanceEpochs(11)
+	if vc.Lookup("HT-1", m) != nil {
+		t.Fatal("expired entry must miss")
+	}
+	if vc.Len() != 0 {
+		t.Fatal("expired entry must be evicted on lookup")
+	}
+	hits, misses := vc.Stats()
+	if hits != 2 || misses != 3 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/3", hits, misses)
+	}
+}
+
+func TestVerdictCacheRevocation(t *testing.T) {
+	vc, _ := newCache(t)
+	var m [32]byte
+	vc.Store("HT-9", m, []byte{1})
+	vc.Revoke("HT-9")
+	if vc.Lookup("HT-9", m) != nil {
+		t.Fatal("revoked device must never hit the cache")
+	}
+	if vc.Len() != 0 {
+		t.Fatal("revocation must drop cached entries")
+	}
+	vc.Store("HT-9", m, []byte{1})
+	if vc.Len() != 0 {
+		t.Fatal("store after revocation must be ignored")
+	}
+	if err := vc.Check("HT-9"); !errors.Is(err, ErrDeviceRevoked) {
+		t.Fatalf("Check: got %v, want ErrDeviceRevoked", err)
+	}
+	if err := vc.Check("HT-2"); err != nil {
+		t.Fatalf("Check on clean serial: %v", err)
+	}
+}
+
+func TestCachingVerifierSkipsChainVerify(t *testing.T) {
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := []byte("cache-test-image")
+	booted, err := func() (*attest.BootedDevice, error) {
+		dev, err := mfr.Provision("HT-CACHE")
+		if err != nil {
+			return nil, err
+		}
+		return dev.SecureBoot(image)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &CachingVerifier{
+		Verifier: attest.NewVerifier(mfr.PublicKey(), booted.Measurement()),
+		Cache:    NewVerdictCache(fakeClockAt(t), 10),
+	}
+
+	verifyOnce := func() uint64 {
+		nonce, err := cv.NewNonce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, _, err := booted.Attest(nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := attest.AsymOps()
+		if _, _, err := cv.Verify(report, nonce); err != nil {
+			t.Fatal(err)
+		}
+		return attest.AsymOps() - before
+	}
+
+	coldOps := verifyOnce()
+	warmOps := verifyOnce()
+	// The cold verify pays the manufacturer-chain ECDSA check on top of
+	// the per-report work; the cache hit skips exactly that.
+	if warmOps >= coldOps {
+		t.Fatalf("cached verify cost %d asym ops, cold cost %d; cache saved nothing", warmOps, coldOps)
+	}
+	if hits, _ := cv.Cache.Stats(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// Revocation fails closed before any cryptography.
+	cv.Cache.Revoke("HT-CACHE")
+	nonce, err := cv.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _, err := booted.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cv.Verify(report, nonce); !errors.Is(err, ErrDeviceRevoked) {
+		t.Fatalf("verify of revoked device: got %v, want ErrDeviceRevoked", err)
+	}
+}
+
+func TestCachingVerifierRejectsSplicedKey(t *testing.T) {
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := []byte("splice-test-image")
+	dev, err := mfr.Provision("HT-SPLICE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := dev.SecureBoot(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewVerdictCache(fakeClockAt(t), 10)
+	cv := &CachingVerifier{
+		Verifier: attest.NewVerifier(mfr.PublicKey(), booted.Measurement()),
+		Cache:    cache,
+	}
+	// Poison the cache with a key that is NOT the device's: the verifier
+	// must notice the mismatch and fall back to the full chain verify,
+	// which still succeeds because the report itself is honest.
+	cache.Store("HT-SPLICE", booted.Measurement(), []byte("not-the-device-key"))
+	nonce, err := cv.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _, err := booted.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cv.Verify(report, nonce); err != nil {
+		t.Fatalf("honest report with stale cache entry must re-verify, got %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package session
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// The session key schedule is HKDF-SHA256 (RFC 5869), implemented on
+// the stdlib HMAC so the repo stays dependency-free. Labels are
+// versioned domain separators; every derivation binds the session id
+// so keys from different sessions can never collide even under an
+// identical master secret.
+//
+//	cold handshake ──► session key K
+//	                      │ HKDF(salt₀, K, "resume-psk" ‖ sid)
+//	                      ▼
+//	                 resumption PSK  ──────────────► sealed into ticket
+//	                      │ HKDF(cn ‖ sn, PSK, "resume-traffic" ‖ sid')
+//	                      ▼
+//	                 traffic key K'  (fresh per resume, nonce-salted)
+//	                      │ HKDF(salt₀, K', "resume-psk" ‖ sid')
+//	                      ▼
+//	                 next PSK        (tickets rotate every resume)
+
+// NonceSize is the length of the client/server rekey nonces that salt
+// each warm traffic key.
+const NonceSize = 16
+
+// HKDF labels (versioned; changing a schedule means a new label).
+const (
+	labelSalt    = "hardtape-hkdf-salt-v1"
+	labelPSK     = "hardtape-resume-psk-v1"
+	labelTraffic = "hardtape-resume-traffic-v1"
+)
+
+// hkdfExtract is HKDF-Extract: PRK = HMAC(salt, ikm).
+func hkdfExtract(salt, ikm []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand is HKDF-Expand for lengths up to one SHA-256 block, which
+// covers every key this schedule derives.
+func hkdfExpand(prk, info []byte, length int) []byte {
+	if length > sha256.Size {
+		panic("session: hkdfExpand length exceeds one block") // programming error
+	}
+	mac := hmac.New(sha256.New, prk)
+	mac.Write(info)
+	mac.Write([]byte{1})
+	return mac.Sum(nil)[:length]
+}
+
+// label8 builds `label ‖ be64(id)` derivation info.
+func label8(label string, id uint64) []byte {
+	info := make([]byte, 0, len(label)+8)
+	info = append(info, label...)
+	var sid [8]byte
+	binary.BigEndian.PutUint64(sid[:], id)
+	return append(info, sid[:]...)
+}
+
+// ResumptionPSK derives the resumption pre-shared key from an
+// established session key. Both endpoints compute it independently;
+// the service additionally seals it into the ticket so it can stay
+// stateless across reconnects.
+func ResumptionPSK(sessionKey [32]byte, sessionID uint64) [32]byte {
+	prk := hkdfExtract([]byte(labelSalt), sessionKey[:])
+	out := hkdfExpand(prk, label8(labelPSK, sessionID), 32)
+	Zero(prk)
+	var key [32]byte
+	copy(key[:], out)
+	Zero(out)
+	return key
+}
+
+// TrafficKey derives the warm session's AES-256 traffic key: the PSK
+// salted with both rekey nonces and bound to the new session id. A
+// replayed client nonce still yields a fresh key because the service
+// contributes its own.
+func TrafficKey(psk [32]byte, clientNonce, serverNonce [NonceSize]byte, sessionID uint64) [32]byte {
+	salt := make([]byte, 0, 2*NonceSize)
+	salt = append(salt, clientNonce[:]...)
+	salt = append(salt, serverNonce[:]...)
+	prk := hkdfExtract(salt, psk[:])
+	out := hkdfExpand(prk, label8(labelTraffic, sessionID), 32)
+	Zero(prk)
+	var key [32]byte
+	copy(key[:], out)
+	Zero(out)
+	return key
+}
+
+// Zero wipes secret bytes after use. Callers zero PSKs, traffic keys,
+// and decrypted ticket bodies as soon as the derived state exists.
+func Zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ZeroKey wipes a fixed-size key in place.
+func ZeroKey(k *[32]byte) {
+	Zero(k[:])
+}

@@ -1,0 +1,200 @@
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"hardtape/internal/channel"
+)
+
+// Multiplexing lets one secure channel carry many interleaved
+// request/response exchanges, matched by an 8-byte request id — the
+// pipelined framing the ORAM transport proved out in PR 3, lifted
+// inside the AEAD boundary. Frames ride as the *plaintext* of sealed
+// MsgMux / MsgMuxReply messages, so the request ids and kinds are
+// confidential and authenticated like everything else:
+//
+//	request:  [reqID u64][kind u8][body]
+//	response: [reqID u64][status u8][body]     (statusErr body = message)
+//
+// A SecureChannel is deliberately not concurrency-safe (its sequence
+// numbers are the replay defense), so the mux serializes seal+write
+// under one lock and performs every Open on the single reader
+// goroutine — the channel's invariants hold by construction.
+
+// Mux frame kinds.
+const (
+	// MuxBundle carries a gob-encoded bundle; the reply is a trace.
+	MuxBundle byte = 1
+	// MuxStatus probes device occupancy; the reply is a status report.
+	MuxStatus byte = 2
+)
+
+// Mux frame reply statuses.
+const (
+	MuxOK  byte = 0
+	MuxErr byte = 1
+)
+
+// muxHeaderLen is the frame prefix: request id + kind/status byte.
+const muxHeaderLen = 9
+
+// EncodeMuxFrame builds a frame to seal into a MsgMux or MsgMuxReply.
+func EncodeMuxFrame(reqID uint64, kind byte, body []byte) []byte {
+	frame := make([]byte, muxHeaderLen+len(body))
+	binary.BigEndian.PutUint64(frame[:8], reqID)
+	frame[8] = kind
+	copy(frame[muxHeaderLen:], body)
+	return frame
+}
+
+// ParseMuxFrame splits a decrypted frame into id, kind/status, body.
+func ParseMuxFrame(frame []byte) (reqID uint64, kind byte, body []byte, err error) {
+	if len(frame) < muxHeaderLen {
+		return 0, 0, nil, fmt.Errorf("session: short mux frame (%d bytes)", len(frame))
+	}
+	return binary.BigEndian.Uint64(frame[:8]), frame[8], frame[muxHeaderLen:], nil
+}
+
+// muxResult is one decoded reply (or the transport failure that killed
+// the session).
+type muxResult struct {
+	body []byte
+	err  error
+}
+
+// Mux is the client end of a multiplexed session: many goroutines may
+// call RoundTrip concurrently on one connection; replies are matched
+// by request id by a single reader goroutine.
+type Mux struct {
+	conn io.ReadWriteCloser
+
+	cmu sync.Mutex // seal order == write order; the channel's seq demands it
+	ch  *channel.SecureChannel
+
+	pmu     sync.Mutex
+	pending map[uint64]chan muxResult
+	nextID  uint64
+	broken  error // sticky; set once, fails every later call
+}
+
+// NewMux starts multiplexing over an established secure channel. The
+// mux owns all reads from conn from this point on.
+func NewMux(conn io.ReadWriteCloser, ch *channel.SecureChannel) *Mux {
+	m := &Mux{conn: conn, ch: ch, pending: make(map[uint64]chan muxResult)}
+	go m.readLoop()
+	return m
+}
+
+// Close tears the session down; in-flight round trips fail with
+// ErrMuxClosed.
+func (m *Mux) Close() error {
+	m.fail(ErrMuxClosed)
+	return m.conn.Close()
+}
+
+// RoundTrip sends one request frame and blocks for its reply body. It
+// is safe for concurrent use; the send lock covers only seal+write,
+// never the link round trip, so requests pipeline.
+func (m *Mux) RoundTrip(kind byte, body []byte) ([]byte, error) {
+	ch := make(chan muxResult, 1)
+	m.pmu.Lock()
+	if m.broken != nil {
+		err := m.broken
+		m.pmu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	id := m.nextID
+	m.pending[id] = ch
+	m.pmu.Unlock()
+
+	frame := EncodeMuxFrame(id, kind, body)
+	m.cmu.Lock()
+	sealed, err := m.ch.Seal(channel.MsgMux, frame)
+	if err == nil {
+		err = channel.WriteMessage(m.conn, sealed)
+	}
+	m.cmu.Unlock()
+	if err != nil {
+		if m.take(id) != nil {
+			return nil, fmt.Errorf("session: mux send: %w", err)
+		}
+		// The read loop already failed this call; fall through to recv.
+	}
+
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.body, nil
+}
+
+// readLoop opens every inbound message on one goroutine (the
+// SecureChannel recv sequence is single-threaded by construction) and
+// routes replies to their waiting callers.
+func (m *Mux) readLoop() {
+	for {
+		raw, err := channel.ReadMessage(m.conn)
+		if err != nil {
+			m.fail(fmt.Errorf("%w: %v", ErrMuxClosed, err))
+			return
+		}
+		hdr, frame, err := m.ch.Open(raw)
+		if err != nil {
+			m.fail(fmt.Errorf("session: mux open: %w", err))
+			return
+		}
+		if hdr.Type != channel.MsgMuxReply {
+			m.fail(fmt.Errorf("session: unexpected message type %d on mux", hdr.Type))
+			return
+		}
+		id, status, body, err := ParseMuxFrame(frame)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		ch := m.take(id)
+		if ch == nil {
+			m.fail(fmt.Errorf("session: unsolicited mux reply id %d", id))
+			return
+		}
+		if status != MuxOK {
+			ch <- muxResult{err: fmt.Errorf("session: remote: %s", body)}
+			continue
+		}
+		ch <- muxResult{body: body}
+	}
+}
+
+// take removes and returns the pending reply channel for id, if any.
+func (m *Mux) take(id uint64) chan muxResult {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	ch := m.pending[id]
+	delete(m.pending, id)
+	return ch
+}
+
+// fail poisons the mux and unblocks every in-flight caller.
+func (m *Mux) fail(err error) {
+	m.pmu.Lock()
+	if m.broken == nil {
+		m.broken = err
+	}
+	calls := m.pending
+	m.pending = make(map[uint64]chan muxResult)
+	m.pmu.Unlock()
+	for _, ch := range calls {
+		ch <- muxResult{err: err}
+	}
+}
+
+// Broken reports the sticky failure, if any (tests, health checks).
+func (m *Mux) Broken() error {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	return m.broken
+}

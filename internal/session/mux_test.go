@@ -1,0 +1,202 @@
+package session
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hardtape/internal/channel"
+)
+
+// muxPair builds a client Mux talking to a minimal echo server over
+// net.Pipe. The server reverses MuxBundle bodies (so replies are
+// distinguishable from echoes) and fails MuxStatus frames whose body
+// says "boom".
+func muxPair(t *testing.T) (*Mux, func()) {
+	t.Helper()
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	const sid = 77
+	cch, err := channel.NewSecureChannel(key, sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := channel.NewSecureChannel(key, sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cconn, sconn := net.Pipe()
+
+	var wmu sync.Mutex
+	writeReply := func(frame []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		sealed, err := sch.Seal(channel.MsgMuxReply, frame)
+		if err != nil {
+			return err
+		}
+		return channel.WriteMessage(sconn, sealed)
+	}
+	go func() {
+		for {
+			raw, err := channel.ReadMessage(sconn)
+			if err != nil {
+				return
+			}
+			hdr, frame, err := sch.Open(raw)
+			if err != nil || hdr.Type != channel.MsgMux {
+				return
+			}
+			id, kind, body, err := ParseMuxFrame(frame)
+			if err != nil {
+				return
+			}
+			// Serve each request on its own goroutine so replies can
+			// overtake each other — that's what the id matching is for.
+			go func(id uint64, kind byte, body []byte) {
+				if kind == MuxStatus && string(body) == "boom" {
+					_ = writeReply(EncodeMuxFrame(id, MuxErr, []byte("boom served")))
+					return
+				}
+				rev := make([]byte, len(body))
+				for i, b := range body {
+					rev[len(body)-1-i] = b
+				}
+				_ = writeReply(EncodeMuxFrame(id, MuxOK, rev))
+			}(id, kind, append([]byte(nil), body...))
+		}
+	}()
+
+	m := NewMux(cconn, cch)
+	return m, func() { m.Close(); sconn.Close() }
+}
+
+func TestMuxConcurrentRoundTrips(t *testing.T) {
+	m, done := muxPair(t)
+	defer done()
+
+	const workers = 16
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				msg := "w" + strconv.Itoa(w) + "-req-" + strconv.Itoa(i)
+				got, err := m.RoundTrip(MuxBundle, []byte(msg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := make([]byte, len(msg))
+				for j := 0; j < len(msg); j++ {
+					want[len(msg)-1-j] = msg[j]
+				}
+				if string(got) != string(want) {
+					errs <- fmt.Errorf("reply %q for request %q", got, msg)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxRemoteErrorIsPerRequest(t *testing.T) {
+	m, done := muxPair(t)
+	defer done()
+	if _, err := m.RoundTrip(MuxStatus, []byte("boom")); err == nil {
+		t.Fatal("remote error must surface to the caller")
+	}
+	// One failed request must not poison the session.
+	if _, err := m.RoundTrip(MuxBundle, []byte("ok")); err != nil {
+		t.Fatalf("round trip after remote error: %v", err)
+	}
+	if m.Broken() != nil {
+		t.Fatal("remote application error must not break the mux")
+	}
+}
+
+func TestMuxCloseFailsInFlight(t *testing.T) {
+	m, done := muxPair(t)
+	defer done()
+	m.Close()
+	if _, err := m.RoundTrip(MuxBundle, []byte("late")); !errors.Is(err, ErrMuxClosed) {
+		t.Fatalf("round trip after close: got %v, want ErrMuxClosed", err)
+	}
+}
+
+func TestParseMuxFrameRejectsShort(t *testing.T) {
+	if _, _, _, err := ParseMuxFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame must be rejected")
+	}
+	frame := EncodeMuxFrame(9, MuxBundle, []byte("xyz"))
+	id, kind, body, err := ParseMuxFrame(frame)
+	if err != nil || id != 9 || kind != MuxBundle || string(body) != "xyz" {
+		t.Fatalf("frame round trip: id=%d kind=%d body=%q err=%v", id, kind, body, err)
+	}
+}
+
+func TestAdmissionGatesColdHandshakes(t *testing.T) {
+	adm := NewAdmission(2)
+	if adm.Limit() != 2 {
+		t.Fatalf("limit %d, want 2", adm.Limit())
+	}
+	if w := adm.Acquire(); w {
+		t.Fatal("first acquire must not wait")
+	}
+	if w := adm.Acquire(); w {
+		t.Fatal("second acquire must not wait")
+	}
+	released := make(chan struct{})
+	go func() {
+		// Third acquire blocks until a release.
+		if w := adm.Acquire(); !w {
+			t.Error("third acquire should have waited")
+		}
+		close(released)
+	}()
+	// The waiter bumps Waits before parking; release only once it has.
+	for adm.Waits() == 0 {
+		runtime.Gosched()
+	}
+	adm.Release()
+	<-released
+	if adm.Waits() != 1 {
+		t.Fatalf("waits %d, want 1", adm.Waits())
+	}
+	adm.Release()
+	adm.Release()
+	if adm.InFlight() != 0 {
+		t.Fatalf("in-flight %d, want 0", adm.InFlight())
+	}
+}
+
+func TestAdmissionNilIsUnlimited(t *testing.T) {
+	var adm *Admission
+	if adm != NewAdmission(0) {
+		t.Fatal("limit 0 must produce the nil (unlimited) admission")
+	}
+	for i := 0; i < 100; i++ {
+		if adm.Acquire() {
+			t.Fatal("nil admission must never wait")
+		}
+	}
+	adm.Release()
+	if adm.InFlight() != 0 || adm.Waits() != 0 || adm.Limit() != 0 {
+		t.Fatal("nil admission counters must read zero")
+	}
+}

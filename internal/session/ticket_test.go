@@ -1,0 +1,220 @@
+package session
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+)
+
+func fakeClockAt(t *testing.T) *FakeClock {
+	t.Helper()
+	return NewFakeClock(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+}
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	st := &State{SessionID: 42, Serial: "HT-7"}
+	if _, err := rand.Read(st.PSK[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rand.Read(st.Measurement[:]); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestTicketRoundTrip(t *testing.T) {
+	clk := fakeClockAt(t)
+	ti, err := NewTicketIssuer(clk, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState(t)
+	wire, err := ti.Issue(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpiryEpoch != ti.Epoch()+10 {
+		t.Fatalf("expiry epoch %d, want %d", st.ExpiryEpoch, ti.Epoch()+10)
+	}
+	// The sealed ticket must not leak the PSK in the clear.
+	if bytes.Contains(wire, st.PSK[:8]) {
+		t.Fatal("ticket wire contains plaintext PSK bytes")
+	}
+	got, err := ti.Redeem(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SessionID != st.SessionID || got.Serial != st.Serial ||
+		got.PSK != st.PSK || got.Measurement != st.Measurement ||
+		got.ExpiryEpoch != st.ExpiryEpoch {
+		t.Fatalf("redeemed state mismatch: %+v vs %+v", got, st)
+	}
+}
+
+func TestTicketReplayFailsClosed(t *testing.T) {
+	ti, err := NewTicketIssuer(fakeClockAt(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ti.Issue(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ti.Redeem(wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ti.Redeem(wire); !errors.Is(err, ErrTicketReplayed) {
+		t.Fatalf("second redeem: got %v, want ErrTicketReplayed", err)
+	}
+}
+
+func TestTicketTamperFailsClosed(t *testing.T) {
+	ti, err := NewTicketIssuer(fakeClockAt(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ti.Issue(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func([]byte) []byte{
+		func(w []byte) []byte { w[len(w)/2] ^= 0x40; return w }, // bit flip in body
+		func(w []byte) []byte { w[0] ^= 0xFF; return w },        // wrong key id
+		func(w []byte) []byte { return w[:len(w)-1] },           // truncated
+		func(w []byte) []byte { return nil },                    // empty
+	} {
+		cp := mut(append([]byte(nil), wire...))
+		if _, err := ti.Redeem(cp); !errors.Is(err, ErrTicketTampered) {
+			t.Fatalf("tampered redeem: got %v, want ErrTicketTampered", err)
+		}
+	}
+	// A ticket sealed by a different issuer (restarted service / rotated
+	// STEK) is indistinguishable from tampering.
+	other, err := NewTicketIssuer(fakeClockAt(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Redeem(wire); !errors.Is(err, ErrTicketTampered) {
+		t.Fatalf("foreign redeem: got %v, want ErrTicketTampered", err)
+	}
+}
+
+func TestTicketExpiryIsDeterministic(t *testing.T) {
+	clk := fakeClockAt(t)
+	ti, err := NewTicketIssuer(clk, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ti.Issue(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just inside the window: still valid.
+	clk.AdvanceEpochs(5)
+	if _, err := ti.Redeem(wire); err != nil {
+		t.Fatalf("redeem at expiry epoch: %v", err)
+	}
+	wire2, err := ti.Issue(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One epoch past: expired, deterministically.
+	clk.AdvanceEpochs(6)
+	if _, err := ti.Redeem(wire2); !errors.Is(err, ErrTicketExpired) {
+		t.Fatalf("expired redeem: got %v, want ErrTicketExpired", err)
+	}
+}
+
+func TestTicketReplaySetPrunes(t *testing.T) {
+	clk := fakeClockAt(t)
+	ti, err := NewTicketIssuer(clk, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		wire, err := ti.Issue(testState(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ti.Redeem(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ti.RedeemedCount(); n != 8 {
+		t.Fatalf("replay set size %d, want 8", n)
+	}
+	// Past every expiry epoch the set prunes on the next redeem.
+	clk.AdvanceEpochs(3)
+	wire, err := ti.Issue(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ti.Redeem(wire); err != nil {
+		t.Fatal(err)
+	}
+	if n := ti.RedeemedCount(); n != 1 {
+		t.Fatalf("replay set size after prune %d, want 1", n)
+	}
+}
+
+func TestKeyScheduleDerivations(t *testing.T) {
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	p1 := ResumptionPSK(key, 1)
+	p1again := ResumptionPSK(key, 1)
+	p2 := ResumptionPSK(key, 2)
+	if p1 != p1again {
+		t.Fatal("ResumptionPSK not deterministic")
+	}
+	if p1 == p2 {
+		t.Fatal("ResumptionPSK must bind the session id")
+	}
+	var cn, sn [NonceSize]byte
+	cn[0], sn[0] = 1, 2
+	k1 := TrafficKey(p1, cn, sn, 3)
+	if k1 == TrafficKey(p1, sn, cn, 3) {
+		t.Fatal("TrafficKey must be ordered in the nonces")
+	}
+	var cn2 [NonceSize]byte
+	cn2[0] = 9
+	if k1 == TrafficKey(p1, cn2, sn, 3) {
+		t.Fatal("TrafficKey must vary with the client nonce")
+	}
+	if k1 == TrafficKey(p1, cn, sn, 4) {
+		t.Fatal("TrafficKey must bind the session id")
+	}
+	if k1 == [32]byte(p1) {
+		t.Fatal("TrafficKey must differ from the PSK")
+	}
+}
+
+func TestZeroWipes(t *testing.T) {
+	b := []byte{1, 2, 3}
+	Zero(b)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("Zero left bytes")
+		}
+	}
+	var k [32]byte
+	k[5] = 7
+	ZeroKey(&k)
+	if k != ([32]byte{}) {
+		t.Fatal("ZeroKey left bytes")
+	}
+}
+
+func TestEpochAt(t *testing.T) {
+	if EpochAt(time.Unix(-5, 0)) != 0 {
+		t.Fatal("negative times must clamp to epoch 0")
+	}
+	base := time.Unix(0, 0)
+	if EpochAt(base.Add(EpochLength)) != EpochAt(base)+1 {
+		t.Fatal("one EpochLength must advance exactly one epoch")
+	}
+}
