@@ -189,7 +189,7 @@ func run() error {
 			if s.Write {
 				op = "write"
 			}
-			fmt.Printf("  storage %s %s[%s]\n", op, s.Address, s.Key)
+			fmt.Printf("  storage %s %s[%s]\n", op, s.Address, s.Slot)
 		}
 	}
 	fmt.Printf("\ndevice time (virtual): %v, total gas: %d\n", res.VirtualTime, res.GasUsed)

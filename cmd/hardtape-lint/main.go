@@ -1,5 +1,7 @@
-// hardtape-lint runs the HarDTAPE invariant analyzers (cryptorand,
-// consttime, oramleak, locksafe, faulterr) over the repository.
+// hardtape-lint runs the HarDTAPE invariant analyzers — the syntactic
+// checks (cryptorand, consttime, oramleak, locksafe, faulterr,
+// telemetrysafe) and the dataflow-powered ones (secretflow, poolsafe)
+// — over the repository.
 //
 // Two modes:
 //
@@ -11,6 +13,12 @@
 // export data of its dependencies, and invokes this binary once per
 // package. Both modes type-check from compiler export data, so a
 // full-repo run costs one build plus parsing.
+//
+// The standalone mode accepts -report=<file> to write a JSON audit
+// artifact: every finding (analyzer, position, message) plus every
+// //hardtape: waiver in the linted packages (directive, position,
+// reason), so CI can archive exactly what was flagged and what was
+// deliberately accepted.
 //
 // Exit status: 0 clean, 1 tool error, 2 findings.
 package main
@@ -39,13 +47,13 @@ func main() {
 		}
 	}
 
-	enabled, patterns, jsonOut := parseArgs(args)
+	enabled, patterns, jsonOut, reportPath := parseArgs(args)
 	analyzers := selectAnalyzers(enabled)
 
 	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
 		os.Exit(runUnitchecker(patterns[0], analyzers, jsonOut))
 	}
-	os.Exit(runStandalone(patterns, analyzers))
+	os.Exit(runStandalone(patterns, analyzers, reportPath))
 }
 
 // printVersion answers `hardtape-lint -V=full`, the handshake cmd/go
@@ -83,7 +91,7 @@ func printFlags() {
 
 // parseArgs splits analyzer enable flags from package patterns / the
 // unitchecker cfg path.
-func parseArgs(args []string) (enabled map[string]bool, rest []string, jsonOut bool) {
+func parseArgs(args []string) (enabled map[string]bool, rest []string, jsonOut bool, reportPath string) {
 	known := make(map[string]bool)
 	for _, a := range suite.Analyzers() {
 		known[a.Name] = true
@@ -96,13 +104,21 @@ func parseArgs(args []string) (enabled map[string]bool, rest []string, jsonOut b
 		}
 		name := strings.TrimLeft(arg, "-")
 		value := true
+		raw := ""
 		if eq := strings.IndexByte(name, '='); eq >= 0 {
-			value = name[eq+1:] == "true"
+			raw = name[eq+1:]
+			value = raw == "true"
 			name = name[:eq]
 		}
 		switch {
 		case name == "json":
 			jsonOut = true
+		case name == "report":
+			if raw == "" {
+				fmt.Fprintln(os.Stderr, "hardtape-lint: -report requires =<file>")
+				os.Exit(1)
+			}
+			reportPath = raw
 		case known[name]:
 			enabled[name] = value
 		default:
@@ -110,7 +126,7 @@ func parseArgs(args []string) (enabled map[string]bool, rest []string, jsonOut b
 			os.Exit(1)
 		}
 	}
-	return enabled, rest, jsonOut
+	return enabled, rest, jsonOut, reportPath
 }
 
 // selectAnalyzers narrows the suite to explicitly enabled analyzers;
@@ -135,8 +151,31 @@ func selectAnalyzers(enabled map[string]bool) []*analysis.Analyzer {
 	return out
 }
 
+// reportFinding is one diagnostic in the -report JSON artifact.
+type reportFinding struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
+}
+
+// reportWaiver is one //hardtape: directive in the -report artifact:
+// a finding that was deliberately accepted rather than fixed.
+type reportWaiver struct {
+	Directive string `json:"directive"`
+	Position  string `json:"position"`
+	Reason    string `json:"reason"`
+}
+
+// lintReport is the -report schema. Findings are what the analyzers
+// flagged on this run; waivers are what the codebase has declared
+// acceptable, so the artifact records both halves of the audit.
+type lintReport struct {
+	Findings []reportFinding `json:"findings"`
+	Waivers  []reportWaiver  `json:"waivers"`
+}
+
 // runStandalone lints package patterns in the current module.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, reportPath string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -150,7 +189,9 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "hardtape-lint: %v\n", err)
 		return 1
 	}
-	findings := 0
+	report := lintReport{Findings: []reportFinding{}, Waivers: []reportWaiver{}}
+	// Repo-relative positions keep the artifact stable across runners.
+	rel := func(pos string) string { return strings.TrimPrefix(pos, cwd+string(os.PathSeparator)) }
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(pkg, analyzers)
 		if err != nil {
@@ -158,12 +199,36 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position(pkg.Fset), d.Category, d.Message)
-			findings++
+			pos := d.Position(pkg.Fset)
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Category, d.Message)
+			report.Findings = append(report.Findings, reportFinding{
+				Analyzer: d.Category,
+				Position: rel(pos.String()),
+				Message:  d.Message,
+			})
+		}
+		for _, file := range pkg.Files {
+			for _, dir := range analysis.AllDirectives(pkg.Fset, file) {
+				report.Waivers = append(report.Waivers, reportWaiver{
+					Directive: dir.Name,
+					Position:  rel(dir.Position.String()),
+					Reason:    dir.Reason,
+				})
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "hardtape-lint: %d finding(s)\n", findings)
+	if reportPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(reportPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hardtape-lint: write report: %v\n", err)
+			return 1
+		}
+	}
+	if n := len(report.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "hardtape-lint: %d finding(s)\n", n)
 		return 2
 	}
 	return 0

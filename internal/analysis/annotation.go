@@ -54,6 +54,36 @@ func ParseAnnotations(fset *token.FileSet, file *ast.File) *Annotations {
 	return a
 }
 
+// FileDirective is one //hardtape: directive with its resolved
+// position, as collected for the lint report: every waiver in the
+// tree is a reviewable trust decision, so the report artifact lists
+// them alongside (the ideally empty set of) findings.
+type FileDirective struct {
+	Directive
+	Position token.Position
+}
+
+// AllDirectives collects every //hardtape: directive in file.
+func AllDirectives(fset *token.FileSet, file *ast.File) []FileDirective {
+	var out []FileDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			out = append(out, FileDirective{
+				Directive: Directive{Name: name, Reason: strings.TrimSpace(reason), Line: pos.Line},
+				Position:  pos,
+			})
+		}
+	}
+	return out
+}
+
 // Allowed reports whether a directive named name with a non-empty
 // reason governs the given position.
 func (a *Annotations) Allowed(fset *token.FileSet, pos token.Pos, name string) bool {

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The call graph underpins the dataflow layer (see dataflow.go): it
+// resolves every static call site inside one package so per-function
+// transfer summaries can be computed bottom-up, callees before
+// callers. Calls that cannot be resolved statically — interface
+// dispatch, func-typed variables — stay out of the graph and are
+// handled conservatively by the taint engine.
+
+// FuncNode is one package-level function or method in the call graph.
+type FuncNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	// Callees are the statically resolved in-package callees.
+	Callees []*FuncNode
+}
+
+// CallGraph indexes every function declared in one package.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+	order []*FuncNode
+}
+
+// BuildCallGraph constructs the static call graph of one package.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	var decls []*ast.FuncDecl
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Nodes[fn] = &FuncNode{Func: fn, Decl: fd}
+			decls = append(decls, fd)
+		}
+	}
+	for _, fd := range decls {
+		caller := g.Nodes[info.Defs[fd.Name].(*types.Func)]
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if node, ok := g.Nodes[callee]; ok {
+				seen[callee] = true
+				caller.Callees = append(caller.Callees, node)
+			}
+			return true
+		})
+	}
+	g.order = g.postorder()
+	return g
+}
+
+// StaticCallee resolves the *types.Func a call invokes, or nil for
+// dynamic calls (func values, method values bound to variables) and
+// builtins. Interface-method calls resolve to the abstract method
+// object; callers distinguish those by checking graph membership.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// BottomUp returns the nodes callees-first (postorder over the static
+// call graph). Recursive cycles appear in an arbitrary internal
+// order; the dataflow layer iterates summaries to a fixed point, so
+// the order only affects convergence speed, not results.
+func (g *CallGraph) BottomUp() []*FuncNode { return g.order }
+
+func (g *CallGraph) postorder() []*FuncNode {
+	var order []*FuncNode
+	state := make(map[*FuncNode]int) // 0 unvisited, 1 on stack, 2 done
+	var visit func(n *FuncNode)
+	visit = func(n *FuncNode) {
+		if state[n] != 0 {
+			return
+		}
+		state[n] = 1
+		for _, c := range n.Callees {
+			visit(c)
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	// Deterministic root order: declaration order via Nodes built from
+	// files; map iteration is random, so sort by position.
+	var roots []*FuncNode
+	for _, n := range g.Nodes {
+		roots = append(roots, n)
+	}
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].Decl.Pos() < roots[j-1].Decl.Pos(); j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	for _, n := range roots {
+		visit(n)
+	}
+	return order
+}

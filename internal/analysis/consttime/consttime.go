@@ -11,9 +11,11 @@
 //   - bytes.Equal(a, b) where either operand is secret-named
 //   - a == b / a != b on byte arrays where either side is secret-named
 //
-// "Secret-named" is a name-heuristic match (key, secret, mac, tag,
-// hmac, nonce, measurement, digest, token, password, psk) on any
-// identifier in the operand expression.
+// "Secret-named" is a match of the shared secret lexicon's Compare
+// class (analysis.SecretLexicon: key, secret, mac, tag, hmac, nonce,
+// measurement, digest, token, password, psk, stek, seed, …) on any
+// identifier in the operand expression. The lexicon is one exported
+// table shared with the secretflow analyzer so the two cannot drift.
 //
 // Escape hatch (reason required): //hardtape:consttime-ok reason
 package consttime
@@ -22,7 +24,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 
 	"hardtape/internal/analysis"
 )
@@ -34,8 +35,6 @@ var Analyzer = &analysis.Analyzer{
 		"byte comparisons in security-sensitive packages",
 	Run: run,
 }
-
-var secretName = regexp.MustCompile(`(?i)(key|secret|mac\b|tag|hmac|nonce|measurement|digest|token|password|psk)`)
 
 func run(pass *analysis.Pass) (any, error) {
 	if !analysis.SensitivePackage(pass.Pkg.Path()) {
@@ -113,7 +112,7 @@ func isByteArray(info *types.Info, expr ast.Expr) bool {
 func exprLooksSecret(expr ast.Expr) bool {
 	secret := false
 	ast.Inspect(expr, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && secretName.MatchString(id.Name) {
+		if id, ok := n.(*ast.Ident); ok && analysis.LooksSecretCompare(id.Name) {
 			secret = true
 			return false
 		}

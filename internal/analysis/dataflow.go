@@ -1,0 +1,867 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared dataflow layer: a lightweight intra- and
+// inter-procedural taint-propagation engine over go/types, built for
+// the two value-flow analyzers (secretflow, poolsafe) and reusable by
+// future ones.
+//
+// Design, in order of the trade-offs made:
+//
+//   - Taint is a 64-bit mask per value: bit 63 marks "derived from a
+//     real source", bits 0..62 mark "derived from parameter i of the
+//     enclosing function". Parameter bits exist only to build
+//     transfer summaries; Flow.Tainted exposes the source bit.
+//   - Within a function the analysis is flow-insensitive with
+//     iteration to a fixed point: assignments only ever add taint.
+//     That over-approximates (a variable overwritten with clean data
+//     stays tainted) but never misses a flow, which is the right
+//     polarity for a security gate.
+//   - Across functions, per-function summaries (which parameters
+//     reach which results, which results are sources outright) are
+//     computed bottom-up over the package call graph and applied at
+//     call sites, so a key threaded through two helpers into a log
+//     call is still caught. Summaries iterate to a fixed point, so
+//     recursion converges.
+//   - Field sensitivity: struct fields are tracked per field object
+//     (one cell per declared field, merged over all instances), so a
+//     struct with a Key field and a Name field does not smear taint
+//     between them. Slices and arrays are one cell — exactly right
+//     for []byte/[32]byte key material.
+//   - Method values (f := x.Derive; f(k)) resolve through a local
+//     binding environment; interface dispatch and unknown externals
+//     propagate conservatively (any tainted argument taints every
+//     byte-, string-, or interface-typed result) when the config
+//     opts in.
+//
+// Escapes out of the current function's scope (stores to fields,
+// package-level variables, channels) keep only the source bit:
+// parameter bits are meaningless outside their function.
+
+const srcBit = uint64(1) << 63
+
+// TaintConfig parameterizes the engine with analyzer-specific source,
+// sink-independent sanitizer, and propagation policy.
+type TaintConfig struct {
+	// SourceName marks an identifier or field of the given name and
+	// type as a source (e.g. secret-named byte slices). Nil disables.
+	SourceName func(name string, t types.Type) bool
+	// SourceCall marks a call's results as sources (e.g. key
+	// derivation APIs). Nil disables.
+	SourceCall func(fn *types.Func, call *ast.CallExpr) bool
+	// Sanitizer marks a call whose results are clean regardless of
+	// arguments (e.g. AEAD Seal: ciphertext out). Nil disables.
+	Sanitizer func(fn *types.Func, call *ast.CallExpr) bool
+	// PropagateUnknown applies the conservative rule at calls the
+	// engine cannot resolve to a summary: any tainted argument taints
+	// taintable results. secretflow wants true (hex.EncodeToString of
+	// a key is still the key); poolsafe wants false (a pooled buffer
+	// formatted into a string is not a pooled buffer).
+	PropagateUnknown bool
+}
+
+// FuncSummary is one function's transfer summary.
+type FuncSummary struct {
+	// ParamFlow[i] is the bitmask of result indices that become
+	// tainted when parameter i is tainted. For methods, parameter 0
+	// is the receiver and source parameters follow.
+	ParamFlow []uint64
+	// SourceResults is the bitmask of result indices that are tainted
+	// regardless of arguments (a source inside the function body).
+	SourceResults uint64
+}
+
+// Flow is the result of running the taint engine over one package.
+type Flow struct {
+	cfg      *TaintConfig
+	info     *types.Info
+	graph    *CallGraph
+	obj      map[types.Object]uint64
+	field    map[*types.Var]uint64
+	expr     map[ast.Expr]uint64
+	sum      map[*types.Func]*FuncSummary
+	bindings map[types.Object]*types.Func
+	changed  bool
+	record   bool
+	nparams  map[*types.Func]int
+}
+
+// AnalyzeTaint runs the engine over one package to a global fixed
+// point and returns the queryable flow result.
+func AnalyzeTaint(files []*ast.File, info *types.Info, cfg *TaintConfig) *Flow {
+	f := &Flow{
+		cfg:      cfg,
+		info:     info,
+		graph:    BuildCallGraph(files, info),
+		obj:      make(map[types.Object]uint64),
+		field:    make(map[*types.Var]uint64),
+		expr:     make(map[ast.Expr]uint64),
+		sum:      make(map[*types.Func]*FuncSummary),
+		bindings: make(map[types.Object]*types.Func),
+		nparams:  make(map[*types.Func]int),
+	}
+	for fn := range f.graph.Nodes {
+		sig := fn.Type().(*types.Signature)
+		np := sig.Params().Len()
+		if sig.Recv() != nil {
+			np++
+		}
+		f.sum[fn] = &FuncSummary{ParamFlow: make([]uint64, np)}
+		f.nparams[fn] = np
+	}
+	// Package-level var initializers participate once per round: a
+	// secret-named global tainting a derived global.
+	for round := 0; round < 24; round++ {
+		f.changed = false
+		for _, file := range files {
+			f.walkPackageVars(file)
+		}
+		for _, node := range f.graph.BottomUp() {
+			f.runFunc(node)
+		}
+		if !f.changed {
+			break
+		}
+	}
+	// Recording pass: masks are stable; capture per-expression taint.
+	f.record = true
+	for _, file := range files {
+		f.walkPackageVars(file)
+	}
+	for _, node := range f.graph.BottomUp() {
+		f.runFunc(node)
+	}
+	return f
+}
+
+// Tainted reports whether source-derived taint reaches e.
+func (f *Flow) Tainted(e ast.Expr) bool { return f.expr[e]&srcBit != 0 }
+
+// Summary returns fn's transfer summary, or nil for functions not
+// declared (with a body) in the analyzed package.
+func (f *Flow) Summary(fn *types.Func) *FuncSummary { return f.sum[fn] }
+
+// Graph exposes the package call graph the summaries were built over.
+func (f *Flow) Graph() *CallGraph { return f.graph }
+
+// --- engine -------------------------------------------------------------
+
+func (f *Flow) walkPackageVars(file *ast.File) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					m := f.evalExpr(vs.Values[i])
+					if obj := f.info.Defs[name]; obj != nil {
+						f.addObj(obj, m&srcBit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (f *Flow) runFunc(node *FuncNode) {
+	fn, decl := node.Func, node.Decl
+	sig := fn.Type().(*types.Signature)
+	idx := 0
+	seed := func(v *types.Var) {
+		m := uint64(0)
+		if idx < 63 {
+			m = uint64(1) << idx
+		}
+		if f.isSourceName(v.Name(), v.Type()) {
+			m |= srcBit
+		}
+		f.addObj(v, m)
+		idx++
+	}
+	if r := sig.Recv(); r != nil {
+		seed(r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		seed(sig.Params().At(i))
+	}
+	// Intra-function fixed point: masks grow monotonically.
+	for i := 0; i < 8; i++ {
+		before := f.changed
+		f.changed = false
+		f.evalStmt(decl.Body, fn)
+		inner := f.changed
+		f.changed = before || inner
+		if !inner {
+			break
+		}
+	}
+}
+
+func (f *Flow) isSourceName(name string, t types.Type) bool {
+	return f.cfg.SourceName != nil && f.cfg.SourceName(name, t)
+}
+
+func (f *Flow) addObj(o types.Object, m uint64) {
+	if m == 0 || o == nil {
+		return
+	}
+	if old := f.obj[o]; old|m != old {
+		f.obj[o] = old | m
+		f.changed = true
+	}
+}
+
+func (f *Flow) addField(v *types.Var, m uint64) {
+	m &= srcBit // fields outlive the function; param bits are local
+	if m == 0 {
+		return
+	}
+	if old := f.field[v]; old|m != old {
+		f.field[v] = old | m
+		f.changed = true
+	}
+}
+
+// isLocal reports whether o is local to some function body (as
+// opposed to a package-level variable or a field).
+func isLocal(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg == nil || v.Parent() != pkg.Scope()
+}
+
+// assignTo merges mask m into the abstract cell named by lhs.
+func (f *Flow) assignTo(lhs ast.Expr, m uint64) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := f.info.Defs[e]
+		if obj == nil {
+			obj = f.info.Uses[e]
+		}
+		if obj == nil {
+			return
+		}
+		if !isLocal(obj) {
+			m &= srcBit
+		}
+		f.addObj(obj, m)
+	case *ast.SelectorExpr:
+		if sel, ok := f.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				f.addField(v, m)
+			}
+			return
+		}
+		// Qualified package-level var: pkg.V = x.
+		if v, ok := f.info.Uses[e.Sel].(*types.Var); ok {
+			f.addObj(v, m&srcBit)
+		}
+	case *ast.IndexExpr:
+		f.assignTo(e.X, m)
+	case *ast.StarExpr:
+		f.assignTo(e.X, m)
+	case *ast.SliceExpr:
+		f.assignTo(e.X, m)
+	}
+}
+
+// recordExpr notes e's mask during the recording pass.
+func (f *Flow) recordExpr(e ast.Expr, m uint64) uint64 {
+	if f.record && m != 0 {
+		f.expr[e] |= m
+	}
+	return m
+}
+
+func (f *Flow) evalExpr(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := f.info.Uses[x]
+		if obj == nil {
+			obj = f.info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return 0
+		}
+		m := f.obj[obj]
+		if f.isSourceName(x.Name, v.Type()) {
+			m |= srcBit
+		}
+		if v.IsField() {
+			m |= f.field[v]
+		}
+		return f.recordExpr(e, m)
+	case *ast.SelectorExpr:
+		if sel, ok := f.info.Selections[x]; ok {
+			switch sel.Kind() {
+			case types.FieldVal:
+				m := f.evalExpr(x.X)
+				if v, ok := sel.Obj().(*types.Var); ok {
+					// The container's taint reaches the field only if
+					// the field's type can alias or hold the material;
+					// scalar fields (gas counters, lengths, flags) of a
+					// tainted struct are aggregates, not the taint.
+					if !fieldCarries(v.Type()) {
+						m = 0
+					}
+					m |= f.field[v]
+					if f.isSourceName(v.Name(), v.Type()) {
+						m |= srcBit
+					}
+				}
+				return f.recordExpr(e, m)
+			case types.MethodVal:
+				// A bound method value carries no data taint itself.
+				return f.recordExpr(e, 0)
+			}
+		}
+		// Qualified identifier pkg.V.
+		if v, ok := f.info.Uses[x.Sel].(*types.Var); ok {
+			m := f.obj[v]
+			if f.isSourceName(v.Name(), v.Type()) {
+				m |= srcBit
+			}
+			return f.recordExpr(e, m)
+		}
+		return f.recordExpr(e, 0)
+	case *ast.ParenExpr:
+		return f.recordExpr(e, f.evalExpr(x.X))
+	case *ast.StarExpr:
+		return f.recordExpr(e, f.evalExpr(x.X))
+	case *ast.UnaryExpr:
+		// &x, -x, ^x, <-ch: operand taint (channel cells are the
+		// channel object itself, merged at send sites).
+		return f.recordExpr(e, f.evalExpr(x.X))
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			f.evalExpr(x.X)
+			f.evalExpr(x.Y)
+			return f.recordExpr(e, 0)
+		}
+		return f.recordExpr(e, f.evalExpr(x.X)|f.evalExpr(x.Y))
+	case *ast.IndexExpr:
+		f.evalExpr(x.Index)
+		return f.recordExpr(e, f.evalExpr(x.X))
+	case *ast.SliceExpr:
+		return f.recordExpr(e, f.evalExpr(x.X))
+	case *ast.TypeAssertExpr:
+		return f.recordExpr(e, f.evalExpr(x.X))
+	case *ast.CompositeLit:
+		m := uint64(0)
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				vm := f.evalExpr(kv.Value)
+				m |= vm
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if fv, ok := f.info.Uses[key].(*types.Var); ok && fv.IsField() {
+						f.addField(fv, vm)
+					}
+				}
+				continue
+			}
+			m |= f.evalExpr(elt)
+		}
+		return f.recordExpr(e, m)
+	case *ast.CallExpr:
+		rs := f.evalCall(x)
+		m := uint64(0)
+		for _, r := range rs {
+			m |= r
+		}
+		return f.recordExpr(e, m)
+	case *ast.FuncLit:
+		// Closure bodies share the enclosing env (captured variables
+		// are the same objects); analyze inline.
+		f.evalStmt(x.Body, nil)
+		return 0
+	case *ast.BasicLit:
+		return 0
+	}
+	return 0
+}
+
+// resultMasks returns per-result taint for a call expression.
+func (f *Flow) evalCall(call *ast.CallExpr) []uint64 {
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversion: T(x) carries x's taint.
+	if tv, ok := f.info.Types[fun]; ok && tv.IsType() {
+		m := uint64(0)
+		for _, a := range call.Args {
+			m |= f.evalExpr(a)
+		}
+		return []uint64{m}
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := f.info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append":
+				m := uint64(0)
+				for _, a := range call.Args {
+					m |= f.evalExpr(a)
+				}
+				return []uint64{m}
+			case "copy":
+				if len(call.Args) == 2 {
+					m := f.evalExpr(call.Args[1])
+					// copy duplicates content, not identity: secret
+					// bytes travel with it, pool ownership does not.
+					if f.cfg.PropagateUnknown {
+						f.assignTo(call.Args[0], m)
+					} else {
+						f.evalExpr(call.Args[0])
+					}
+				}
+				return []uint64{0}
+			default:
+				for _, a := range call.Args {
+					f.evalExpr(a)
+				}
+				return []uint64{0}
+			}
+		}
+	}
+
+	// Resolve the callee: statically, or through a local binding of a
+	// function/method value.
+	callee := StaticCallee(f.info, call)
+	viaBinding := false
+	if callee == nil {
+		if id, ok := fun.(*ast.Ident); ok {
+			if obj := f.info.Uses[id]; obj != nil {
+				callee = f.bindings[obj]
+				viaBinding = callee != nil
+			}
+		}
+	}
+
+	// Argument masks, receiver first for method calls.
+	var argMasks []uint64
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, found := f.info.Selections[sel]; found && s.Kind() == types.MethodVal {
+			argMasks = append(argMasks, f.evalExpr(sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		argMasks = append(argMasks, f.evalExpr(a))
+	}
+
+	nresults := f.callResults(call)
+
+	if callee != nil && f.cfg.Sanitizer != nil && f.cfg.Sanitizer(callee, call) {
+		return make([]uint64, nresults)
+	}
+	if callee != nil && f.cfg.SourceCall != nil && f.cfg.SourceCall(callee, call) {
+		rs := make([]uint64, nresults)
+		for i := range rs {
+			rs[i] = srcBit
+		}
+		return rs
+	}
+
+	if callee != nil {
+		if sum := f.sum[callee]; sum != nil {
+			// A method value bound to a variable (f := x.M; f(a))
+			// supplies no receiver argument at the call site: shift
+			// arguments past the receiver's parameter slot.
+			if viaBinding {
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					argMasks = append([]uint64{0}, argMasks...)
+				}
+			}
+			return f.applySummary(callee, sum, argMasks, nresults)
+		}
+	}
+
+	// Unknown callee: interface dispatch, externals, func values.
+	if !f.cfg.PropagateUnknown {
+		return make([]uint64, nresults)
+	}
+	u := uint64(0)
+	for _, m := range argMasks {
+		u |= m
+	}
+	rs := make([]uint64, nresults)
+	if u == 0 {
+		return rs
+	}
+	if tv, ok := f.info.Types[call]; ok {
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if taintableType(t.At(i).Type()) {
+					rs[i] = u
+				}
+			}
+		default:
+			if nresults == 1 && taintableType(tv.Type) {
+				rs[0] = u
+			}
+		}
+	}
+	return rs
+}
+
+// applySummary maps caller-side argument masks through a callee
+// summary, producing per-result masks in the caller's bit space.
+func (f *Flow) applySummary(callee *types.Func, sum *FuncSummary, argMasks []uint64, nresults int) []uint64 {
+	rs := make([]uint64, nresults)
+	for r := 0; r < nresults && r < 64; r++ {
+		if sum.SourceResults&(1<<r) != 0 {
+			rs[r] |= srcBit
+		}
+	}
+	np := f.nparams[callee]
+	sig := callee.Type().(*types.Signature)
+	variadic := sig.Variadic()
+	for ai, am := range argMasks {
+		if am == 0 {
+			continue
+		}
+		pi := ai
+		if pi >= np {
+			if !variadic || np == 0 {
+				continue
+			}
+			pi = np - 1
+		}
+		if pi >= len(sum.ParamFlow) {
+			continue
+		}
+		flow := sum.ParamFlow[pi]
+		for r := 0; r < nresults && r < 64; r++ {
+			if flow&(1<<r) != 0 {
+				rs[r] |= am
+			}
+		}
+	}
+	return rs
+}
+
+func (f *Flow) callResults(call *ast.CallExpr) int {
+	tv, ok := f.info.Types[call]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	if t, ok := tv.Type.(*types.Tuple); ok {
+		return t.Len()
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return 0
+	}
+	// Void calls have no entry type; a non-tuple entry is one result.
+	return 1
+}
+
+// taintableType reports whether taint survives conservatively into a
+// value of type t: byte containers, strings, and interfaces. Bools,
+// numbers, and errors do not re-emit secrets.
+func taintableType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByteElem(u.Elem())
+	case *types.Array:
+		return isByteElem(u.Elem())
+	case *types.Pointer:
+		return taintableType(u.Elem())
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Interface:
+		return !isErrorType(t)
+	}
+	return false
+}
+
+// fieldCarries reports whether reading a field of type t can carry
+// its container's taint: reference and byte-like types alias or hold
+// the underlying material, while scalar numerics and bools are
+// aggregates (lengths, counters, gas) that cannot.
+func fieldCarries(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Info()&types.IsString != 0
+	}
+	return true
+}
+
+func isByteElem(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// ByteLikeType reports whether t is byte-slice/array/string-shaped —
+// the carrier types for key material. Exported for analyzer source
+// predicates.
+func ByteLikeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByteElem(u.Elem())
+	case *types.Array:
+		return isByteElem(u.Elem())
+	case *types.Pointer:
+		return ByteLikeType(u.Elem())
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// --- statements ---------------------------------------------------------
+
+// evalStmt walks one statement, merging taint into the environment.
+// fn is the enclosing declared function (nil inside closures); return
+// statements feed its summary.
+func (f *Flow) evalStmt(s ast.Stmt, fn *types.Func) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		if st == nil {
+			return
+		}
+		for _, inner := range st.List {
+			f.evalStmt(inner, fn)
+		}
+	case *ast.AssignStmt:
+		f.evalAssign(st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						f.assignTo(name, f.evalExpr(vs.Values[i]))
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		f.evalExpr(st.X)
+	case *ast.ReturnStmt:
+		f.evalReturn(st, fn)
+	case *ast.IfStmt:
+		f.evalStmt(st.Init, fn)
+		f.evalExpr(st.Cond)
+		f.evalStmt(st.Body, fn)
+		f.evalStmt(st.Else, fn)
+	case *ast.ForStmt:
+		f.evalStmt(st.Init, fn)
+		f.evalExpr(st.Cond)
+		f.evalStmt(st.Post, fn)
+		f.evalStmt(st.Body, fn)
+	case *ast.RangeStmt:
+		m := f.evalExpr(st.X)
+		if st.Key != nil {
+			f.assignTo(st.Key, m)
+		}
+		if st.Value != nil {
+			f.assignTo(st.Value, m)
+		}
+		f.evalStmt(st.Body, fn)
+	case *ast.SwitchStmt:
+		f.evalStmt(st.Init, fn)
+		f.evalExpr(st.Tag)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					f.evalExpr(e)
+				}
+				for _, inner := range cc.Body {
+					f.evalStmt(inner, fn)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		f.evalStmt(st.Init, fn)
+		// x := y.(type) taints x in every clause.
+		var m uint64
+		switch a := st.Assign.(type) {
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+					m = f.evalExpr(ta.X)
+				}
+			}
+			if len(a.Lhs) == 1 {
+				f.assignTo(a.Lhs[0], m)
+			}
+		case *ast.ExprStmt:
+			if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+				f.evalExpr(ta.X)
+			}
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, inner := range cc.Body {
+					f.evalStmt(inner, fn)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				f.evalStmt(cc.Comm, fn)
+				for _, inner := range cc.Body {
+					f.evalStmt(inner, fn)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		// Channel cells: the channel's root object accumulates the
+		// source bit; receives read it back via evalExpr on <-ch.
+		m := f.evalExpr(st.Value)
+		f.assignTo(st.Chan, m)
+	case *ast.GoStmt:
+		f.evalExpr(st.Call.Fun)
+		f.evalCall(st.Call)
+	case *ast.DeferStmt:
+		f.evalExpr(st.Call.Fun)
+		f.evalCall(st.Call)
+	case *ast.LabeledStmt:
+		f.evalStmt(st.Stmt, fn)
+	case *ast.IncDecStmt:
+		f.evalExpr(st.X)
+	}
+}
+
+func (f *Flow) evalAssign(st *ast.AssignStmt) {
+	// Method/function value bindings: f := x.Derive / g := helper.
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, rhs := range st.Rhs {
+			if id, ok := st.Lhs[i].(*ast.Ident); ok {
+				var bound *types.Func
+				switch r := ast.Unparen(rhs).(type) {
+				case *ast.Ident:
+					bound, _ = f.info.Uses[r].(*types.Func)
+				case *ast.SelectorExpr:
+					bound, _ = f.info.Uses[r.Sel].(*types.Func)
+				}
+				if bound != nil {
+					obj := types.Object(f.info.Defs[id])
+					if obj == nil {
+						obj = f.info.Uses[id]
+					}
+					if obj != nil && f.bindings[obj] != bound {
+						f.bindings[obj] = bound
+						f.changed = true
+					}
+				}
+			}
+		}
+	}
+
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value: call, type assertion, map index, receive.
+		switch r := ast.Unparen(st.Rhs[0]).(type) {
+		case *ast.CallExpr:
+			rs := f.evalCall(r)
+			m := uint64(0)
+			for _, v := range rs {
+				m |= v
+			}
+			f.recordExpr(st.Rhs[0], m)
+			for i, lhs := range st.Lhs {
+				if i < len(rs) {
+					f.assignTo(lhs, rs[i])
+				}
+			}
+		default:
+			m := f.evalExpr(st.Rhs[0])
+			f.assignTo(st.Lhs[0], m)
+			// ok-bools and range keys stay clean.
+		}
+		return
+	}
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) {
+			break
+		}
+		m := f.evalExpr(rhs)
+		if st.Tok == token.ADD_ASSIGN || st.Tok == token.AND_ASSIGN ||
+			st.Tok == token.OR_ASSIGN || st.Tok == token.XOR_ASSIGN {
+			m |= f.evalExpr(st.Lhs[i])
+		}
+		f.assignTo(st.Lhs[i], m)
+	}
+}
+
+func (f *Flow) evalReturn(st *ast.ReturnStmt, fn *types.Func) {
+	if fn == nil {
+		for _, r := range st.Results {
+			f.evalExpr(r)
+		}
+		return
+	}
+	sum := f.sum[fn]
+	if sum == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	var masks []uint64
+	if len(st.Results) == 0 {
+		// Bare return with named results.
+		for i := 0; i < sig.Results().Len(); i++ {
+			masks = append(masks, f.obj[sig.Results().At(i)])
+		}
+	} else if len(st.Results) == 1 && sig.Results().Len() > 1 {
+		// return f(...): spread the inner call's results.
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			masks = f.evalCall(call)
+		} else {
+			m := f.evalExpr(st.Results[0])
+			for i := 0; i < sig.Results().Len(); i++ {
+				masks = append(masks, m)
+			}
+		}
+	} else {
+		for _, r := range st.Results {
+			masks = append(masks, f.evalExpr(r))
+		}
+	}
+	for r, m := range masks {
+		if r >= 64 {
+			break
+		}
+		if m&srcBit != 0 && sum.SourceResults&(1<<r) == 0 {
+			sum.SourceResults |= 1 << r
+			f.changed = true
+		}
+		for p := 0; p < len(sum.ParamFlow) && p < 63; p++ {
+			if m&(1<<p) != 0 && sum.ParamFlow[p]&(1<<r) == 0 {
+				sum.ParamFlow[p] |= 1 << r
+				f.changed = true
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkPkg type-checks one in-memory file the same way the real
+// drivers do (see CheckFiles) so the engine sees identical Info maps.
+func checkPkg(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, file, info, pkg
+}
+
+const flowSrc = `package p
+
+func sink(args ...any) {}
+
+type dev struct{}
+
+func (dev) mix(b []byte) []byte { return b }
+
+func id(b []byte) []byte   { return b }
+func wrap(b []byte) []byte { return id(b) }
+
+func pick(vals ...any) any { return vals[0] }
+
+func seal(b []byte) []byte      { return b }
+func deriveKey() []byte         { return make([]byte, 32) }
+
+func direct(secretKey []byte)  { sink(secretKey) }
+func chained(secretKey []byte) { sink(wrap(secretKey)) }
+
+func methodVal(secretKey []byte) {
+	d := dev{}
+	f := d.mix
+	sink(f(secretKey))
+}
+
+type kdf interface{ Derive([]byte) []byte }
+
+func dispatch(k kdf, secretSeed []byte) { sink(k.Derive(secretSeed)) }
+
+func variadic(secretKey []byte) {
+	v := pick("ok", secretKey)
+	sink(v)
+}
+
+func derived() { sink(deriveKey()) }
+
+func clean(publicBuf []byte)   { sink(publicBuf) }
+func sealed(secretKey []byte)  { sink(seal(secretKey)) }
+`
+
+func testConfig() *TaintConfig {
+	return &TaintConfig{
+		SourceName: func(name string, t types.Type) bool {
+			return strings.HasPrefix(name, "secret") && ByteLikeType(t)
+		},
+		SourceCall: func(fn *types.Func, call *ast.CallExpr) bool {
+			return fn != nil && fn.Name() == "deriveKey"
+		},
+		Sanitizer: func(fn *types.Func, call *ast.CallExpr) bool {
+			return fn != nil && fn.Name() == "seal"
+		},
+		PropagateUnknown: true,
+	}
+}
+
+// sinkCalls maps enclosing-function name -> whether any argument of
+// its sink(...) call carries taint.
+func sinkCalls(flow *Flow, info *types.Info, file *ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+				tainted := false
+				for _, arg := range call.Args {
+					if flow.Tainted(arg) {
+						tainted = true
+					}
+				}
+				out[fd.Name.Name] = tainted
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func TestTaintPropagation(t *testing.T) {
+	_, file, info, _ := checkPkg(t, flowSrc)
+	flow := AnalyzeTaint([]*ast.File{file}, info, testConfig())
+	got := sinkCalls(flow, info, file)
+
+	want := map[string]bool{
+		"direct":    true,  // source-named parameter used directly
+		"chained":   true,  // through two local transfer summaries
+		"methodVal": true,  // method value bound to a variable
+		"dispatch":  true,  // interface dispatch, conservative rule
+		"variadic":  true,  // taint through a ...any parameter
+		"derived":   true,  // SourceCall marks the results
+		"clean":     false, // no source anywhere
+		"sealed":    false, // sanitizer strips taint
+	}
+	for name, wantTainted := range want {
+		gotTainted, ok := got[name]
+		if !ok {
+			t.Errorf("%s: no sink call found", name)
+			continue
+		}
+		if gotTainted != wantTainted {
+			t.Errorf("%s: sink arg tainted = %v, want %v", name, gotTainted, wantTainted)
+		}
+	}
+}
+
+func TestTransferSummaries(t *testing.T) {
+	_, file, info, pkg := checkPkg(t, flowSrc)
+	flow := AnalyzeTaint([]*ast.File{file}, info, testConfig())
+
+	lookup := func(name string) *types.Func {
+		t.Helper()
+		obj := pkg.Scope().Lookup(name)
+		if obj == nil {
+			t.Fatalf("no object %s", name)
+		}
+		return obj.(*types.Func)
+	}
+
+	// wrap's parameter flows into its only result, through id.
+	if sum := flow.Summary(lookup("wrap")); sum == nil || len(sum.ParamFlow) != 1 || sum.ParamFlow[0]&1 == 0 {
+		t.Errorf("wrap summary = %+v, want ParamFlow[0] to include result 0", sum)
+	}
+	// deriveKey is a source call: its own summary has no param flow.
+	if sum := flow.Summary(lookup("deriveKey")); sum == nil || len(sum.ParamFlow) != 0 {
+		t.Errorf("deriveKey summary = %+v, want zero params", sum)
+	}
+	// dev.mix: slot 0 is the receiver (no flow), slot 1 the data
+	// parameter flowing into result 0.
+	devObj := pkg.Scope().Lookup("dev").Type().(*types.Named)
+	var mix *types.Func
+	for i := 0; i < devObj.NumMethods(); i++ {
+		if m := devObj.Method(i); m.Name() == "mix" {
+			mix = m
+		}
+	}
+	if mix == nil {
+		t.Fatal("no method dev.mix")
+	}
+	sum := flow.Summary(mix)
+	if sum == nil || len(sum.ParamFlow) != 2 {
+		t.Fatalf("mix summary = %+v, want receiver + 1 param", sum)
+	}
+	if sum.ParamFlow[0] != 0 {
+		t.Errorf("mix receiver flow = %b, want none", sum.ParamFlow[0])
+	}
+	if sum.ParamFlow[1]&1 == 0 {
+		t.Errorf("mix param flow = %b, want result 0", sum.ParamFlow[1])
+	}
+}
+
+func TestCallGraphOrder(t *testing.T) {
+	_, file, info, pkg := checkPkg(t, flowSrc)
+	g := BuildCallGraph([]*ast.File{file}, info)
+
+	wrapFn := pkg.Scope().Lookup("wrap").(*types.Func)
+	idFn := pkg.Scope().Lookup("id").(*types.Func)
+
+	node := g.Nodes[wrapFn]
+	if node == nil {
+		t.Fatal("wrap not in call graph")
+	}
+	found := false
+	for _, c := range node.Callees {
+		if c.Func == idFn {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wrap -> id edge missing")
+	}
+
+	// Bottom-up order must visit id before wrap so wrap's summary can
+	// use id's.
+	idAt, wrapAt := -1, -1
+	for i, n := range g.BottomUp() {
+		switch n.Func {
+		case idFn:
+			idAt = i
+		case wrapFn:
+			wrapAt = i
+		}
+	}
+	if idAt < 0 || wrapAt < 0 || idAt > wrapAt {
+		t.Errorf("bottom-up order: id at %d, wrap at %d; want id first", idAt, wrapAt)
+	}
+}
+
+const poolSrc = `package q
+
+import "sync"
+
+type buf [8]byte
+
+var p = sync.Pool{New: func() any { return new(buf) }}
+
+func get() *buf  { return p.Get().(*buf) }
+func put(b *buf) { p.Put(b) }
+
+func putBoth(a, b *buf) {
+	put(a)
+	put(b)
+}
+
+func pairs() {
+	x := get()
+	y := get()
+	putBoth(x, y)
+}
+`
+
+func TestPoolSummaries(t *testing.T) {
+	_, file, info, pkg := checkPkg(t, poolSrc)
+	pools := AnalyzePools([]*ast.File{file}, info)
+
+	putFn := pkg.Scope().Lookup("put").(*types.Func)
+	bothFn := pkg.Scope().Lookup("putBoth").(*types.Func)
+
+	if m := pools.ReleasesParams(putFn); m != 1 {
+		t.Errorf("put releases mask = %b, want 1", m)
+	}
+	// Wrapper-of-wrapper: both parameters release.
+	if m := pools.ReleasesParams(bothFn); m != 3 {
+		t.Errorf("putBoth releases mask = %b, want 11", m)
+	}
+
+	// The putBoth call site in pairs releases both arguments, and both
+	// arguments are recognized as pooled.
+	var bothCall *ast.CallExpr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "putBoth" {
+				bothCall = call
+			}
+		}
+		return true
+	})
+	if bothCall == nil {
+		t.Fatal("no putBoth call")
+	}
+	released := pools.ReleasedArgs(bothCall)
+	if len(released) != 2 {
+		t.Fatalf("ReleasedArgs(putBoth) = %d args, want 2", len(released))
+	}
+	for _, arg := range bothCall.Args {
+		if !pools.Pooled(arg) {
+			t.Errorf("arg %v not recognized as pooled", arg)
+		}
+	}
+}
+
+func TestRootObject(t *testing.T) {
+	_, file, info, _ := checkPkg(t, `package r
+
+type buf [8]byte
+type box struct{ b *buf }
+
+func f(b *buf, x box) {
+	_ = (*b)[0]
+	_ = (*buf)(b)
+	_ = x.b
+}
+`)
+	var exprs []ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			exprs = append(exprs, as.Rhs[0])
+		}
+		return true
+	})
+	if len(exprs) != 3 {
+		t.Fatalf("got %d exprs, want 3", len(exprs))
+	}
+	// (*b)[0]: rooted at b, but an index read is not the value itself.
+	if obj, exact := RootObject(info, exprs[0]); obj == nil || obj.Name() != "b" || exact {
+		t.Errorf("(*b)[0] root = %v exact=%v, want b inexact", obj, exact)
+	}
+	// A conversion is still the same value.
+	if obj, exact := RootObject(info, exprs[1]); obj == nil || obj.Name() != "b" || !exact {
+		t.Errorf("(*buf)(b) root = %v exact=%v, want b exact", obj, exact)
+	}
+	// A field read roots at the struct var but is not the var.
+	if obj, exact := RootObject(info, exprs[2]); obj == nil || obj.Name() != "x" || exact {
+		t.Errorf("x.b root = %v exact=%v, want x inexact", obj, exact)
+	}
+}

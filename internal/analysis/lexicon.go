@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The secret lexicon is the single table of name fragments that mark
+// a value as key material or other trusted-path secrets. Two
+// analyzers consume it with different sensitivities, from this one
+// definition so they cannot drift:
+//
+//   - consttime (Compare): names whose comparison timing is
+//     observable — keys, MACs, tags, nonces. A nonce is public data,
+//     but comparing one byte-by-byte still leaks its value timing-wise.
+//   - secretflow (Flow): names whose VALUE must never reach a log
+//     line, error string, telemetry label, or unsealed wire write.
+//     Public-but-timing-sensitive names (nonce, tag, digest) are
+//     excluded: writing a nonce to the wire is the handshake.
+//
+// Patterns are case-insensitive regexp fragments; a name matches the
+// lexicon when any fragment matches anywhere in it (use \b guards on
+// fragments that are common substrings).
+type SecretWord struct {
+	Pattern string
+	Compare bool // consttime: variable-time comparison is a finding
+	Flow    bool // secretflow: value is a taint source
+}
+
+// SecretLexicon is the shared secret-name table.
+var SecretLexicon = []SecretWord{
+	{Pattern: `key`, Compare: true, Flow: true},
+	{Pattern: `secret`, Compare: true, Flow: true},
+	{Pattern: `mac\b`, Compare: true, Flow: false},
+	{Pattern: `tag`, Compare: true, Flow: false},
+	{Pattern: `hmac`, Compare: true, Flow: true},
+	{Pattern: `nonce`, Compare: true, Flow: false},
+	{Pattern: `measurement`, Compare: true, Flow: true},
+	{Pattern: `digest`, Compare: true, Flow: false},
+	{Pattern: `token`, Compare: true, Flow: false},
+	{Pattern: `password`, Compare: true, Flow: true},
+	{Pattern: `psk`, Compare: true, Flow: true},
+	{Pattern: `stek`, Compare: true, Flow: true},
+	{Pattern: `seed`, Compare: true, Flow: true},
+	{Pattern: `stash\b`, Compare: false, Flow: true},
+	{Pattern: `plaintext`, Compare: false, Flow: true},
+	{Pattern: `ikm\b`, Compare: false, Flow: true},
+	{Pattern: `prk\b`, Compare: false, Flow: true},
+}
+
+var (
+	secretCompareRe = compileLexicon(func(w SecretWord) bool { return w.Compare })
+	secretFlowRe    = compileLexicon(func(w SecretWord) bool { return w.Flow })
+	// Names that look secret but denote public halves of a keypair:
+	// pubKey, publicKey, PubkeyBytes. Flow sources must exclude them —
+	// sending a public key over the wire IS the protocol.
+	publicNameRe = regexp.MustCompile(`(?i)pub`)
+)
+
+func compileLexicon(include func(SecretWord) bool) *regexp.Regexp {
+	var pats []string
+	for _, w := range SecretLexicon {
+		if include(w) {
+			pats = append(pats, w.Pattern)
+		}
+	}
+	return regexp.MustCompile(`(?i)(` + strings.Join(pats, "|") + `)`)
+}
+
+// LooksSecretCompare reports whether name matches a Compare-class
+// lexicon word (consttime's sensitivity).
+func LooksSecretCompare(name string) bool {
+	return secretCompareRe.MatchString(name)
+}
+
+// LooksSecretFlow reports whether name matches a Flow-class lexicon
+// word and is not a public-key name (secretflow's sensitivity).
+func LooksSecretFlow(name string) bool {
+	return secretFlowRe.MatchString(name) && !publicNameRe.MatchString(name)
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Pool facts ride on the same dataflow layer as taint: "this value
+// came from a sync.Pool" is a taint whose source is (*sync.Pool).Get,
+// and "this function releases its i-th parameter" is a transfer
+// summary computed bottom-up over the call graph. The poolsafe
+// analyzer layers flow-sensitive checks (use-after-release,
+// double-put, escape) on top of these facts.
+
+// PoolInfo holds one package's pool-ownership facts.
+type PoolInfo struct {
+	// Flow is the pooledness taint: Flow.Tainted(e) means e may hold
+	// a value freshly acquired from a sync.Pool (directly or through
+	// an acquire wrapper like getBlockBuf).
+	Flow *Flow
+	info *types.Info
+	// releases[fn] is the bitmask of parameters (receiver = bit 0)
+	// that fn returns to a pool, directly or through a wrapper.
+	releases map[*types.Func]uint64
+}
+
+// AnalyzePools computes pool-ownership facts for one package.
+func AnalyzePools(files []*ast.File, info *types.Info) *PoolInfo {
+	p := &PoolInfo{
+		info:     info,
+		releases: make(map[*types.Func]uint64),
+	}
+	p.Flow = AnalyzeTaint(files, info, &TaintConfig{
+		SourceCall: func(fn *types.Func, call *ast.CallExpr) bool {
+			return isPoolMethod(fn, "Get")
+		},
+		PropagateUnknown: false,
+	})
+	// Release summaries to a fixed point: a wrapper of a wrapper of
+	// sync.Pool.Put still counts.
+	g := p.Flow.Graph()
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, node := range g.BottomUp() {
+			if p.computeReleases(node) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return p
+}
+
+// Pooled reports whether e may hold a pool-owned value.
+func (p *PoolInfo) Pooled(e ast.Expr) bool { return p.Flow.Tainted(e) }
+
+// ReleasesParams returns the bitmask of fn's parameters (receiver
+// first) that fn puts back into a pool.
+func (p *PoolInfo) ReleasesParams(fn *types.Func) uint64 { return p.releases[fn] }
+
+// ReleasedArgs returns the argument expressions a call releases to a
+// pool: the direct operand of (*sync.Pool).Put, or the arguments
+// bound to releasing parameters of a wrapper. Nil when the call
+// releases nothing.
+func (p *PoolInfo) ReleasedArgs(call *ast.CallExpr) []ast.Expr {
+	callee := StaticCallee(p.info, call)
+	if callee == nil {
+		return nil
+	}
+	if isPoolMethod(callee, "Put") && len(call.Args) == 1 {
+		return []ast.Expr{call.Args[0]}
+	}
+	mask := p.releases[callee]
+	if mask == 0 {
+		return nil
+	}
+	// Map parameter bits back to caller arguments (receiver = bit 0
+	// for methods).
+	var args []ast.Expr
+	offset := 0
+	sig := callee.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		offset = 1
+		if mask&1 != 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				args = append(args, sel.X)
+			}
+		}
+	}
+	for i, a := range call.Args {
+		if mask&(1<<(i+offset)) != 0 {
+			args = append(args, a)
+		}
+	}
+	return args
+}
+
+// computeReleases rescans one function for release calls whose
+// operand is a parameter, folding wrapper knowledge in; reports
+// whether the summary grew.
+func (p *PoolInfo) computeReleases(node *FuncNode) bool {
+	fn, decl := node.Func, node.Decl
+	sig := fn.Type().(*types.Signature)
+	paramIndex := make(map[types.Object]int)
+	idx := 0
+	if r := sig.Recv(); r != nil {
+		paramIndex[r] = idx
+		idx++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIndex[sig.Params().At(i)] = idx
+		idx++
+	}
+	mask := p.releases[fn]
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range p.ReleasedArgs(call) {
+			obj, exact := RootObject(p.info, arg)
+			if !exact || obj == nil {
+				continue
+			}
+			if pi, ok := paramIndex[obj]; ok && pi < 63 {
+				mask |= 1 << pi
+			}
+		}
+		return true
+	})
+	if mask != p.releases[fn] {
+		p.releases[fn] = mask
+		return true
+	}
+	return false
+}
+
+// isPoolMethod reports whether fn is (*sync.Pool).<name>.
+func isPoolMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// RootObject resolves the base object an expression reads or writes
+// through. exact is true when the expression denotes that object's
+// own value wrapped only in taint-preserving shells (parens, slices,
+// conversions, type assertions, address-of/deref) — precise enough to
+// track release state on. Selector and index paths root at the base
+// object but are inexact: releasing b.slots[i].data says nothing
+// about b itself.
+func RootObject(info *types.Info, e ast.Expr) (obj types.Object, exact bool) {
+	exact = true
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			o := info.Uses[x]
+			if o == nil {
+				o = info.Defs[x]
+			}
+			return o, exact
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			exact = false
+			e = x.X
+		case *ast.IndexExpr:
+			exact = false
+			e = x.X
+		case *ast.CallExpr:
+			// Conversion shells like (*[N]byte)(b) keep identity;
+			// real calls root nowhere.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}

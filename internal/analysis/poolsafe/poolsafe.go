@@ -1,0 +1,636 @@
+// Package poolsafe encodes the pooled-buffer ownership discipline the
+// PR-3/PR-4 fast paths rely on (ORAM block/plaintext/ciphertext
+// buffers, EVM frames and stacks): a pooled object is owned by
+// exactly one holder between Get and Put, and after Put it belongs to
+// the pool again. Violations are silent cross-transaction (or
+// cross-tenant) data corruption, which is why they rate a compile-time
+// gate rather than a code-review convention.
+//
+// The analyzer rides the shared dataflow layer in internal/analysis:
+// "came from a pool" is taint sourced at (*sync.Pool).Get and
+// propagated through acquire wrappers via per-function transfer
+// summaries; "releases its parameter" is a bottom-up summary over the
+// package call graph, so putBlockBuf-style wrappers count exactly
+// like sync.Pool.Put. On top of those facts it walks each function
+// flow-sensitively and reports:
+//
+//   - use-after-release: any read of a variable after the statement
+//     that released it (branch-aware; a release in one arm of an if
+//     poisons the merge unless the arm terminates);
+//   - double-put: releasing the same variable twice on one path, or
+//     both deferring and explicitly releasing it;
+//   - escape: storing a pooled value into a field or element reachable
+//     from the receiver, a parameter's field, or a package-level
+//     variable; sending it on a channel; or capturing it in a
+//     goroutine. Locals and slice-element stores into caller-provided
+//     out-buffers are ownership hand-offs and stay legal, as does
+//     returning a pooled value (that is what acquire wrappers do).
+//
+// Escape hatch (reason required): //hardtape:pool-ok reason — for
+// designed ownership transfers such as the ORAM stash taking custody
+// of a block until eviction recycles it.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hardtape/internal/analysis"
+)
+
+// Analyzer enforces the pooled-buffer ownership discipline.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc: "enforce sync.Pool ownership: no use-after-release, no " +
+		"double-put, no escape of pooled objects into long-lived " +
+		"structs, channels, or goroutines",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pools := analysis.AnalyzePools(pass.Files, pass.TypesInfo)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ann := analysis.ParseAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:     pass,
+				pools:    pools,
+				ann:      ann,
+				fn:       fd,
+				reported: make(map[token.Pos]bool),
+				deferred: make(map[types.Object]token.Pos),
+			}
+			c.walkBody()
+		}
+	}
+	return nil, nil
+}
+
+// checker runs the flow-sensitive ownership walk over one function.
+type checker struct {
+	pass     *analysis.Pass
+	pools    *analysis.PoolInfo
+	ann      *analysis.Annotations
+	fn       *ast.FuncDecl
+	reported map[token.Pos]bool // dedupe across loop re-walks
+	deferred map[types.Object]token.Pos
+}
+
+// state is the per-path release map: variables whose pooled value has
+// been returned to the pool, keyed by object, valued by release site.
+type state map[types.Object]token.Pos
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s state) merge(o state) {
+	for k, v := range o {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+}
+
+func (c *checker) walkBody() {
+	st := make(state)
+	c.walkStmts(c.fn.Body.List, st)
+	// A variable both deferred-released and explicitly released is a
+	// double-put at function exit.
+	for obj, dpos := range c.deferred {
+		if rpos, ok := st[obj]; ok {
+			c.report(dpos, "pooled %s released here by defer and again at %s (double put)",
+				obj.Name(), c.pass.Fset.Position(rpos))
+		}
+	}
+}
+
+// walkStmts runs the statement list through st, returning whether the
+// list terminates abruptly (return / branch / panic).
+func (c *checker) walkStmts(stmts []ast.Stmt, st state) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st state) bool {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return c.walkStmts(n.List, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			c.walkStmt(n.Init, st)
+		}
+		c.checkUses(n.Cond, st)
+		thenSt := st.clone()
+		thenTerm := c.walkStmt(n.Body, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if n.Else != nil {
+			elseTerm = c.walkStmt(n.Else, elseSt)
+		}
+		// Merge the arms that fall through.
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(st, elseSt)
+		case elseTerm:
+			replace(st, thenSt)
+		default:
+			replace(st, thenSt)
+			st.merge(elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		if n.Init != nil {
+			c.walkStmt(n.Init, st)
+		}
+		if n.Cond != nil {
+			c.checkUses(n.Cond, st)
+		}
+		c.walkLoopBody(n.Body, n.Post, st, nil)
+		return false
+	case *ast.RangeStmt:
+		c.checkUses(n.X, st)
+		// Key and Value rebind on every iteration, so each walk of
+		// the body (including the second, merged-state pass) starts
+		// with them live again.
+		pre := func(s state) {
+			if n.Key != nil {
+				c.clearAssigned(n.Key, s)
+			}
+			if n.Value != nil {
+				c.clearAssigned(n.Value, s)
+			}
+		}
+		c.walkLoopBody(n.Body, nil, st, pre)
+		return false
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			c.walkStmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			c.checkUses(n.Tag, st)
+		}
+		c.walkCases(n.Body, st)
+		return false
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			c.walkStmt(n.Init, st)
+		}
+		c.walkCases(n.Body, st)
+		return false
+	case *ast.SelectStmt:
+		c.walkCases(n.Body, st)
+		return false
+	case *ast.LabeledStmt:
+		return c.walkStmt(n.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.checkUses(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return n.Tok == token.BREAK || n.Tok == token.CONTINUE || n.Tok == token.GOTO
+	case *ast.DeferStmt:
+		c.handleDefer(n)
+		return false
+	case *ast.GoStmt:
+		c.checkGoEscape(n)
+		c.checkUses(n.Call, st)
+		return false
+	case *ast.SendStmt:
+		c.checkUses(n.Chan, st)
+		c.checkUses(n.Value, st)
+		c.checkSendEscape(n)
+		return false
+	case *ast.ExprStmt:
+		c.checkUses(n.X, st)
+		c.applyReleases(n.X, st)
+		if _, ok := isPanicCall(n.X); ok {
+			return true
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			c.checkUses(r, st)
+		}
+		for _, l := range n.Lhs {
+			c.checkLhsUses(l, st)
+		}
+		for _, r := range n.Rhs {
+			c.applyReleases(r, st)
+		}
+		c.checkAssignEscape(n)
+		for _, l := range n.Lhs {
+			c.clearAssigned(l, st)
+		}
+		return false
+	case *ast.DeclStmt:
+		c.checkUses(n, st)
+		return false
+	case *ast.IncDecStmt:
+		c.checkUses(n.X, st)
+		return false
+	}
+	return false
+}
+
+// walkLoopBody analyzes a loop body twice: once with the entry state
+// and once with entry∪exit, so a value released in iteration N and
+// used in iteration N+1 is caught. Diagnostics dedupe by position, so
+// the re-walk cannot double-report.
+// pre, when non-nil, runs at the top of each body walk to rebind the
+// loop's per-iteration variables (range key/value).
+func (c *checker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, st state, pre func(state)) {
+	first := st.clone()
+	if pre != nil {
+		pre(first)
+	}
+	c.walkStmt(body, first)
+	if post != nil {
+		c.walkStmt(post, first)
+	}
+	st.merge(first)
+	second := st.clone()
+	if pre != nil {
+		pre(second)
+	}
+	c.walkStmt(body, second)
+	if post != nil {
+		c.walkStmt(post, second)
+	}
+	st.merge(second)
+}
+
+func (c *checker) walkCases(body *ast.BlockStmt, st state) {
+	// A switch without a default may execute no case at all, so the
+	// entry state is itself a fall-through path.
+	hasDefault := false
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	merged := state{}
+	any := !hasDefault
+	if !hasDefault {
+		merged = st.clone()
+	}
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				c.checkUses(e, st)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				c.walkStmt(cc.Comm, st.clone())
+			}
+			stmts = cc.Body
+		}
+		caseSt := st.clone()
+		if !c.walkStmts(stmts, caseSt) {
+			merged.merge(caseSt)
+			any = true
+		}
+	}
+	if any {
+		replace(st, merged)
+	}
+}
+
+func replace(dst, src state) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// --- checks -------------------------------------------------------------
+
+// applyReleases records releases performed by calls inside e and
+// reports double-puts.
+func (c *checker) applyReleases(e ast.Expr, st state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range c.pools.ReleasedArgs(call) {
+			obj, exact := analysis.RootObject(c.pass.TypesInfo, arg)
+			if !exact || obj == nil {
+				continue
+			}
+			if prev, released := st[obj]; released {
+				if !c.waived(call.Pos()) {
+					c.report(call.Pos(), "pooled %s already released at %s (double put)",
+						obj.Name(), c.pass.Fset.Position(prev))
+				}
+				continue
+			}
+			st[obj] = call.Pos()
+		}
+		return true
+	})
+}
+
+// checkUses reports reads of released variables inside e, skipping
+// the operands of the release calls themselves (those are judged by
+// applyReleases) and deferred calls (they run at function exit).
+func (c *checker) checkUses(n ast.Node, st state) {
+	if len(st) == 0 || n == nil {
+		return
+	}
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			for _, arg := range c.pools.ReleasedArgs(call) {
+				skip[arg] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(m ast.Node) bool {
+		if skip[m] {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if rpos, released := st[obj]; released {
+			if !c.waived(id.Pos()) {
+				c.report(id.Pos(), "use of pooled %s after release at %s",
+					id.Name, c.pass.Fset.Position(rpos))
+			}
+		}
+		return true
+	})
+}
+
+// checkLhsUses flags released vars used as the BASE of a store
+// (x.f = v or x[i] = v reads x); a plain `x = v` rebind is legal and
+// handled by clearAssigned.
+func (c *checker) checkLhsUses(l ast.Expr, st state) {
+	if _, ok := ast.Unparen(l).(*ast.Ident); ok {
+		return
+	}
+	c.checkUses(l, st)
+}
+
+// clearAssigned rebinds: assigning to a released variable makes it
+// live again (whatever it now holds, it is not the released value).
+func (c *checker) clearAssigned(l ast.Expr, st state) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj != nil {
+		delete(st, obj)
+	}
+}
+
+// handleDefer records deferred releases (they run at exit, so they do
+// not poison subsequent uses) and flags double-deferred puts.
+func (c *checker) handleDefer(n *ast.DeferStmt) {
+	calls := []*ast.CallExpr{n.Call}
+	if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				calls = append(calls, call)
+			}
+			return true
+		})
+	}
+	for _, call := range calls {
+		for _, arg := range c.pools.ReleasedArgs(call) {
+			obj, exact := analysis.RootObject(c.pass.TypesInfo, arg)
+			if !exact || obj == nil {
+				continue
+			}
+			if prev, ok := c.deferred[obj]; ok {
+				if !c.waived(call.Pos()) {
+					c.report(call.Pos(), "pooled %s already deferred for release at %s (double put)",
+						obj.Name(), c.pass.Fset.Position(prev))
+				}
+				continue
+			}
+			c.deferred[obj] = call.Pos()
+		}
+	}
+}
+
+// checkAssignEscape flags stores of pooled values into long-lived
+// homes: fields/elements rooted at the receiver, a parameter's field,
+// or a package-level variable. Slice-element stores into parameter
+// out-buffers are the caller-owned hand-off idiom and stay legal.
+func (c *checker) checkAssignEscape(n *ast.AssignStmt) {
+	for i, l := range n.Lhs {
+		rhs := n.Rhs[0]
+		if len(n.Rhs) == len(n.Lhs) {
+			rhs = n.Rhs[i]
+		}
+		if !c.pools.Pooled(rhs) {
+			continue
+		}
+		lhs := ast.Unparen(l)
+		if _, ok := lhs.(*ast.Ident); ok {
+			continue // plain local rebind
+		}
+		base, kind := storeBase(c.pass.TypesInfo, lhs)
+		if base == nil {
+			continue
+		}
+		recv, param := c.paramClass(base)
+		longLived := false
+		what := ""
+		switch {
+		case recv:
+			longLived = true
+			what = "receiver state (" + base.Name() + " outlives this call)"
+		case param && kind == storeField:
+			longLived = true
+			what = "a caller-visible struct field of parameter " + base.Name()
+		case !param && !isLocalVar(base):
+			longLived = true
+			what = "long-lived state rooted at " + base.Name()
+		}
+		if !longLived {
+			continue
+		}
+		if c.waived(n.Pos()) {
+			continue
+		}
+		c.report(n.Pos(),
+			"pooled value escapes into %s; pool ownership ends at the function boundary (waive with //hardtape:pool-ok <reason> for designed hand-offs)",
+			what)
+	}
+}
+
+// paramClass classifies base as the receiver or a parameter of the
+// function under check.
+func (c *checker) paramClass(base types.Object) (recv, param bool) {
+	def, ok := c.pass.TypesInfo.Defs[c.fn.Name].(*types.Func)
+	if !ok {
+		return false, false
+	}
+	sig := def.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil && r == base {
+		return true, false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == base {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// checkGoEscape flags pooled values crossing into a goroutine: the
+// pool has no idea when that goroutine finishes with them.
+func (c *checker) checkGoEscape(n *ast.GoStmt) {
+	var pooledUse ast.Expr
+	for _, a := range n.Call.Args {
+		if c.pools.Pooled(a) {
+			pooledUse = a
+			break
+		}
+	}
+	if pooledUse == nil {
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if pooledUse != nil {
+					return false
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					if c.pass.TypesInfo.Uses[id] != nil && c.pools.Pooled(id) {
+						pooledUse = id
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	if pooledUse == nil || c.waived(n.Pos()) {
+		return
+	}
+	c.report(pooledUse.Pos(),
+		"pooled value escapes into a goroutine; the pool cannot track its lifetime (waive with //hardtape:pool-ok <reason>)")
+}
+
+func (c *checker) checkSendEscape(n *ast.SendStmt) {
+	if !c.pools.Pooled(n.Value) || c.waived(n.Pos()) {
+		return
+	}
+	c.report(n.Value.Pos(),
+		"pooled value escapes onto a channel; pool ownership cannot follow it (waive with //hardtape:pool-ok <reason>)")
+}
+
+// --- helpers ------------------------------------------------------------
+
+type storeKind int
+
+const (
+	storeField storeKind = iota
+	storeElem
+)
+
+// storeBase walks an lvalue to its base object, classifying the
+// outermost step as a field store (x.f…) or element store (x[i]).
+func storeBase(info *types.Info, l ast.Expr) (types.Object, storeKind) {
+	kind := storeElem
+	for {
+		switch x := l.(type) {
+		case *ast.SelectorExpr:
+			kind = storeField
+			l = x.X
+		case *ast.IndexExpr:
+			l = x.X
+		case *ast.StarExpr:
+			l = x.X
+		case *ast.ParenExpr:
+			l = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj, kind
+		default:
+			return nil, kind
+		}
+	}
+}
+
+func isLocalVar(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg == nil || v.Parent() != pkg.Scope()
+}
+
+func isPanicCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return nil, false
+	}
+	return call, true
+}
+
+func (c *checker) waived(pos token.Pos) bool {
+	return c.ann.Allowed(c.pass.Fset, pos, "pool-ok") ||
+		analysis.FuncAllowed(c.pass.Fset, c.fn, "pool-ok")
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"hardtape/internal/analysis/analysistest"
+	"hardtape/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", poolsafe.Analyzer, "pool")
+}

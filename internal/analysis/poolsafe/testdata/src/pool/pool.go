@@ -1,0 +1,172 @@
+// Package pool exercises the poolsafe analyzer: seeded ownership
+// violations (positives) and every sanctioned pooled-buffer idiom the
+// repo relies on (negatives).
+package pool
+
+import "sync"
+
+type buf [64]byte
+
+var p = sync.Pool{New: func() any { return new(buf) }}
+
+// get and put are acquire/release wrappers; the dataflow layer's
+// summaries mark get's result pooled and put's parameter released.
+func get() *buf  { return p.Get().(*buf) }
+func put(b *buf) { p.Put(b) }
+
+type holder struct{ b *buf }
+
+// --- positives ----------------------------------------------------------
+
+// Positive 1: read after release.
+func useAfter() byte {
+	b := get()
+	put(b)
+	return b[0] // want `use of pooled b after release`
+}
+
+// Positive 2: releasing twice on one path.
+func double() {
+	b := get()
+	put(b)
+	put(b) // want `pooled b already released`
+}
+
+// Positive 3: pooled value parked in receiver state outlives the call.
+func (h *holder) keep() {
+	h.b = get() // want `pooled value escapes into receiver state`
+}
+
+// Positive 4: pooled value captured by a goroutine.
+func togo() {
+	b := get()
+	go func() {
+		_ = b[0] // want `pooled value escapes into a goroutine`
+	}()
+}
+
+// Positive 5: pooled value sent on a channel.
+func tochan(ch chan *buf) {
+	b := get()
+	ch <- b // want `pooled value escapes onto a channel`
+}
+
+// Positive 6: released in one branch, used after the merge.
+func branchy(cond bool) byte {
+	b := get()
+	if cond {
+		put(b)
+	}
+	return b[0] // want `use of pooled b after release`
+}
+
+// Positive 7: deferred release plus an explicit one.
+func deferDouble() {
+	b := get()
+	defer put(b) // want `pooled b released here by defer and again`
+	put(b)
+}
+
+// --- negatives ----------------------------------------------------------
+
+// Negative 1: defer-release then keep using — the canonical idiom.
+func deferOK() byte {
+	b := get()
+	defer put(b)
+	return b[0]
+}
+
+// Negative 2: release on a terminating branch does not poison the
+// fall-through path.
+func terminating(cond bool) byte {
+	b := get()
+	if cond {
+		put(b)
+		return 0
+	}
+	return b[0]
+}
+
+// Negative 3: rebinding after release makes the variable live again.
+func rebind() byte {
+	b := get()
+	put(b)
+	b = get()
+	defer put(b)
+	return b[0]
+}
+
+// Negative 4: filling a caller-provided out-buffer hands ownership to
+// the caller.
+func fill(out []*buf) {
+	for i := range out {
+		out[i] = get()
+	}
+}
+
+// Negative 5: attaching a pooled buffer to a local struct (and
+// returning it) is an ownership transfer, like the real acquire
+// wrappers do.
+func local() *holder {
+	h := &holder{}
+	h.b = get()
+	return h
+}
+
+// Negative 6: a documented custody hand-off under a waiver.
+type cache struct{ m map[int]*buf }
+
+func (c *cache) insert(k int) {
+	c.m[k] = get() //hardtape:pool-ok fixture: cache takes custody and recycles on evict
+}
+
+// Negative 7: acquire/release pairs per loop iteration.
+func loop(n int) {
+	for i := 0; i < n; i++ {
+		b := get()
+		put(b)
+	}
+}
+
+// Negative 8: a range value variable rebinds each iteration; releasing
+// it does not poison the next iteration's value.
+func recycle(bs []*buf) {
+	for _, b := range bs {
+		put(b)
+		bs[0] = nil
+	}
+}
+
+// Negative 9: a scalar field read from a pooled struct is a copy of an
+// aggregate, not the pooled object; writing it back is not an escape.
+type frame struct {
+	gas int
+	b   *buf
+}
+
+var fp = sync.Pool{New: func() any { return new(frame) }}
+
+func getFrame() *frame { return fp.Get().(*frame) }
+
+func drive() {
+	f := getFrame()
+	f.gas -= 1
+	fp.Put(f)
+}
+
+func spend(f *frame) {
+	g := f.gas
+	f.gas = g
+}
+
+// Negative 10: copy duplicates bytes out of a pooled buffer; the
+// content transfer does not move pool ownership.
+type keeper struct{ last []byte }
+
+func (k *keeper) snap() {
+	b := get()
+	out := make([]byte, len(b))
+	copy(out, b[:])
+	k.last = out
+	put(b)
+}

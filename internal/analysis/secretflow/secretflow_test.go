@@ -1,0 +1,12 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"hardtape/internal/analysis/analysistest"
+	"hardtape/internal/analysis/secretflow"
+)
+
+func TestSecretflow(t *testing.T) {
+	analysistest.Run(t, "testdata", secretflow.Analyzer, "flows")
+}

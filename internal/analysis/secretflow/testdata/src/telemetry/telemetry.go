@@ -1,0 +1,13 @@
+// Package telemetry is a secretflow fixture stand-in for the real
+// registry: the "telemetry" path element plus the Registry type name
+// is what the sink matcher keys on.
+package telemetry
+
+// Registry mimics the real registration API shape.
+type Registry struct{}
+
+// Counter registers a counter series.
+func (r *Registry) Counter(name, help string, labels ...string) int { return 0 }
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) int { return 0 }

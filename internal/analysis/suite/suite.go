@@ -8,11 +8,15 @@ import (
 	"hardtape/internal/analysis/faulterr"
 	"hardtape/internal/analysis/locksafe"
 	"hardtape/internal/analysis/oramleak"
+	"hardtape/internal/analysis/poolsafe"
+	"hardtape/internal/analysis/secretflow"
 	"hardtape/internal/analysis/telemetrysafe"
 )
 
 // Analyzers returns every analyzer in the hardtape-lint suite, in
-// reporting order.
+// reporting order. The first six are syntactic invariant checkers;
+// secretflow and poolsafe ride the shared dataflow layer
+// (internal/analysis: call graph, transfer summaries, taint).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		cryptorand.Analyzer,
@@ -21,5 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		locksafe.Analyzer,
 		faulterr.Analyzer,
 		telemetrysafe.Analyzer,
+		secretflow.Analyzer,
+		poolsafe.Analyzer,
 	}
 }

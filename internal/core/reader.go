@@ -117,16 +117,16 @@ func (r *hvReader) Account(addr types.Address) (*types.Account, bool) {
 
 // Storage implements state.Reader with the L1 world-state cache in
 // front of the page store.
-func (r *hvReader) Storage(addr types.Address, key types.Hash) types.Hash {
-	ck := hevm.WSCacheKey{Addr: addr, Key: key}
+func (r *hvReader) Storage(addr types.Address, slot types.Hash) types.Hash {
+	ck := hevm.WSCacheKey{Addr: addr, Key: slot}
 	if v, ok := r.slot.wsCache.Get(ck); ok {
 		// L1 hit: same-cycle, no exception.
 		return types.Hash(v)
 	}
 	r.chargeQuery(r.kvORAM)
-	val, _, err := r.kvStore.ReadStorageRecord(addr, key)
+	val, _, err := r.kvStore.ReadStorageRecord(addr, slot)
 	if err != nil {
-		panic(fmt.Errorf("core: storage %s/%s: %w", addr, key, err))
+		panic(fmt.Errorf("core: storage %s/%s: %w", addr, slot, err))
 	}
 	r.slot.wsCache.Put(ck, val)
 	return val

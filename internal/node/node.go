@@ -195,7 +195,7 @@ func commitOverlay(ws *state.WorldState, o *state.Overlay, txs []*types.Transact
 		}
 	}
 	for _, w := range o.StorageWrites() {
-		if err := ws.SetStorage(w.Address, w.Key, w.Value); err != nil {
+		if err := ws.SetStorage(w.Address, w.Slot, w.Value); err != nil {
 			return err
 		}
 	}

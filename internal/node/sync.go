@@ -73,8 +73,8 @@ func (s *Syncer) SyncAccount(stateRoot types.Hash, addr types.Address) error {
 	// record.
 	keys := s.node.State().StorageKeys(addr)
 	recs := make([]pager.StorageRecord, 0, len(keys))
-	for _, key := range keys {
-		sp, err := s.node.ProveStorage(addr, key)
+	for _, slot := range keys {
+		sp, err := s.node.ProveStorage(addr, slot)
 		if err != nil {
 			return err
 		}
@@ -83,9 +83,9 @@ func (s *Syncer) SyncAccount(stateRoot types.Hash, addr types.Address) error {
 		}
 		val, err := VerifyStorageProof(acct.StorageRoot, sp)
 		if err != nil {
-			return fmt.Errorf("node: sync %s key %s: %w", addr, key, err)
+			return fmt.Errorf("node: sync %s slot %s: %w", addr, slot, err)
 		}
-		recs = append(recs, pager.StorageRecord{Key: key, Value: val})
+		recs = append(recs, pager.StorageRecord{Key: slot, Value: val})
 	}
 	if err := s.store.WriteStorageRecords(addr, recs); err != nil {
 		return err

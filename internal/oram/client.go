@@ -276,7 +276,7 @@ func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
 			if !ok {
 				blk = getBlockStruct()
 				blk.id = op.ID
-				c.stash[op.ID] = blk
+				c.stash[op.ID] = blk //hardtape:pool-ok stash takes custody; eviction recycles via putBlockStruct
 			}
 			blk.leaf = newLeaves[i]
 			n := copy(blk.data, op.Data)
@@ -333,7 +333,7 @@ func (c *Client) access(op Op, id BlockID, newData []byte) ([]byte, error) {
 		if !ok {
 			blk = getBlockStruct()
 			blk.id = id
-			c.stash[id] = blk
+			c.stash[id] = blk //hardtape:pool-ok stash takes custody; eviction recycles via putBlockStruct
 		}
 		blk.leaf = newLeaf
 		n := copy(blk.data, newData)
@@ -420,7 +420,7 @@ func (c *Client) absorbPath(idx []uint64, encrypted [][]byte, dedup bool) error 
 			blk := getBlockStruct()
 			blk.id, blk.leaf = s.id, s.leaf
 			copy(blk.data, s.data)
-			c.stash[s.id] = blk
+			c.stash[s.id] = blk //hardtape:pool-ok stash takes custody; eviction recycles via putBlockStruct
 		}
 	}
 	return nil
@@ -489,6 +489,7 @@ func (c *Client) evictPath(leaf uint64) error {
 		out[level] = ct
 		c.bytesMoved += uint64(len(ct))
 	}
+	//hardtape:pool-ok scratch slice keeps capacity only; leftover blocks remain stash-owned
 	c.carry = carry[:0]
 
 	err := c.server.WritePath(leaf, out)

@@ -408,7 +408,7 @@ func (o *Overlay) StorageWrites() []types.StorageAccess {
 	out := make([]types.StorageAccess, 0, len(o.storage))
 	for slot, v := range o.storage {
 		out = append(out, types.StorageAccess{
-			Address: slot.addr, Key: slot.key, Value: v, Write: true,
+			Address: slot.addr, Slot: slot.key, Value: v, Write: true,
 		})
 	}
 	return out

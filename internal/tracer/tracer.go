@@ -185,7 +185,7 @@ func (t *Tracer) onWorldState(a evm.WorldStateAccess) {
 	}
 	t.current.Storage = append(t.current.Storage, types.StorageAccess{
 		Address: a.Addr,
-		Key:     a.Key,
+		Slot:    a.Key,
 		Write:   a.Write,
 	})
 }

@@ -372,9 +372,11 @@ type Log struct {
 }
 
 // StorageAccess records one storage read or write observed by a tracer.
+// The slot address is public EVM state (named Slot, not Key, so it is
+// not mistaken for key material).
 type StorageAccess struct {
 	Address Address
-	Key     Hash
+	Slot    Hash
 	Value   Hash
 	Write   bool
 }
