@@ -41,6 +41,7 @@ type jsonReport struct {
 	Ablations    *jsonAblations            `json:"ablations,omitempty"`
 	Sessions     *bench.SessionsReport     `json:"sessions,omitempty"`
 	SessionScale *bench.SessionScaleReport `json:"session_scale,omitempty"`
+	Parallel     *bench.ParallelReport     `json:"parallel,omitempty"`
 }
 
 type jsonAblations struct {
@@ -69,6 +70,7 @@ func run() error {
 		ablations   = flag.Bool("ablations", false, "design-choice ablations (noise, prefetch, grouping, ORAM depth)")
 		interp      = flag.Bool("interp", false, "interpreter fast-path microbenchmarks + raw bundle throughput")
 		sessions    = flag.Bool("sessions", false, "cold-dial vs ticket-resume sweep + gateway resume stampede")
+		parallel    = flag.Bool("parallel", false, "intra-bundle parallel pre-execution: lanes × conflict-rate sweep")
 		scaleN      = flag.Int("scale-sessions", 10000, "session count for the -sessions gateway stampede")
 		telem       = flag.Bool("telemetry", false, "drive an instrumented -full pipeline and dump the registry JSON snapshot on stdout")
 		asJSON      = flag.Bool("json", false, "emit results as JSON on stdout (progress goes to stderr)")
@@ -82,15 +84,15 @@ func run() error {
 	flag.Parse()
 
 	if *all {
-		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions =
-			true, true, true, true, true, true, true, true, true
+		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions, *parallel =
+			true, true, true, true, true, true, true, true, true, true
 	}
 	if *telem {
 		// Telemetry mode is its own run: stdout carries exactly the
 		// registry snapshot (the same document /metrics.json serves).
 		return runTelemetry(*n, *seed, *eoas, *tokens, *dexes, *hevms)
 	}
-	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions) {
+	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions || *parallel) {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
@@ -220,6 +222,19 @@ func run() error {
 		}
 		report.SessionScale = scale
 		section(scale.Render())
+	}
+
+	if *parallel {
+		txs := 16
+		if txs > *eoas {
+			txs = *eoas
+		}
+		rep, err := bench.ParallelSweep(env, txs, nil, nil)
+		if err != nil {
+			return fmt.Errorf("parallel: %w", err)
+		}
+		report.Parallel = rep
+		section(rep.Render())
 	}
 
 	if *asJSON {

@@ -44,6 +44,7 @@ func run() error {
 		cfgName = flag.String("config", "full", "feature set: raw|e|es|eso|full")
 		devices = flag.Int("devices", 3, "in-process devices in the pool")
 		hevms   = flag.Int("hevms", 3, "HEVM cores per device")
+		lanes   = flag.Int("lanes", 0, "speculative lanes per HEVM (>1 enables optimistic parallel pre-execution)")
 		seed    = flag.Int64("seed", 19145194, "world seed")
 		eoas    = flag.Int("eoas", 16, "synthetic EOAs")
 		tokens  = flag.Int("tokens", 3, "ERC-20 tokens")
@@ -74,6 +75,7 @@ func run() error {
 	opts.DEXes = *dexes
 	opts.Features = features
 	opts.HEVMs = *hevms
+	opts.Lanes = *lanes
 
 	fcfg := hardtape.DefaultFleetConfig()
 	fcfg.QueueDepth = *queueDepth

@@ -33,6 +33,7 @@ func run() error {
 		addr    = flag.String("addr", "127.0.0.1:7337", "listen address")
 		cfgName = flag.String("config", "full", "feature set: raw|e|es|eso|full")
 		hevms   = flag.Int("hevms", 3, "HEVM cores")
+		lanes   = flag.Int("lanes", 0, "speculative lanes per HEVM (>1 enables optimistic parallel pre-execution)")
 		seed    = flag.Int64("seed", 19145194, "world seed")
 		eoas    = flag.Int("eoas", 16, "synthetic EOAs")
 		tokens  = flag.Int("tokens", 3, "ERC-20 tokens")
@@ -54,6 +55,7 @@ func run() error {
 	opts.DEXes = *dexes
 	opts.Features = features
 	opts.HEVMs = *hevms
+	opts.Lanes = *lanes
 
 	// Telemetry is opt-in: without -admin the pipeline runs with nil
 	// instruments (one branch per record site, zero allocations).
@@ -90,8 +92,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("HarDTAPE service (%s, %d HEVMs) listening on %s\n",
-		features.Name(), *hevms, l.Addr())
+	laneNote := ""
+	if *lanes > 1 {
+		laneNote = fmt.Sprintf(", %d lanes", *lanes)
+	}
+	fmt.Printf("HarDTAPE service (%s, %d HEVMs%s) listening on %s\n",
+		features.Name(), *hevms, laneNote, l.Addr())
 	return hardtape.NewService(tb.Device).ServeListener(l)
 }
 

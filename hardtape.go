@@ -257,6 +257,10 @@ type TestbedOptions struct {
 	DEXes    int
 	Features Features
 	HEVMs    int
+	// Lanes enables optimistic intra-bundle parallelism: N > 1 runs
+	// each bundle's transactions speculatively on N lanes per HEVM with
+	// in-order commit (DESIGN.md §16); 0 or 1 executes sequentially.
+	Lanes int
 	// Telemetry, when non-nil, instruments the testbed's device(s) —
 	// and, for fleet testbeds, the gateway — on this registry.
 	Telemetry *Telemetry
@@ -291,6 +295,7 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 	if opts.HEVMs > 0 {
 		cfg.HEVMs = opts.HEVMs
 	}
+	cfg.Lanes = opts.Lanes
 	cfg.Telemetry = opts.Telemetry
 	dev, err := core.NewDevice(cfg, mfr, chain)
 	if err != nil {
@@ -350,6 +355,7 @@ func NewFleetTestbed(opts TestbedOptions, n int, fcfg FleetConfig) (*FleetTestbe
 		if opts.HEVMs > 0 {
 			cfg.HEVMs = opts.HEVMs
 		}
+		cfg.Lanes = opts.Lanes
 		cfg.Telemetry = opts.Telemetry
 		cfg.NoiseSeed = int64(i + 1)
 		dev, err := core.NewDevice(cfg, mfr, chain)

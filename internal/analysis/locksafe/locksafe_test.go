@@ -8,5 +8,5 @@ import (
 )
 
 func TestLocksafe(t *testing.T) {
-	analysistest.Run(t, "testdata", locksafe.Analyzer, "evm", "fleet", "plain")
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "core", "evm", "fleet", "plain")
 }

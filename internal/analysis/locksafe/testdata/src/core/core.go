@@ -1,0 +1,79 @@
+// Package core is a locksafe fixture for the optimistic-parallel
+// scheduler's hand-off shapes: a committer draining per-lane done
+// channels and a commit mutex that must never be held across lane
+// completion, re-execution, or worker teardown.
+package core
+
+import "sync"
+
+// Tx stands in for a bundle transaction.
+type Tx struct{}
+
+// Lane stands in for one speculative execution lane.
+type Lane struct{}
+
+func (l *Lane) ApplyTransaction(tx *Tx) error { return nil }
+
+// Sched is the scheduler skeleton: a commit mutex guarding the
+// versioned overlay, per-transaction done channels, and the worker
+// wait group.
+type Sched struct {
+	mu   sync.Mutex
+	done []chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Committing under the lock while waiting for a lane to finish is
+// head-of-line blocking: every other bundle on the device stalls.
+func badDrain(s *Sched, i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.done[i] // want `blocking operation \(channel receive\) while holding mutex s.mu`
+}
+
+// Re-executing a conflicting transaction is a full EVM run; doing it
+// under the commit lock serializes the device.
+func badReexec(s *Sched, l *Lane, tx *Tx) {
+	s.mu.Lock()
+	l.ApplyTransaction(tx) // want `blocking operation \(ApplyTransaction\(\)\) while holding mutex s.mu`
+	s.mu.Unlock()
+}
+
+// Worker teardown joins every lane goroutine; holding the commit lock
+// across it deadlocks if a worker needs the lock to finish.
+func badJoin(s *Sched) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `blocking operation \(Wait\(\)\) while holding mutex s.mu`
+}
+
+// The fix: drain the lane outside the lock, take the lock only for
+// the commit itself.
+func goodDrainThenCommit(s *Sched, i int) {
+	<-s.done[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Polling a lane with a default clause never blocks; doing so under
+// the lock is legal.
+func goodPoll(s *Sched, i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done[i]:
+		return true
+	default:
+		return false
+	}
+}
+
+// The committer IS the serialization point for the versioned overlay:
+// a deliberate single-committer design, waived with a reason.
+//
+//hardtape:locksafe-ok fixture: the commit lock's purpose is serializing the single committer
+func waivedCommitter(s *Sched, i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.done[i]
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestPoolsafe(t *testing.T) {
-	analysistest.Run(t, "testdata", poolsafe.Analyzer, "pool")
+	analysistest.Run(t, "testdata", poolsafe.Analyzer, "pool", "sched")
 }

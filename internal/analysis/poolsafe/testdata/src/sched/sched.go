@@ -1,0 +1,106 @@
+// Package sched exercises poolsafe on the optimistic-parallel
+// scheduler's hand-off shapes: pooled per-transaction outcomes moving
+// from worker goroutines to the committer through an out-slice, and
+// the ownership mistakes that discipline forbids.
+package sched
+
+import "sync"
+
+type outcome struct {
+	gas  int
+	done bool
+}
+
+var outcomes = sync.Pool{New: func() any { return new(outcome) }}
+
+func getOutcome() *outcome  { return outcomes.Get().(*outcome) }
+func putOutcome(o *outcome) { outcomes.Put(o) }
+
+// --- positives ----------------------------------------------------------
+
+// Positive 1: committer recycles the outcome, then reads its stats.
+func commitUseAfter(slots []*outcome, i int) int {
+	o := slots[i]
+	if o == nil {
+		o = getOutcome()
+	}
+	putOutcome(o)
+	return o.gas // want `use of pooled o after release`
+}
+
+// Positive 2: a retry path that recycles the outcome it already gave
+// back after the first failed speculation.
+func retryDouble(fail bool) {
+	o := getOutcome()
+	if fail {
+		putOutcome(o)
+	}
+	putOutcome(o) // want `pooled o already released`
+}
+
+// Positive 3: a pooled outcome captured by a worker goroutine — the
+// pool cannot see when the worker finishes with it.
+func spawnWorker() {
+	o := getOutcome()
+	go func() {
+		_ = o.done // want `pooled value escapes into a goroutine`
+	}()
+}
+
+// Positive 4: parking a pooled outcome in scheduler state that
+// outlives the bundle.
+type sched struct{ last *outcome }
+
+func (s *sched) record() {
+	s.last = getOutcome() // want `pooled value escapes into receiver state`
+}
+
+// --- negatives ----------------------------------------------------------
+
+// Negative 1: the worker→committer hand-off. Filling a caller-owned
+// outcome slot transfers ownership with it; the committer releases.
+func speculate(slots []*outcome, i int) {
+	o := getOutcome()
+	o.gas = 21000
+	o.done = true
+	slots[i] = o
+}
+
+// Negative 2: the committer side — drain the slot, read it, recycle.
+func commit(slots []*outcome) int {
+	total := 0
+	for i, o := range slots {
+		total += o.gas
+		putOutcome(o)
+		slots[i] = nil
+	}
+	return total
+}
+
+// Negative 3: a speculation that re-acquires after an abort recycled
+// the first attempt's outcome.
+func respeculate(fail bool) *outcome {
+	o := getOutcome()
+	if fail {
+		putOutcome(o)
+		o = getOutcome()
+	}
+	return o
+}
+
+// Negative 4: defer-release over the whole attempt, the worker-loop
+// idiom for scratch outcomes.
+func attempt() int {
+	o := getOutcome()
+	defer putOutcome(o)
+	o.gas = 1
+	return o.gas
+}
+
+// Negative 5: a documented custody transfer — the scheduler's free
+// list takes ownership until the next bundle reuses the outcome.
+type freeList struct{ slots []*outcome }
+
+func (f *freeList) park() {
+	f.slots = append(f.slots, getOutcome()) //hardtape:pool-ok fixture: free list takes custody until the next bundle
+}

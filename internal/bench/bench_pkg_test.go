@@ -173,6 +173,51 @@ func TestAmortizationFallsWithBundleSize(t *testing.T) {
 	}
 }
 
+func TestParallelSweepShape(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := ParallelSweep(env, 12, []int{1, 4}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	cell := func(lanes int, rate float64) ParallelRow {
+		for _, r := range rep.Rows {
+			if r.Lanes == lanes && r.ConflictRate == rate {
+				return r
+			}
+		}
+		t.Fatalf("missing cell lanes=%d rate=%v", lanes, rate)
+		return ParallelRow{}
+	}
+	// Lanes=1 is the sequential path: speedup 1x by construction.
+	if s := cell(1, 0).Speedup; s < 0.99 || s > 1.01 {
+		t.Errorf("1-lane speedup = %.3f, want 1.0", s)
+	}
+	// Conflict-free bundles commit every speculation unchanged and beat
+	// sequential; fully conflicting bundles re-execute at least one tx.
+	free, hot := cell(4, 0), cell(4, 1)
+	if free.Conflicts != 0 {
+		t.Errorf("rate-0 cell reported %d conflicts", free.Conflicts)
+	}
+	if free.Speedup <= 1.0 {
+		t.Errorf("rate-0 speedup at 4 lanes = %.2f, want > 1", free.Speedup)
+	}
+	if hot.Conflicts+hot.SpecRetries == 0 {
+		t.Error("rate-1 cell saw no staleness at all")
+	}
+	if hot.Speedup > free.Speedup {
+		t.Errorf("hot speedup %.2f exceeds conflict-free speedup %.2f", hot.Speedup, free.Speedup)
+	}
+	out := rep.Render()
+	for _, want := range []string{"lanes", "conflicts", "speedup", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSessionsSweepRuns(t *testing.T) {
 	env := smallEnv(t)
 	rep, err := Sessions(env, 10)

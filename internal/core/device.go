@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,11 +34,13 @@ var (
 	ErrAborted     = errors.New("core: bundle aborted")
 )
 
-// slot is one HEVM core with its dedicated hardware set: machine
-// shadow, L1 world-state cache, prefetcher, virtual clock, and tracer.
-// A slot serves exactly one bundle at a time (the paper's
-// dedicated-hardware isolation).
-type slot struct {
+// laneState is one execution lane's dedicated hardware set: machine
+// shadow, L1 world-state cache, prefetcher, virtual clock, and the
+// per-bundle bookkeeping the readers and hooks write into. A slot's
+// embedded laneState serves sequential execution and the parallel
+// committer; the extra lanes (when Config.Lanes > 1) run speculative
+// transactions.
+type laneState struct {
 	id          int
 	clock       *simclock.Clock
 	machine     *hevm.Machine
@@ -45,12 +48,13 @@ type slot struct {
 	prefetcher  *pager.Prefetcher
 	oramQueries uint64
 	// opCounts samples retired instructions by class for telemetry.
-	// Plain memory owned by this slot — flushed to shared counters
+	// Plain memory owned by this lane — flushed to shared counters
 	// between bundles, so the interpreter loop never touches atomics.
 	opCounts evm.OpClassCounts
 	// queryTimes/queryKinds record the virtual time and kind ('k' for
 	// K-V, 'c' for code) of every ORAM query this bundle issued (for
-	// the prefetch ablation).
+	// the prefetch ablation). Speculative lanes record lane-relative
+	// times, folded to absolute when the bundle result is assembled.
 	queryTimes []time.Duration
 	queryKinds []byte
 	// codeCache holds contract code fetched during this bundle (the
@@ -60,16 +64,100 @@ type slot struct {
 }
 
 // reset clears every on-chip structure (step 10).
+func (l *laneState) reset() {
+	l.machine.Reset()
+	l.wsCache.Clear()
+	l.prefetcher.Reset()
+	l.clock.Reset()
+	l.oramQueries = 0
+	l.opCounts.Reset()
+	l.queryTimes = nil
+	l.queryKinds = nil
+	l.codeCache = make(map[types.Hash][]byte)
+}
+
+// slot is one HEVM core. The embedded laneState is the core's primary
+// hardware set (sequential execution, and the commit lane in parallel
+// mode); lanes holds the speculative lanes when the device is
+// configured with Config.Lanes > 1. A slot serves exactly one bundle
+// at a time (the paper's dedicated-hardware isolation).
+type slot struct {
+	laneState
+	lanes []*laneState
+}
+
+// reset clears every on-chip structure across all lanes (step 10).
 func (s *slot) reset() {
-	s.machine.Reset()
-	s.wsCache.Clear()
-	s.prefetcher.Reset()
-	s.clock.Reset()
-	s.oramQueries = 0
-	s.opCounts.Reset()
-	s.queryTimes = nil
-	s.queryKinds = nil
-	s.codeCache = make(map[types.Hash][]byte)
+	s.laneState.reset()
+	for _, l := range s.lanes {
+		l.reset()
+	}
+}
+
+// hevmStats aggregates machine statistics across the commit lane and
+// every speculative lane (counts sum; the L2 high-water mark is the max
+// across independent rings; any lane overflowing marks the slot).
+func (s *slot) hevmStats() hevm.Stats {
+	st := s.machine.Stats()
+	for _, l := range s.lanes {
+		ls := l.machine.Stats()
+		st.Steps += ls.Steps
+		st.SwapEvents += ls.SwapEvents
+		st.PagesEvicted += ls.PagesEvicted
+		st.PagesLoaded += ls.PagesLoaded
+		st.CodeFaults += ls.CodeFaults
+		if ls.L2PagesUsed > st.L2PagesUsed {
+			st.L2PagesUsed = ls.L2PagesUsed
+		}
+		st.Overflowed = st.Overflowed || ls.Overflowed
+	}
+	return st
+}
+
+// totalORAMQueries sums query counts across all lanes.
+func (s *slot) totalORAMQueries() uint64 {
+	n := s.oramQueries
+	for _, l := range s.lanes {
+		n += l.oramQueries
+	}
+	return n
+}
+
+// mergedQueries folds the speculative lanes' lane-relative query logs
+// into the commit lane's absolute log, sorted into one device-absolute
+// timeline (the cadence one adversary tap on the ORAM link observes).
+// base is the device time at which the lane clocks started.
+func (s *slot) mergedQueries(base time.Duration) ([]time.Duration, []byte) {
+	n := len(s.queryTimes)
+	for _, l := range s.lanes {
+		n += len(l.queryTimes)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	times := append(make([]time.Duration, 0, n), s.queryTimes...)
+	kinds := append(make([]byte, 0, n), s.queryKinds...)
+	for _, l := range s.lanes {
+		for i, t := range l.queryTimes {
+			times = append(times, base+t)
+			kinds = append(kinds, l.queryKinds[i])
+		}
+	}
+	sort.Stable(&queryLog{times: times, kinds: kinds})
+	return times, kinds
+}
+
+// queryLog sorts a (time, kind) pair slice by timestamp.
+type queryLog struct {
+	times []time.Duration
+	kinds []byte
+}
+
+func (q *queryLog) Len() int           { return len(q.times) }
+func (q *queryLog) Less(i, j int) bool { return q.times[i] < q.times[j] }
+func (q *queryLog) Swap(i, j int) {
+	q.times[i], q.times[j] = q.times[j], q.times[i]
+	q.kinds[i], q.kinds[j] = q.kinds[j], q.kinds[i]
 }
 
 // Device is one HarDTAPE chip: the Hypervisor plus cfg.HEVMs cores,
@@ -194,27 +282,48 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 	d.syncMirror = node.NewSyncer(chain, d.mirror)
 
 	for i := 0; i < cfg.HEVMs; i++ {
-		clock := simclock.NewClock()
-		l3Key := make([]byte, 32)
-		if _, err := rand.Read(l3Key); err != nil {
-			return nil, fmt.Errorf("core: l3 key: %w", err)
-		}
-		machine, err := hevm.New(cfg.Hardware, clock, cfg.Calibration, l3Key, cfg.NoiseSeed+int64(i))
+		lane, err := newLane(cfg, i, cfg.NoiseSeed+int64(i))
 		if err != nil {
 			return nil, err
 		}
-		s := &slot{
-			id:         i,
-			clock:      clock,
-			machine:    machine,
-			wsCache:    hevm.NewWSCache(cfg.Hardware.WSCacheEntries),
-			prefetcher: pager.NewPrefetcher(),
-			codeCache:  make(map[types.Hash][]byte),
+		s := &slot{laneState: *lane}
+		// Speculative lanes get their own full hardware set each, with
+		// noise seeds disjoint from every core's primary seed.
+		if cfg.Lanes > 1 {
+			for j := 0; j < cfg.Lanes; j++ {
+				seed := cfg.NoiseSeed + int64(cfg.HEVMs) + int64(i*cfg.Lanes+j)
+				sl, err := newLane(cfg, j, seed)
+				if err != nil {
+					return nil, err
+				}
+				s.lanes = append(s.lanes, sl)
+			}
 		}
 		d.allSlots = append(d.allSlots, s)
 		d.slots <- s
 	}
 	return d, nil
+}
+
+// newLane builds one execution lane's hardware set.
+func newLane(cfg Config, id int, noiseSeed int64) (*laneState, error) {
+	clock := simclock.NewClock()
+	l3Key := make([]byte, 32)
+	if _, err := rand.Read(l3Key); err != nil {
+		return nil, fmt.Errorf("core: l3 key: %w", err)
+	}
+	machine, err := hevm.New(cfg.Hardware, clock, cfg.Calibration, l3Key, noiseSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &laneState{
+		id:         id,
+		clock:      clock,
+		machine:    machine,
+		wsCache:    hevm.NewWSCache(cfg.Hardware.WSCacheEntries),
+		prefetcher: pager.NewPrefetcher(),
+		codeCache:  make(map[types.Hash][]byte),
+	}, nil
 }
 
 // Booted exposes the attestation endpoint (step 2).
@@ -285,6 +394,9 @@ type BundleResult struct {
 	// kind per query ('k' K-V, 'c' code) for the prefetch ablation.
 	QueryTimes []time.Duration
 	QueryKinds []byte
+	// Parallel carries the optimistic-scheduler statistics; nil when the
+	// bundle ran sequentially.
+	Parallel *ParallelStats
 }
 
 // Execute runs a bundle on an exclusively assigned HEVM, blocking
@@ -337,33 +449,43 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 	if feat.Sign {
 		s.clock.Advance(cal.ECDSAVerify)
 	}
-
-	reader := d.newReader(s)
-	overlay := state.NewOverlay(reader)
+	// Device time when execution proper starts — the zero point of the
+	// speculative lanes' relative clocks in parallel mode.
+	execBase := s.clock.Now()
 
 	head := d.chain.Head()
 	blockCtx := workload.NewBlockContext(&head.Header)
 	blockCtx.BlockHash = d.chain.BlockHash
-	e := evm.New(blockCtx, overlay)
-
-	tr := tracer.New(d.cfg.CaptureSteps)
-	e.Hooks = evm.CombineHooks(tr.Hooks(), s.machine.Hooks())
-	if d.tm.enabled {
-		// Op-class sampling rides the interpreter's hook fast path:
-		// installed only here, so disabled telemetry re-uses the
-		// existing hook-presence flags at zero extra cost.
-		e.Hooks = evm.CombineHooks(e.Hooks, s.opCounts.Hooks())
-	}
 
 	result := &BundleResult{}
-	err := d.runTxs(e, tr, s, bundle, result)
-	if err != nil {
-		d.tm.bundlesErr.Inc()
-		return nil, err
+	if len(s.lanes) > 0 && len(bundle.Txs) > 1 {
+		// Optimistic intra-bundle parallelism (DESIGN.md §16).
+		if err := d.runTxsParallel(s, blockCtx, bundle, result); err != nil {
+			d.tm.bundlesErr.Inc()
+			return nil, err
+		}
+	} else {
+		reader := d.newReader(&s.laneState)
+		overlay := state.NewOverlay(reader)
+		e := evm.New(blockCtx, overlay)
+
+		tr := tracer.New(d.cfg.CaptureSteps)
+		e.Hooks = evm.CombineHooks(tr.Hooks(), s.machine.Hooks())
+		if d.tm.enabled {
+			// Op-class sampling rides the interpreter's hook fast path:
+			// installed only here, so disabled telemetry re-uses the
+			// existing hook-presence flags at zero extra cost.
+			e.Hooks = evm.CombineHooks(e.Hooks, s.opCounts.Hooks())
+		}
+
+		if err := d.runTxs(e, tr, s, bundle, result); err != nil {
+			d.tm.bundlesErr.Inc()
+			return nil, err
+		}
+		result.Trace = tr.Bundle()
 	}
 
 	// Step 9: trace leaves through the secure channel.
-	result.Trace = tr.Bundle()
 	traceBytes := traceSize(result.Trace)
 	if feat.Encrypt {
 		s.clock.Advance(time.Duration(traceBytes/1024+1) * cal.AESGCMPerKB)
@@ -372,10 +494,9 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 		s.clock.Advance(cal.ECDSASign)
 	}
 	result.VirtualTime = s.clock.Now()
-	result.HEVMStats = s.machine.Stats()
-	result.ORAMQueries = s.oramQueries
-	result.QueryTimes = append([]time.Duration(nil), s.queryTimes...)
-	result.QueryKinds = append([]byte(nil), s.queryKinds...)
+	result.HEVMStats = s.hevmStats()
+	result.ORAMQueries = s.totalORAMQueries()
+	result.QueryTimes, result.QueryKinds = s.mergedQueries(execBase)
 	d.tm.txs.Add(uint64(len(bundle.Txs)))
 	d.tm.recordBundle(s, result)
 	sp.End(d.tm.execWall)

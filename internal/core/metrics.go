@@ -39,6 +39,14 @@ type devMetrics struct {
 
 	oramQueries *telemetry.Counter
 
+	// Optimistic-scheduler series (Config.Lanes > 1).
+	specsTotal    *telemetry.Counter
+	specRetries   *telemetry.Counter
+	conflicts     *telemetry.Counter
+	reexecs       *telemetry.Counter
+	reexecSeconds *telemetry.Histogram
+	laneOccupancy *telemetry.Histogram
+
 	opClasses [evm.NumOpClasses]*telemetry.Counter
 }
 
@@ -65,6 +73,12 @@ func newDevMetrics(reg *telemetry.Registry) *devMetrics {
 	m.wsHits = reg.Counter("hardtape_wscache_hits_total", "L1 world-state cache hits")
 	m.wsMisses = reg.Counter("hardtape_wscache_misses_total", "L1 world-state cache misses")
 	m.oramQueries = reg.Counter("hardtape_device_oram_queries_total", "world-state queries answered through the ORAM")
+	m.specsTotal = reg.Counter("hardtape_device_speculations_total", "speculative transaction executions on parallel lanes")
+	m.specRetries = reg.Counter("hardtape_device_spec_retries_total", "worker-side re-speculations after a stale read set")
+	m.conflicts = reg.Counter("hardtape_device_conflicts_total", "commit-time read-set validation failures")
+	m.reexecs = reg.Counter("hardtape_device_reexecs_total", "in-order re-executions on the commit lane")
+	m.reexecSeconds = reg.Histogram("hardtape_device_reexec_seconds", "modeled device time spent re-executing conflicting transactions", nil)
+	m.laneOccupancy = reg.Histogram("hardtape_device_lane_occupancy", "mean speculative-lane utilization per parallel bundle", telemetry.RatioBuckets)
 	for i := range m.opClasses {
 		// The class label is drawn from the fixed OpClass enum, never
 		// from program data.
@@ -93,11 +107,28 @@ func (m *devMetrics) recordBundle(s *slot, res *BundleResult) {
 	hits, misses := s.wsCache.HitRate()
 	m.wsHits.Add(hits)
 	m.wsMisses.Add(misses)
-	m.oramQueries.Add(s.oramQueries)
-	for i, n := range s.opCounts {
+	m.oramQueries.Add(res.ORAMQueries)
+	counts := s.opCounts
+	for _, l := range s.lanes {
+		lh, lm := l.wsCache.HitRate()
+		m.wsHits.Add(lh)
+		m.wsMisses.Add(lm)
+		for i, n := range l.opCounts {
+			counts[i] += n
+		}
+	}
+	for i, n := range counts {
 		if n != 0 {
 			m.opClasses[i].Add(n)
 		}
+	}
+	if p := res.Parallel; p != nil {
+		m.specsTotal.Add(uint64(p.Speculations))
+		m.specRetries.Add(uint64(p.SpecRetries))
+		m.conflicts.Add(uint64(p.Conflicts))
+		m.reexecs.Add(uint64(p.ReExecs))
+		m.reexecSeconds.Observe(p.ReExecTime.Seconds())
+		m.laneOccupancy.Observe(p.Occupancy)
 	}
 	m.execVirtual.Observe(res.VirtualTime.Seconds())
 	m.gas.Add(res.GasUsed)

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hardtape/internal/node"
+	"hardtape/internal/state"
+	"hardtape/internal/tracer"
+	"hardtape/internal/types"
+	"hardtape/internal/workload"
+)
+
+// parallelRig wires one world behind two devices: a sequential
+// reference and an optimistic-parallel unit under test.
+type parallelRig struct {
+	world *workload.World
+	chain *node.Node
+	seq   *Device
+	par   *Device
+}
+
+func buildParallelRig(t testing.TB, features Features, lanes int, captureSteps bool) *parallelRig {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.EOAs = 16
+	wcfg.Tokens = 2
+	wcfg.DEXes = 1
+	w, err := workload.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(lanes int) *Device {
+		cfg := DefaultConfig()
+		cfg.Features = features
+		cfg.HEVMs = 1
+		cfg.Lanes = lanes
+		cfg.CaptureSteps = captureSteps
+		dev, err := NewDevice(cfg, nil, chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return dev
+	}
+	return &parallelRig{world: w, chain: chain, seq: mk(0), par: mk(lanes)}
+}
+
+// nonceChainBundle is n transactions from ONE sender at consecutive
+// nonces — every speculation past the first either fails its nonce
+// check or reads a stale nonce, so the scheduler must fall back to
+// in-order re-execution for the whole chain.
+func nonceChainBundle(t testing.TB, w *workload.World, n int) *types.Bundle {
+	t.Helper()
+	sender := w.EOAs[0]
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		to := types.BytesToAddress([]byte{0xab, byte(i)})
+		tx, err := w.SignedTxAt(sender, uint64(i), &to, uint64(10+i), nil, 40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	return &types.Bundle{Txs: txs}
+}
+
+// uniformBundle is n equal-cost, pairwise conflict-free arithmetic-loop
+// calls from distinct senders to one compute-only contract — the
+// balanced workload for modeled lane-speedup assertions.
+func uniformBundle(t testing.TB, w *workload.World, n int) *types.Bundle {
+	t.Helper()
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		to := w.ArithLoop
+		tx, err := w.SignedTxAt(w.EOAs[i], 0, &to, 0, workload.CalldataUint(2000), 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	return &types.Bundle{Txs: txs}
+}
+
+func assertTraceParity(t *testing.T, name string, seq, par *BundleResult) {
+	t.Helper()
+	if (seq.Aborted == nil) != (par.Aborted == nil) {
+		t.Fatalf("%s: abort mismatch: seq=%v par=%v", name, seq.Aborted, par.Aborted)
+	}
+	if seq.GasUsed != par.GasUsed {
+		t.Errorf("%s: gas mismatch: seq=%d par=%d", name, seq.GasUsed, par.GasUsed)
+	}
+	if len(seq.Trace.Txs) != len(par.Trace.Txs) {
+		t.Fatalf("%s: trace length mismatch: seq=%d par=%d", name, len(seq.Trace.Txs), len(par.Trace.Txs))
+	}
+	for i := range seq.Trace.Txs {
+		if diffs := tracer.Diff(seq.Trace.Txs[i], par.Trace.Txs[i]); len(diffs) > 0 {
+			t.Errorf("%s: tx %d diverges: %v", name, i, diffs)
+		}
+		if !reflect.DeepEqual(seq.Trace.Txs[i], par.Trace.Txs[i]) {
+			t.Errorf("%s: tx %d traces not byte-identical", name, i)
+		}
+	}
+}
+
+// TestParallelTraceParity is the tentpole's hard correctness bar:
+// byte-identical traces vs sequential execution across the evaluation
+// workloads, including the high-conflict MEV scenario, write-after-
+// write on one slot, reads racing aborted speculations, and a nonce
+// chain that re-executes every transaction.
+func TestParallelTraceParity(t *testing.T) {
+	r := buildParallelRig(t, ConfigFull, 4, true)
+
+	bundles := map[string]*types.Bundle{}
+	mev, err := r.world.MEVBundle(12, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles["mev-hot"] = mev
+	mixed, err := r.world.MEVBundle(12, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles["mev-mixed"] = mixed
+	free, err := r.world.ConflictFreeBundle(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles["conflict-free"] = free
+	bundles["nonce-chain"] = nonceChainBundle(t, r.world, 6)
+
+	for name, b := range bundles {
+		seq, err := r.seq.Execute(b)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		par, err := r.par.Execute(b)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", name, err)
+		}
+		assertTraceParity(t, name, seq, par)
+		if par.Parallel == nil {
+			t.Fatalf("%s: parallel run reported no scheduler stats", name)
+		}
+		if seq.Parallel != nil {
+			t.Fatalf("%s: sequential run reported scheduler stats", name)
+		}
+	}
+}
+
+// TestParallelEvalSetParity sweeps the generator's archetype mix as
+// single- and multi-tx bundles through both devices.
+func TestParallelEvalSetParity(t *testing.T) {
+	r := buildParallelRig(t, ConfigFull, 4, true)
+	r.world.SyncNonces(r.chain.State())
+	for i := 0; i < 6; i++ {
+		var txs []*types.Transaction
+		for j := 0; j < 4; j++ {
+			tx, _, err := r.world.GenerateTx()
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs = append(txs, tx)
+		}
+		b := &types.Bundle{Txs: txs}
+		seq, err := r.seq.Execute(b)
+		if err != nil {
+			t.Fatalf("bundle %d: sequential: %v", i, err)
+		}
+		par, err := r.par.Execute(b)
+		if err != nil {
+			t.Fatalf("bundle %d: parallel: %v", i, err)
+		}
+		assertTraceParity(t, fmt.Sprintf("eval-%d", i), seq, par)
+		// The generator threads nonces across bundles; re-anchor so the
+		// next bundle stays valid against the pinned canonical state.
+		r.world.SyncNonces(r.chain.State())
+	}
+}
+
+// TestParallelSchedulerStats checks the scheduler's accounting
+// identities and that the high-conflict workload actually produces
+// conflict-driven re-executions.
+func TestParallelSchedulerStats(t *testing.T) {
+	r := buildParallelRig(t, ConfigFull, 4, false)
+	mev, err := r.world.MEVBundle(12, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.par.Execute(mev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Parallel
+	if p == nil {
+		t.Fatal("no scheduler stats")
+	}
+	if p.Lanes != 4 {
+		t.Fatalf("lanes = %d", p.Lanes)
+	}
+	if p.Conflicts != p.ReExecs {
+		t.Fatalf("conflicts %d != re-execs %d (every conflict re-executes exactly once)", p.Conflicts, p.ReExecs)
+	}
+	if p.Speculations != len(mev.Txs)+p.SpecRetries {
+		t.Fatalf("speculations %d != txs %d + retries %d", p.Speculations, len(mev.Txs), p.SpecRetries)
+	}
+	if p.Conflicts == 0 && p.SpecRetries == 0 {
+		t.Fatal("12 transactions hammering one pool produced no staleness at all")
+	}
+	if p.MaxTxExecs < 1 || p.MaxTxExecs > maxSpecAttempts+1 {
+		t.Fatalf("MaxTxExecs = %d outside [1, %d]", p.MaxTxExecs, maxSpecAttempts+1)
+	}
+	if p.ReExecs > 0 && p.ReExecTime <= 0 {
+		t.Fatal("re-executions charged no virtual time")
+	}
+	if len(p.LaneBusy) != 4 {
+		t.Fatalf("lane busy entries = %d", len(p.LaneBusy))
+	}
+	if p.Occupancy <= 0 || p.Occupancy > 1 {
+		t.Fatalf("occupancy = %v", p.Occupancy)
+	}
+	if res.VirtualTime <= 0 {
+		t.Fatal("no virtual time")
+	}
+}
+
+// TestParallelWriteAfterWriteSameSlot pins the write-after-write edge
+// case end to end: every transaction writes the SAME storage slots
+// (one DEX pool's reserves), so each commit must supersede the
+// previous write, in bundle order, with traces identical to the
+// sequential device. (The state-layer half of this edge case is
+// TestVersionedWriteAfterWrite.)
+func TestParallelWriteAfterWriteSameSlot(t *testing.T) {
+	r := buildParallelRig(t, ConfigFull, 2, true)
+	for _, n := range []int{2, 6} {
+		b, err := r.world.MEVBundle(n, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := r.seq.Execute(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := r.par.Execute(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTraceParity(t, fmt.Sprintf("waw-%d", n), seq, par)
+	}
+}
+
+// TestParallelReadAfterRevertedWrite: transaction 0 starts the same
+// swap but runs out of gas mid-execution, so its speculative storage
+// writes are discarded; transaction 1 swaps the same pool and must
+// read the ORIGINAL reserves, not the aborted transaction's. Byte
+// parity with the sequential device proves no leakage. (The
+// state-layer half is TestVersionedAbortedWritesInvisible.)
+func TestParallelReadAfterRevertedWrite(t *testing.T) {
+	r := buildParallelRig(t, ConfigFull, 2, true)
+	pool := r.world.DEXes[0]
+	oog, err := r.world.SignedTxAt(r.world.EOAs[0], 0, &pool, 0,
+		workload.CalldataSwap(5000), 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap, err := r.world.SignedTxAt(r.world.EOAs[1], 0, &pool, 0,
+		workload.CalldataSwap(6000), 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &types.Bundle{Txs: []*types.Transaction{oog, swap}}
+	seq, err := r.seq.Execute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := r.par.Execute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTraceParity(t, "reverted-write", seq, par)
+}
+
+// TestParallelConflictTwiceReexecutesTwice walks one transaction
+// through the scheduler's full abort/retry ladder deterministically:
+// its first speculation is invalidated by a competing commit
+// (conflict 1 → the worker-retry re-execution), the retry is
+// invalidated by another commit (conflict 2 → the commit-lane
+// re-execution), and the third execution — against the quiesced
+// committed prefix — validates and commits. Uses the same specOnce /
+// Validate / Commit primitives the worker and committer run. (The
+// state-layer half is TestVersionedDoubleConflict.)
+func TestParallelConflictTwiceReexecutesTwice(t *testing.T) {
+	r := buildParallelRig(t, ConfigRaw, 2, false)
+	d := r.par
+	s := <-d.slots
+	s.reset()
+	defer func() { s.reset(); d.slots <- s }()
+	head := d.chain.Head()
+	blockCtx := workload.NewBlockContext(&head.Header)
+	blockCtx.BlockHash = d.chain.BlockHash
+
+	pool := r.world.DEXes[0]
+	mkSwap := func(i int) *types.Transaction {
+		tx, err := r.world.SignedTxAt(r.world.EOAs[i], 0, &pool, 0,
+			workload.CalldataSwap(uint64(1000+i)), 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tx
+	}
+	v := state.NewVersioned()
+	reader := d.newLaneReader(&s.laneState)
+	run := func(i int) *laneOutcome {
+		out := d.specOnce(&s.laneState, reader, v, blockCtx, mkSwap(i))
+		if out.failed() {
+			t.Fatalf("swap %d failed: %v %v %v", i, out.applyErr, out.abortErr, out.hardErr)
+		}
+		return out
+	}
+
+	victim := run(0) // speculation: reads the pool's base reserves
+	v.Commit(run(1).ws, reader)
+	if v.Validate(victim.rs) {
+		t.Fatal("conflict 1 not detected after a competing swap committed")
+	}
+	victim = run(0) // re-execution 1 (the worker retry)
+	v.Commit(run(2).ws, reader)
+	if v.Validate(victim.rs) {
+		t.Fatal("conflict 2 not detected after a second competing commit")
+	}
+	victim = run(0) // re-execution 2 (the commit lane); final
+	if !v.Validate(victim.rs) {
+		t.Fatal("final re-execution against the quiesced prefix must validate")
+	}
+	v.Commit(victim.ws, reader)
+}
+
+// TestParallelModeledSpeedup is the acceptance bar: on a conflict-free
+// bundle, 4 lanes must model at least a 3x virtual-time speedup over
+// sequential execution on the same workload.
+func TestParallelModeledSpeedup(t *testing.T) {
+	r := buildParallelRig(t, ConfigRaw, 4, false)
+	b := uniformBundle(t, r.world, 16)
+	seq, err := r.seq.Execute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := r.par.Execute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Parallel.Conflicts != 0 {
+		t.Fatalf("conflict-free bundle reported %d conflicts", par.Parallel.Conflicts)
+	}
+	speedup := float64(seq.VirtualTime) / float64(par.VirtualTime)
+	if speedup < 3.0 {
+		t.Fatalf("modeled speedup %.2fx < 3x (seq=%v par=%v)", speedup, seq.VirtualTime, par.VirtualTime)
+	}
+	t.Logf("modeled speedup at 4 lanes: %.2fx (seq=%v par=%v occupancy=%.2f)",
+		speedup, seq.VirtualTime, par.VirtualTime, par.Parallel.Occupancy)
+}
+
+// TestParallelConcurrentBundles drives the parallel scheduler from
+// several goroutines at once (multiple slots, shared ORAM client) —
+// the -race target for the scheduler's hand-offs.
+func TestParallelConcurrentBundles(t *testing.T) {
+	r := buildParallelRig(t, ConfigFull, 3, false)
+	mev, err := r.world.MEVBundle(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := r.world.ConflictFreeBundle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.seq.Execute(mev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFree, err := r.seq.Execute(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, ref := mev, want
+			if i%2 == 1 {
+				b, ref = free, wantFree
+			}
+			res, err := r.par.Execute(b)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.GasUsed != ref.GasUsed {
+				errs <- fmt.Errorf("run %d: gas %d != %d", i, res.GasUsed, ref.GasUsed)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"hardtape/internal/hevm"
@@ -24,7 +25,7 @@ import (
 // behaviour of halting the HEVM on an unrecoverable exception.
 type hvReader struct {
 	dev  *Device
-	slot *slot
+	lane *laneState
 	// kvStore serves account meta and storage records.
 	kvStore *pager.Store
 	// codeStore serves code pages; codeMirror provides the bytes when
@@ -37,7 +38,7 @@ type hvReader struct {
 
 var _ state.Reader = (*hvReader)(nil)
 
-// chargeQuery advances the slot clock for one page fetch and drains
+// chargeQuery advances the lane clock for one page fetch and drains
 // any due prefetches first.
 func (r *hvReader) chargeQuery(oramBacked bool) {
 	r.chargeQueryKind(oramBacked, 'k')
@@ -46,12 +47,12 @@ func (r *hvReader) chargeQuery(oramBacked bool) {
 func (r *hvReader) chargeQueryKind(oramBacked bool, kind byte) {
 	if oramBacked {
 		r.drainPrefetch()
-		r.slot.prefetcher.NotifyQuery(r.slot.clock.Now())
+		r.lane.prefetcher.NotifyQuery(r.lane.clock.Now())
 		r.recordORAMQuery(kind)
 		return
 	}
 	// Prefetched-to-untrusted-memory path: one A.E.DMA page move.
-	r.slot.clock.Advance(r.dev.cfg.Calibration.L3SwapPerPage)
+	r.lane.clock.Advance(r.dev.cfg.Calibration.L3SwapPerPage)
 }
 
 // recordORAMQuery logs one real ORAM query at the current virtual time
@@ -67,13 +68,13 @@ func (r *hvReader) recordORAMQuery(kind byte) {
 // serially per query (simclock.Calibration.ORAMBatchCost). All n
 // queries share one timestamp — on the wire they leave back to back.
 func (r *hvReader) recordORAMBatch(kind byte, n int) {
-	now := r.slot.clock.Now()
+	now := r.lane.clock.Now()
 	for i := 0; i < n; i++ {
-		r.slot.queryTimes = append(r.slot.queryTimes, now)
-		r.slot.queryKinds = append(r.slot.queryKinds, kind)
+		r.lane.queryTimes = append(r.lane.queryTimes, now)
+		r.lane.queryKinds = append(r.lane.queryKinds, kind)
 	}
-	r.slot.clock.Advance(r.dev.cfg.Calibration.ORAMBatchCost(n, 0))
-	r.slot.oramQueries += uint64(n)
+	r.lane.clock.Advance(r.dev.cfg.Calibration.ORAMBatchCost(n, 0))
+	r.lane.oramQueries += uint64(n)
 }
 
 // drainPrefetch issues at most ONE code prefetch whose randomized
@@ -86,7 +87,7 @@ func (r *hvReader) drainPrefetch() {
 	if !r.codeORAM {
 		return
 	}
-	ref, ok := r.slot.prefetcher.PopDue(r.slot.clock.Now())
+	ref, ok := r.lane.prefetcher.PopDue(r.lane.clock.Now())
 	if !ok {
 		return
 	}
@@ -119,7 +120,7 @@ func (r *hvReader) Account(addr types.Address) (*types.Account, bool) {
 // front of the page store.
 func (r *hvReader) Storage(addr types.Address, slot types.Hash) types.Hash {
 	ck := hevm.WSCacheKey{Addr: addr, Key: slot}
-	if v, ok := r.slot.wsCache.Get(ck); ok {
+	if v, ok := r.lane.wsCache.Get(ck); ok {
 		// L1 hit: same-cycle, no exception.
 		return types.Hash(v)
 	}
@@ -128,7 +129,7 @@ func (r *hvReader) Storage(addr types.Address, slot types.Hash) types.Hash {
 	if err != nil {
 		panic(fmt.Errorf("core: storage %s/%s: %w", addr, slot, err))
 	}
-	r.slot.wsCache.Put(ck, val)
+	r.lane.wsCache.Put(ck, val)
 	return val
 }
 
@@ -143,7 +144,7 @@ func (r *hvReader) Code(codeHash types.Hash) []byte {
 	}
 	// Bundle-local code cache: repeated calls to the same contract find
 	// the code on-chip (paper §VI-C's warm case).
-	if code, ok := r.slot.codeCache[codeHash]; ok {
+	if code, ok := r.lane.codeCache[codeHash]; ok {
 		return code
 	}
 	codeLen, ok := r.dev.codeLen(codeHash)
@@ -173,29 +174,30 @@ func (r *hvReader) Code(codeHash types.Hash) []byte {
 				r.recordORAMBatch('c', len(indices))
 			}
 		} else {
-			r.slot.prefetcher.QueueCode(codeHash, codeLen)
+			r.lane.prefetcher.QueueCode(codeHash, codeLen)
 		}
 		code, err := r.codeMirror.ReadCode(codeHash, codeLen)
 		if err != nil {
 			panic(fmt.Errorf("core: code mirror %s: %w", codeHash, err))
 		}
-		r.slot.codeCache[codeHash] = code
+		r.lane.codeCache[codeHash] = code
 		return code
 	}
 	// Local path: every page is one untrusted-memory move.
 	pages := pager.CodePages(codeLen)
-	r.slot.clock.Advance(time.Duration(pages) * r.dev.cfg.Calibration.L3SwapPerPage)
+	r.lane.clock.Advance(time.Duration(pages) * r.dev.cfg.Calibration.L3SwapPerPage)
 	code, err := r.codeStore.ReadCode(codeHash, codeLen)
 	if err != nil {
 		panic(fmt.Errorf("core: code %s: %w", codeHash, err))
 	}
-	r.slot.codeCache[codeHash] = code
+	r.lane.codeCache[codeHash] = code
 	return code
 }
 
-// newReader wires a reader for the device's feature set.
-func (d *Device) newReader(s *slot) *hvReader {
-	r := &hvReader{dev: d, slot: s}
+// newReader wires a reader for the device's feature set, charging the
+// given lane's clock and caches.
+func (d *Device) newReader(l *laneState) *hvReader {
+	r := &hvReader{dev: d, lane: l}
 	if d.cfg.Features.ORAMStorage {
 		r.kvStore, r.kvORAM = d.oramStore, true
 	} else {
@@ -207,6 +209,48 @@ func (d *Device) newReader(s *slot) *hvReader {
 	} else {
 		r.codeStore = d.mirror
 		r.codeMirror = d.mirror
+	}
+	return r
+}
+
+// lockedReader serializes one lane's world-state queries against the
+// device's shared Path ORAM client. Sequential execution holds oramMu
+// for a whole bundle (runTxs); parallel lanes instead take it per
+// query — the Hypervisor's query serialization point — so lanes
+// interleave at ORAM-access granularity.
+type lockedReader struct {
+	mu    *sync.Mutex
+	inner state.Reader
+}
+
+var _ state.Reader = (*lockedReader)(nil)
+
+func (r *lockedReader) Account(addr types.Address) (*types.Account, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Account(addr)
+}
+
+func (r *lockedReader) Storage(addr types.Address, key types.Hash) types.Hash {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Storage(addr, key)
+}
+
+func (r *lockedReader) Code(codeHash types.Hash) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Code(codeHash)
+}
+
+// newLaneReader wires the reader a parallel lane executes against.
+// With ORAM features the shared client is not concurrent-safe, so each
+// query takes oramMu for its duration; the -raw mirror is a plain map
+// safe for concurrent reads and needs no lock.
+func (d *Device) newLaneReader(l *laneState) state.Reader {
+	r := d.newReader(l)
+	if d.cfg.Features.ORAMStorage || d.cfg.Features.ORAMCode {
+		return &lockedReader{mu: &d.oramMu, inner: r}
 	}
 	return r
 }

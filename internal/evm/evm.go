@@ -29,13 +29,13 @@ type TxContext struct {
 	GasPrice *uint256.Int
 }
 
-// EVM executes contract code against an Overlay. One EVM instance
-// serves one transaction at a time (matching the paper's
-// one-HEVM-per-bundle exclusivity).
+// EVM executes contract code against a state.Journal (an Overlay or a
+// speculative TxOverlay). One EVM instance serves one transaction at a
+// time (matching the paper's one-HEVM-per-bundle exclusivity).
 type EVM struct {
 	Block BlockContext
 	Tx    TxContext
-	State *state.Overlay
+	State state.Journal
 	Hooks *Hooks
 
 	// DisablePooling makes every call allocate a fresh frame instead of
@@ -72,7 +72,7 @@ func (e *EVM) refreshHookFlags() {
 }
 
 // New constructs an EVM. Nil BaseFee/ChainID default to zero values.
-func New(block BlockContext, st *state.Overlay) *EVM {
+func New(block BlockContext, st state.Journal) *EVM {
 	if block.BaseFee == nil {
 		block.BaseFee = new(uint256.Int)
 	}

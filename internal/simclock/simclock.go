@@ -54,6 +54,14 @@ type Calibration struct {
 	// ORAMClientPerBlock is the on-chip stash/position-map work per
 	// ORAM block moved along the path.
 	ORAMClientPerBlock time.Duration
+
+	// LaneValidatePerRead is the in-order committer's cost to check one
+	// read-set entry against the on-chip committed buffer (a tag
+	// compare in the Hypervisor's SRAM, A53-class).
+	LaneValidatePerRead time.Duration
+	// LaneCommitPerWrite is the committer's cost to publish one
+	// write-set entry into the committed buffer.
+	LaneCommitPerWrite time.Duration
 }
 
 // ORAMBatchCost models a batched ORAM access of `queries` path
@@ -112,6 +120,9 @@ func DefaultCalibration() Calibration {
 		ORAMLinkRTT:        2 * time.Millisecond,
 		ORAMServerPerQuery: 25 * time.Microsecond,
 		ORAMClientPerBlock: 500 * time.Nanosecond,
+
+		LaneValidatePerRead: 90 * time.Nanosecond,
+		LaneCommitPerWrite:  120 * time.Nanosecond,
 	}
 }
 
@@ -162,11 +173,59 @@ func (c *Clock) Now() time.Duration {
 	return c.now
 }
 
+// AdvanceTo moves the clock forward to at least t (no-op when the
+// clock is already past it) and returns the new time. The in-order
+// committer uses this to wait, in virtual time, for a speculative
+// lane's result.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
 // Reset sets the clock back to zero.
 func (c *Clock) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = 0
+}
+
+// LaneSet models N parallel HEVM lanes inside one device slot. Every
+// lane owns a relative clock started at zero when the bundle's
+// parallel phase begins; Base is the device time at that instant
+// (after input crypto), so a lane's absolute time is Base + lane.Now().
+// The set exists to keep the modeled numbers honest: the committer
+// advances the device clock to each lane's absolute completion time
+// before charging validation/commit work, and the bundle ends no
+// earlier than the slowest lane.
+type LaneSet struct {
+	Base  time.Duration
+	Lanes []*Clock
+}
+
+// NewLaneSet returns a lane set over the given relative lane clocks.
+func NewLaneSet(base time.Duration, lanes []*Clock) *LaneSet {
+	return &LaneSet{Base: base, Lanes: lanes}
+}
+
+// Absolute converts a lane-relative instant to device-absolute time.
+func (ls *LaneSet) Absolute(rel time.Duration) time.Duration {
+	return ls.Base + rel
+}
+
+// Makespan returns the device-absolute completion time of the slowest
+// lane — the lower bound for the bundle's end.
+func (ls *LaneSet) Makespan() time.Duration {
+	end := ls.Base
+	for _, l := range ls.Lanes {
+		if t := ls.Base + l.Now(); t > end {
+			end = t
+		}
+	}
+	return end
 }
 
 // Span measures a virtual interval.

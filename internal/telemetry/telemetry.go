@@ -185,6 +185,11 @@ var DurationBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// RatioBuckets spans [0,1] for utilization and hit-rate distributions.
+var RatioBuckets = []float64{
+	0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1,
+}
+
 // SizeBuckets spans 64 B–16 MB for byte-volume distributions.
 var SizeBuckets = []float64{
 	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hardtape/internal/types"
+)
+
+// MEVBundle builds a high-conflict "searcher" bundle: n transactions
+// from n DISTINCT senders, of which a conflictRate fraction are
+// near-identical swaps hammering ONE DEX pool — every one reads and
+// rewrites the pool's reserve slots 0/1 (plus the pool token's fee and
+// bookkeeping slots), the canonical MEV backrun shape. The remainder
+// are storage-free compute (uniform-cost arithmetic loops), which
+// touch no shared state and commit cleanly, so conflictRate alone
+// controls the fraction of transactions an optimistic scheduler must
+// re-execute — and the rate-0 point is a balanced lane-scaling
+// workload rather than a commit-overhead microbenchmark.
+//
+// Senders sign at their canonical (genesis) nonce; the bundle is a
+// pre-execution artifact and never advances the generator's nonces.
+func (w *World) MEVBundle(n int, conflictRate float64) (*types.Bundle, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: mev bundle needs at least 1 tx, got %d", n)
+	}
+	if n > len(w.EOAs) {
+		return nil, fmt.Errorf("workload: mev bundle needs %d distinct senders, world has %d EOAs", n, len(w.EOAs))
+	}
+	if conflictRate < 0 || conflictRate > 1 {
+		return nil, fmt.Errorf("workload: conflict rate %v outside [0,1]", conflictRate)
+	}
+	hot := int(math.Round(conflictRate * float64(n)))
+	pool := w.DEXes[0]
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		sender := w.EOAs[i]
+		nonce := uint64(0)
+		if acct, ok := w.State.Account(sender); ok {
+			nonce = acct.Nonce
+		}
+		var (
+			tx  *types.Transaction
+			err error
+		)
+		if i < hot {
+			// Searcher swap: distinct amounts keep the txs distinguishable
+			// while every one contends on the pool's reserve slots.
+			tx, err = w.SignedTxAt(sender, nonce, &pool, 0, CalldataSwap(uint64(1000+i)), 300_000)
+		} else {
+			// Conflict-free filler: a compute-only loop reading and
+			// writing nothing any other transaction touches.
+			to := w.ArithLoop
+			tx, err = w.SignedTxAt(sender, nonce, &to, 0, CalldataUint(1500+uint64(i)*16), 2_000_000)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: mev tx %d: %w", i, err)
+		}
+		txs = append(txs, tx)
+	}
+	return &types.Bundle{Txs: txs}, nil
+}
+
+// ConflictFreeBundle builds an n-transaction bundle with pairwise
+// disjoint read/write storage sets: distinct senders rotate through
+// plain ETH transfers to fresh recipients, token balance reads of their
+// own (distinct) balance slots, and memory-worker calls that touch no
+// storage at all. An optimistic scheduler commits every speculation
+// unchanged — the upper-bound workload for lane-speedup measurements.
+func (w *World) ConflictFreeBundle(n int) (*types.Bundle, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: bundle needs at least 1 tx, got %d", n)
+	}
+	if n > len(w.EOAs) {
+		return nil, fmt.Errorf("workload: bundle needs %d distinct senders, world has %d EOAs", n, len(w.EOAs))
+	}
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		sender := w.EOAs[i]
+		nonce := uint64(0)
+		if acct, ok := w.State.Account(sender); ok {
+			nonce = acct.Nonce
+		}
+		var (
+			tx  *types.Transaction
+			err error
+		)
+		switch i % 3 {
+		case 0:
+			to := types.BytesToAddress([]byte{0xcf, 0xcf, byte(i >> 8), byte(i)})
+			tx, err = w.SignedTxAt(sender, nonce, &to, uint64(50+i), nil, 40_000)
+		case 1:
+			token := w.Tokens[i%len(w.Tokens)]
+			tx, err = w.SignedTxAt(sender, nonce, &token, 0, CalldataBalanceOf(sender), 80_000)
+		default:
+			to := w.MemWorkers[i%len(w.MemWorkers)]
+			tx, err = w.SignedTxAt(sender, nonce, &to, 0, CalldataUint(4096+uint64(i)*128), 2_000_000)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: conflict-free tx %d: %w", i, err)
+		}
+		txs = append(txs, tx)
+	}
+	return &types.Bundle{Txs: txs}, nil
+}
