@@ -42,6 +42,7 @@ type jsonReport struct {
 	Sessions     *bench.SessionsReport     `json:"sessions,omitempty"`
 	SessionScale *bench.SessionScaleReport `json:"session_scale,omitempty"`
 	Parallel     *bench.ParallelReport     `json:"parallel,omitempty"`
+	ORAM         *bench.ORAMSweepReport    `json:"oram,omitempty"`
 }
 
 type jsonAblations struct {
@@ -71,6 +72,8 @@ func run() error {
 		interp      = flag.Bool("interp", false, "interpreter fast-path microbenchmarks + raw bundle throughput")
 		sessions    = flag.Bool("sessions", false, "cold-dial vs ticket-resume sweep + gateway resume stampede")
 		parallel    = flag.Bool("parallel", false, "intra-bundle parallel pre-execution: lanes × conflict-rate sweep")
+		oramSweep   = flag.Bool("oram", false, "sharded ORAM fan-out: shards × batch-size sweep, modeled + measured")
+		shards      = flag.Int("shards", 8, "maximum shard count for the -oram sweep (powers of two up to this)")
 		scaleN      = flag.Int("scale-sessions", 10000, "session count for the -sessions gateway stampede")
 		telem       = flag.Bool("telemetry", false, "drive an instrumented -full pipeline and dump the registry JSON snapshot on stdout")
 		asJSON      = flag.Bool("json", false, "emit results as JSON on stdout (progress goes to stderr)")
@@ -84,15 +87,15 @@ func run() error {
 	flag.Parse()
 
 	if *all {
-		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions, *parallel =
-			true, true, true, true, true, true, true, true, true, true
+		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions, *parallel, *oramSweep =
+			true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *telem {
 		// Telemetry mode is its own run: stdout carries exactly the
 		// registry snapshot (the same document /metrics.json serves).
 		return runTelemetry(*n, *seed, *eoas, *tokens, *dexes, *hevms)
 	}
-	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions || *parallel) {
+	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions || *parallel || *oramSweep) {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
@@ -234,6 +237,15 @@ func run() error {
 			return fmt.Errorf("parallel: %w", err)
 		}
 		report.Parallel = rep
+		section(rep.Render())
+	}
+
+	if *oramSweep {
+		rep, err := bench.ORAMShardSweep(*shards, []int{8, 32}, 16)
+		if err != nil {
+			return fmt.Errorf("oram sweep: %w", err)
+		}
+		report.ORAM = rep
 		section(rep.Render())
 	}
 

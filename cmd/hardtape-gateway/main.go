@@ -45,6 +45,7 @@ func run() error {
 		devices = flag.Int("devices", 3, "in-process devices in the pool")
 		hevms   = flag.Int("hevms", 3, "HEVM cores per device")
 		lanes   = flag.Int("lanes", 0, "speculative lanes per HEVM (>1 enables optimistic parallel pre-execution)")
+		shards  = flag.Int("shards", 0, "ORAM shard count (>1 partitions the tree with shard-aware batched fan-out)")
 		seed    = flag.Int64("seed", 19145194, "world seed")
 		eoas    = flag.Int("eoas", 16, "synthetic EOAs")
 		tokens  = flag.Int("tokens", 3, "ERC-20 tokens")
@@ -76,6 +77,7 @@ func run() error {
 	opts.Features = features
 	opts.HEVMs = *hevms
 	opts.Lanes = *lanes
+	opts.Shards = *shards
 
 	fcfg := hardtape.DefaultFleetConfig()
 	fcfg.QueueDepth = *queueDepth

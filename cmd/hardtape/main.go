@@ -34,6 +34,7 @@ func run() error {
 		cfgName = flag.String("config", "full", "feature set: raw|e|es|eso|full")
 		hevms   = flag.Int("hevms", 3, "HEVM cores")
 		lanes   = flag.Int("lanes", 0, "speculative lanes per HEVM (>1 enables optimistic parallel pre-execution)")
+		shards  = flag.Int("shards", 0, "ORAM shard count (>1 partitions the tree with shard-aware batched fan-out)")
 		seed    = flag.Int64("seed", 19145194, "world seed")
 		eoas    = flag.Int("eoas", 16, "synthetic EOAs")
 		tokens  = flag.Int("tokens", 3, "ERC-20 tokens")
@@ -56,6 +57,7 @@ func run() error {
 	opts.Features = features
 	opts.HEVMs = *hevms
 	opts.Lanes = *lanes
+	opts.Shards = *shards
 
 	// Telemetry is opt-in: without -admin the pipeline runs with nil
 	// instruments (one branch per record site, zero allocations).
@@ -95,6 +97,9 @@ func run() error {
 	laneNote := ""
 	if *lanes > 1 {
 		laneNote = fmt.Sprintf(", %d lanes", *lanes)
+	}
+	if *shards > 1 {
+		laneNote += fmt.Sprintf(", %d ORAM shards", *shards)
 	}
 	fmt.Printf("HarDTAPE service (%s, %d HEVMs%s) listening on %s\n",
 		features.Name(), *hevms, laneNote, l.Addr())

@@ -261,6 +261,10 @@ type TestbedOptions struct {
 	// each bundle's transactions speculatively on N lanes per HEVM with
 	// in-order commit (DESIGN.md §16); 0 or 1 executes sequentially.
 	Lanes int
+	// Shards partitions the ORAM across N independent trees with
+	// shard-aware batched fan-out (DESIGN.md §17); 0 or 1 keeps the
+	// paper's single tree.
+	Shards int
 	// Telemetry, when non-nil, instruments the testbed's device(s) —
 	// and, for fleet testbeds, the gateway — on this registry.
 	Telemetry *Telemetry
@@ -296,6 +300,7 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 		cfg.HEVMs = opts.HEVMs
 	}
 	cfg.Lanes = opts.Lanes
+	cfg.ORAMShards = opts.Shards
 	cfg.Telemetry = opts.Telemetry
 	dev, err := core.NewDevice(cfg, mfr, chain)
 	if err != nil {
@@ -356,6 +361,7 @@ func NewFleetTestbed(opts TestbedOptions, n int, fcfg FleetConfig) (*FleetTestbe
 			cfg.HEVMs = opts.HEVMs
 		}
 		cfg.Lanes = opts.Lanes
+		cfg.ORAMShards = opts.Shards
 		cfg.Telemetry = opts.Telemetry
 		cfg.NoiseSeed = int64(i + 1)
 		dev, err := core.NewDevice(cfg, mfr, chain)

@@ -8,8 +8,10 @@
 // annotated so the trust boundary cannot drift silently.
 //
 // The analyzer flags, outside the oram package itself, any call to a
-// raw-store method on the ORAM server types (the oram.Server
-// interface or *oram.MemServer).
+// raw-store method on the ORAM server types: the oram.Server interface
+// or any concrete store behind it — *oram.MemServer, the disk-backed
+// *oram.FileServer (the sharded/persistent deployment, DESIGN.md §17),
+// and the *oram.RemoteServer TCP transport.
 //
 // Escape hatch (reason required): //hardtape:oram-direct reason
 package oramleak
@@ -39,10 +41,14 @@ var rawMethods = map[string]bool{
 	"SetObserver":  true,
 }
 
-// serverTypes are the receiver types exposing the raw store.
+// serverTypes are the receiver types exposing the raw store. Every
+// Server implementation belongs here: a new backend (disk, TCP, …)
+// that is not listed would let raw access drift past the fence.
 var serverTypes = map[string]bool{
-	"Server":    true,
-	"MemServer": true,
+	"Server":       true,
+	"MemServer":    true,
+	"FileServer":   true,
+	"RemoteServer": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

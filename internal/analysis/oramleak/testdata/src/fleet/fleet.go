@@ -5,14 +5,32 @@ package fleet
 import "oram"
 
 func probe(s *oram.MemServer) {
-	s.ReadPath(3)                  // want `direct ORAM server access \(MemServer.ReadPath\) outside internal/oram`
-	s.TamperBucket(0)              // want `direct ORAM server access \(MemServer.TamperBucket\) outside internal/oram`
-	s.WritePath(3, nil)            // want `direct ORAM server access \(MemServer.WritePath\) outside internal/oram`
+	s.ReadPath(3)       // want `direct ORAM server access \(MemServer.ReadPath\) outside internal/oram`
+	s.TamperBucket(0)   // want `direct ORAM server access \(MemServer.TamperBucket\) outside internal/oram`
+	s.WritePath(3, nil) // want `direct ORAM server access \(MemServer.WritePath\) outside internal/oram`
 	//hardtape:oram-direct fixture: adversary observation point for the experiment
 	s.SetObserver(func(oram.AccessEvent) {})
+}
+
+// The disk-backed and TCP stores are the same trust boundary: batched
+// raw access and bucket tampering are findings there too.
+func probeDurable(f *oram.FileServer, r *oram.RemoteServer) {
+	f.ReadPaths(nil)       // want `direct ORAM server access \(FileServer.ReadPaths\) outside internal/oram`
+	f.WritePaths(nil, nil) // want `direct ORAM server access \(FileServer.WritePaths\) outside internal/oram`
+	r.ReadPath(0)          // want `direct ORAM server access \(RemoteServer.ReadPath\) outside internal/oram`
+	//hardtape:oram-direct fixture: corruption injection for the recovery experiment
+	f.TamperBucket(0)
 }
 
 // Reading server metadata (not a raw-store method) is fine.
 func capacity(s *oram.MemServer) int {
 	return s.Leaves()
+}
+
+// Lifecycle methods on the durable store don't touch buckets.
+func flush(f *oram.FileServer) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
 }

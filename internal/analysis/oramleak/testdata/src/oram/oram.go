@@ -8,13 +8,29 @@ type AccessEvent struct{ Leaf uint64 }
 // MemServer mimics the raw bucket store.
 type MemServer struct{ obs func(AccessEvent) }
 
-func (s *MemServer) ReadPath(leaf uint64) [][]byte         { return nil }
-func (s *MemServer) WritePath(leaf uint64, data [][]byte)  {}
-func (s *MemServer) TamperBucket(i int)                    {}
-func (s *MemServer) SetObserver(fn func(AccessEvent))      { s.obs = fn }
-func (s *MemServer) Leaves() int                           { return 0 }
+func (s *MemServer) ReadPath(leaf uint64) [][]byte        { return nil }
+func (s *MemServer) WritePath(leaf uint64, data [][]byte) {}
+func (s *MemServer) TamperBucket(i int)                   {}
+func (s *MemServer) SetObserver(fn func(AccessEvent))     { s.obs = fn }
+func (s *MemServer) Leaves() int                          { return 0 }
+
+// FileServer mimics the disk-backed bucket store (persist/shard PR).
+type FileServer struct{}
+
+func (s *FileServer) ReadPaths(leaves []uint64) [][][]byte         { return nil }
+func (s *FileServer) WritePaths(leaves []uint64, paths [][][]byte) {}
+func (s *FileServer) TamperBucket(leaf uint64)                     {}
+func (s *FileServer) Sync() error                                  { return nil }
+func (s *FileServer) Close() error                                 { return nil }
+
+// RemoteServer mimics the TCP transport.
+type RemoteServer struct{}
+
+func (s *RemoteServer) ReadPath(leaf uint64) [][]byte { return nil }
+func (s *RemoteServer) Close() error                  { return nil }
 
 // internalUse shows in-package raw access is exempt.
-func internalUse(s *MemServer) {
+func internalUse(s *MemServer, f *FileServer) {
 	s.WritePath(1, s.ReadPath(1))
+	f.WritePaths(nil, f.ReadPaths(nil))
 }

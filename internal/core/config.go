@@ -77,8 +77,21 @@ type Config struct {
 	Hardware hevm.Config
 	// Calibration is the virtual-time cost table.
 	Calibration simclock.Calibration
-	// ORAMCapacity is the ORAM tree capacity in 1 KB blocks.
+	// ORAMCapacity is the ORAM tree capacity in 1 KB blocks (split
+	// evenly across shards when ORAMShards > 1).
 	ORAMCapacity uint64
+	// ORAMShards partitions the world state across K independent Path
+	// ORAM trees by a stable block-id hash; batched accesses fan out
+	// across shards in one overlapped round (DESIGN.md §17). 0 or 1
+	// keeps the paper's single tree.
+	ORAMShards int
+	// ORAMDir, when non-empty, makes the ORAM durable: disk-backed
+	// bucket files plus crash-consistent stash/position-map
+	// checkpointing under this directory, one subdirectory per shard.
+	// A device restarted over the same directory (and ORAMKey) resumes
+	// from the last checkpoint. Mutually exclusive with RemoteORAMAddr
+	// and RecursivePositionMap.
+	ORAMDir string
 	// NoiseSeed seeds the swap-noise RNG (reproducibility).
 	NoiseSeed int64
 	// CaptureSteps enables per-instruction traces (correctness runs).
@@ -108,6 +121,14 @@ type Config struct {
 	// telemetry entirely: the pipeline pays one branch per record site
 	// and allocates nothing.
 	Telemetry *telemetry.Registry
+}
+
+// ORAMShardCount returns the effective shard count (minimum 1).
+func (c Config) ORAMShardCount() int {
+	if c.ORAMShards > 1 {
+		return c.ORAMShards
+	}
+	return 1
 }
 
 // DefaultConfig mirrors the paper's prototype.

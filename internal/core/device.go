@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -169,17 +170,21 @@ type Device struct {
 	chain *node.Node
 
 	oramServer *oram.MemServer
-	oramStore  *pager.Store
-	mirror     *pager.Store
-	syncORAM   *node.Syncer
-	syncMirror *node.Syncer
+	// oramServers holds every in-process shard server when the tree is
+	// sharded (oramServer aliases shard 0 for single-tree callers).
+	oramServers []*oram.MemServer
+	oramStore   *pager.Store
+	mirror      *pager.Store
+	syncORAM    *node.Syncer
+	syncMirror  *node.Syncer
 
 	slots    chan *slot
 	allSlots []*slot
 
-	// oramClient is the shared Path ORAM client (nil without ORAM
-	// features); kept for occupancy/stats reporting.
-	oramClient *oram.Client
+	// oramClient is the shared Path ORAM access point (nil without
+	// ORAM features): the single-tree Client, or the ShardedClient
+	// fanning batches out across ORAMShards trees.
+	oramClient oram.Accessor
 
 	// tm is always non-nil; with telemetry disabled its instruments
 	// are nil and every record call is a single branch.
@@ -228,24 +233,9 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 		tm:       newDevMetrics(cfg.Telemetry),
 	}
 
-	// ORAM server + shared client (the SP runs the server; the
+	// ORAM server(s) + shared client (the SP runs the servers; the
 	// Hypervisor holds the client with its on-chip stash/position map).
 	if cfg.Features.ORAMStorage || cfg.Features.ORAMCode {
-		var server oram.Server
-		if cfg.RemoteORAMAddr != "" {
-			remote, err := oram.DialServer(cfg.RemoteORAMAddr)
-			if err != nil {
-				return nil, fmt.Errorf("core: remote oram: %w", err)
-			}
-			server = remote
-		} else {
-			mem, err := oram.NewMemServer(cfg.ORAMCapacity)
-			if err != nil {
-				return nil, err
-			}
-			d.oramServer = mem
-			server = mem
-		}
 		key := cfg.ORAMKey
 		if len(key) == 0 {
 			key = make([]byte, oram.KeySize)
@@ -256,22 +246,7 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 			return nil, fmt.Errorf("core: ORAM key must be %d bytes", oram.KeySize)
 		}
 		d.oramKey = append([]byte(nil), key...)
-		var opts []oram.ClientOption
-		if cfg.Telemetry != nil {
-			opts = append(opts, oram.WithTelemetry(cfg.Telemetry))
-		}
-		if cfg.RecursivePositionMap {
-			pmKey := make([]byte, oram.KeySize)
-			if _, err := rand.Read(pmKey); err != nil {
-				return nil, fmt.Errorf("core: posmap key: %w", err)
-			}
-			pm, err := oram.NewRecursivePositionMap(cfg.ORAMCapacity, pmKey)
-			if err != nil {
-				return nil, err
-			}
-			opts = append(opts, oram.WithPositionMap(pm))
-		}
-		client, err := oram.NewClient(server, key, opts...)
+		client, err := d.buildORAM(cfg, key)
 		if err != nil {
 			return nil, err
 		}
@@ -305,6 +280,106 @@ func NewDevice(cfg Config, mfr *attest.Manufacturer, chain *node.Node) (*Device,
 	return d, nil
 }
 
+// buildORAM wires the device's oblivious store from the config: the
+// paper's single tree (in-memory or remote), or ORAMShards independent
+// trees behind the fan-out client — optionally disk-backed with
+// checkpointing when ORAMDir is set (DESIGN.md §17).
+func (d *Device) buildORAM(cfg Config, key []byte) (oram.Accessor, error) {
+	shards := cfg.ORAMShardCount()
+
+	// Durable path: disk-backed bucket files + checkpoint stores under
+	// ORAMDir, any shard count (a single shard still checkpoints).
+	if cfg.ORAMDir != "" {
+		if cfg.RemoteORAMAddr != "" {
+			return nil, fmt.Errorf("core: ORAMDir and RemoteORAMAddr are mutually exclusive")
+		}
+		if cfg.RecursivePositionMap {
+			return nil, fmt.Errorf("core: checkpointing requires the flat position map")
+		}
+		var sopts []oram.ShardOption
+		if cfg.Telemetry != nil {
+			sopts = append(sopts, oram.WithShardTelemetry(cfg.Telemetry))
+		}
+		sc, err := oram.OpenShardedStore(cfg.ORAMDir, shards, cfg.ORAMCapacity, key, 1, sopts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: durable oram: %w", err)
+		}
+		return sc, nil
+	}
+
+	if shards > 1 {
+		if cfg.RecursivePositionMap {
+			return nil, fmt.Errorf("core: sharding uses per-shard flat position maps (the partitioned map); RecursivePositionMap is single-tree only")
+		}
+		servers := make([]oram.Server, shards)
+		if cfg.RemoteORAMAddr != "" {
+			// One TCP server per shard, comma-separated in config order.
+			addrs := strings.Split(cfg.RemoteORAMAddr, ",")
+			if len(addrs) != shards {
+				return nil, fmt.Errorf("core: %d ORAM shards need %d remote addresses, got %d",
+					shards, shards, len(addrs))
+			}
+			for i, addr := range addrs {
+				remote, err := oram.DialServer(strings.TrimSpace(addr))
+				if err != nil {
+					return nil, fmt.Errorf("core: remote oram shard %d: %w", i, err)
+				}
+				servers[i] = remote
+			}
+		} else {
+			perShard := (cfg.ORAMCapacity + uint64(shards) - 1) / uint64(shards)
+			for i := range servers {
+				mem, err := oram.NewMemServer(perShard)
+				if err != nil {
+					return nil, err
+				}
+				d.oramServers = append(d.oramServers, mem)
+				servers[i] = mem
+			}
+			d.oramServer = d.oramServers[0]
+		}
+		var sopts []oram.ShardOption
+		if cfg.Telemetry != nil {
+			sopts = append(sopts, oram.WithShardTelemetry(cfg.Telemetry))
+		}
+		return oram.NewShardedClient(servers, key, sopts...)
+	}
+
+	// The paper's single tree.
+	var server oram.Server
+	if cfg.RemoteORAMAddr != "" {
+		remote, err := oram.DialServer(cfg.RemoteORAMAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: remote oram: %w", err)
+		}
+		server = remote
+	} else {
+		mem, err := oram.NewMemServer(cfg.ORAMCapacity)
+		if err != nil {
+			return nil, err
+		}
+		d.oramServer = mem
+		d.oramServers = []*oram.MemServer{mem}
+		server = mem
+	}
+	var opts []oram.ClientOption
+	if cfg.Telemetry != nil {
+		opts = append(opts, oram.WithTelemetry(cfg.Telemetry))
+	}
+	if cfg.RecursivePositionMap {
+		pmKey := make([]byte, oram.KeySize)
+		if _, err := rand.Read(pmKey); err != nil {
+			return nil, fmt.Errorf("core: posmap key: %w", err)
+		}
+		pm, err := oram.NewRecursivePositionMap(cfg.ORAMCapacity, pmKey)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, oram.WithPositionMap(pm))
+	}
+	return oram.NewClient(server, key, opts...)
+}
+
 // newLane builds one execution lane's hardware set.
 func newLane(cfg Config, id int, noiseSeed int64) (*laneState, error) {
 	clock := simclock.NewClock()
@@ -330,7 +405,12 @@ func newLane(cfg Config, id int, noiseSeed int64) (*laneState, error) {
 func (d *Device) Booted() *attest.BootedDevice { return d.booted }
 
 // ORAMServer exposes the SP-side server (adversary observation point).
+// With a sharded tree set this is shard 0; ORAMServers lists them all.
 func (d *Device) ORAMServer() *oram.MemServer { return d.oramServer }
+
+// ORAMServers exposes every in-process shard server in shard order
+// (nil for remote or disk-backed deployments).
+func (d *Device) ORAMServers() []*oram.MemServer { return d.oramServers }
 
 // Sync pulls the node's world state — Merkle-verified — into the
 // device's stores (step 11 / initial full sync).

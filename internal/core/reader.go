@@ -65,15 +65,17 @@ func (r *hvReader) recordORAMQuery(kind byte) {
 // recordORAMBatch logs n queries issued together in one batched
 // message and charges them as OVERLAPPED virtual time: the 2 ms link
 // round trip is paid once for the whole batch, server processing
-// serially per query (simclock.Calibration.ORAMBatchCost). All n
-// queries share one timestamp — on the wire they leave back to back.
+// serially per query within a shard but in parallel across shards
+// (simclock.Calibration.ORAMShardedBatchCost — with one shard this is
+// exactly ORAMBatchCost). All n queries share one timestamp — on the
+// wire they leave back to back.
 func (r *hvReader) recordORAMBatch(kind byte, n int) {
 	now := r.lane.clock.Now()
 	for i := 0; i < n; i++ {
 		r.lane.queryTimes = append(r.lane.queryTimes, now)
 		r.lane.queryKinds = append(r.lane.queryKinds, kind)
 	}
-	r.lane.clock.Advance(r.dev.cfg.Calibration.ORAMBatchCost(n, 0))
+	r.lane.clock.Advance(r.dev.cfg.Calibration.ORAMShardedBatchCost(n, r.dev.cfg.ORAMShardCount(), 0))
 	r.lane.oramQueries += uint64(n)
 }
 

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"hardtape/internal/node"
+	"hardtape/internal/tracer"
+	"hardtape/internal/workload"
+)
+
+// buildShardedRig wires a device over the given ORAM shard count (and
+// optional durable directory) against a small deterministic world.
+func buildShardedRig(t testing.TB, mutate func(*Config)) *rig {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.EOAs = 12
+	wcfg.Tokens = 2
+	wcfg.DEXes = 1
+	w, err := workload.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Features = ConfigFull
+	cfg.HEVMs = 2
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	dev, err := NewDevice(cfg, nil, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{world: w, chain: chain, device: dev}
+}
+
+// TestShardedDeviceTraceParity: the shard count is a performance knob,
+// never a behaviour knob — a 4-shard -full device must produce exactly
+// the single-tree device's trace, gas, and ORAM query count for the
+// same bundle.
+func TestShardedDeviceTraceParity(t *testing.T) {
+	single := buildShardedRig(t, nil)
+	sharded := buildShardedRig(t, func(c *Config) { c.ORAMShards = 4 })
+
+	for _, amount := range []uint64{123, 250} {
+		res1, err := single.device.Execute(single.transferBundle(t, amount))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res4, err := sharded.device.Execute(sharded.transferBundle(t, amount))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res1.Aborted != nil || res4.Aborted != nil {
+			t.Fatalf("aborted: single=%v sharded=%v", res1.Aborted, res4.Aborted)
+		}
+		for i := range res1.Trace.Txs {
+			if diffs := tracer.Diff(res1.Trace.Txs[i], res4.Trace.Txs[i]); len(diffs) != 0 {
+				t.Fatalf("amount %d tx %d: sharded trace diverges: %v", amount, i, diffs)
+			}
+		}
+		if res1.GasUsed != res4.GasUsed {
+			t.Fatalf("amount %d: gas %d (single) != %d (sharded)", amount, res1.GasUsed, res4.GasUsed)
+		}
+		if res1.ORAMQueries != res4.ORAMQueries {
+			t.Fatalf("amount %d: ORAM queries %d (single) != %d (sharded)",
+				amount, res1.ORAMQueries, res4.ORAMQueries)
+		}
+		// The balanced overlap model can only make batched rounds
+		// cheaper, never dearer.
+		if res4.VirtualTime > res1.VirtualTime {
+			t.Fatalf("amount %d: sharded virtual time %v exceeds single-tree %v",
+				amount, res4.VirtualTime, res1.VirtualTime)
+		}
+	}
+
+	st := sharded.device.ORAMStats()
+	if st.Shards != 4 {
+		t.Fatalf("ORAMStats().Shards = %d, want 4", st.Shards)
+	}
+	if len(sharded.device.ORAMServers()) != 4 {
+		t.Fatalf("ORAMServers() = %d servers, want 4", len(sharded.device.ORAMServers()))
+	}
+}
+
+// TestShardedDeviceDurable: a -full device over a durable sharded store
+// executes correctly, and a second device opened over the same
+// directory and key reuses the persisted trees.
+func TestShardedDeviceDurable(t *testing.T) {
+	dir := t.TempDir()
+	key := make([]byte, 32)
+	copy(key, "core-durable-test-key-0123456789")
+
+	r := buildShardedRig(t, func(c *Config) {
+		c.ORAMShards = 2
+		c.ORAMDir = dir
+		c.ORAMKey = key
+		c.ORAMCapacity = 1 << 12
+	})
+	res, err := r.device.Execute(r.transferBundle(t, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted != nil {
+		t.Fatalf("aborted: %v", res.Aborted)
+	}
+	want := res.Trace.Txs[0]
+
+	// Second device over the same directory: recovery opens the
+	// checkpointed trees (Sync then overwrites the same ids in place).
+	r2 := buildShardedRig(t, func(c *Config) {
+		c.ORAMShards = 2
+		c.ORAMDir = dir
+		c.ORAMKey = key
+		c.ORAMCapacity = 1 << 12
+	})
+	res2, err := r2.device.Execute(r2.transferBundle(t, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Aborted != nil {
+		t.Fatalf("resumed device aborted: %v", res2.Aborted)
+	}
+	if diffs := tracer.Diff(want, res2.Trace.Txs[0]); len(diffs) != 0 {
+		t.Fatalf("durable device trace diverges: %v", diffs)
+	}
+}
+
+// TestShardedConfigRejections: the combinations the sharded path cannot
+// honor must fail device construction loudly, not degrade silently.
+func TestShardedConfigRejections(t *testing.T) {
+	wcfg := workload.DefaultConfig()
+	wcfg.EOAs = 4
+	w, err := workload.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"shards+recursive-posmap", func(c *Config) {
+			c.ORAMShards = 4
+			c.RecursivePositionMap = true
+		}},
+		{"dir+remote", func(c *Config) {
+			c.ORAMDir = t.TempDir()
+			c.RemoteORAMAddr = "127.0.0.1:1"
+		}},
+		{"dir+recursive-posmap", func(c *Config) {
+			c.ORAMDir = t.TempDir()
+			c.RecursivePositionMap = true
+		}},
+		{"shards+short-remote-list", func(c *Config) {
+			c.ORAMShards = 4
+			c.RemoteORAMAddr = "127.0.0.1:1,127.0.0.1:2"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.HEVMs = 1
+			tc.mutate(&cfg)
+			if _, err := NewDevice(cfg, nil, chain); err == nil {
+				t.Fatal("invalid ORAM configuration accepted")
+			}
+		})
+	}
+}

@@ -655,6 +655,9 @@ type Stats struct {
 	StashSize  int
 	BytesMoved uint64
 	Depth      int
+	// Shards is the shard count behind the accessor (0 or 1 for a
+	// single-tree Client; K for a ShardedClient).
+	Shards int
 }
 
 // Stats returns the client's counters.

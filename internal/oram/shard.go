@@ -1,0 +1,373 @@
+package oram
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"hardtape/internal/simclock"
+	"hardtape/internal/telemetry"
+)
+
+// Accessor is the trusted-side block access surface shared by the
+// single-tree Client and the ShardedClient, so consumers (the pager,
+// the device) are agnostic to the shard count.
+type Accessor interface {
+	Read(id BlockID) ([]byte, error)
+	Write(id BlockID, data []byte) error
+	ReadMany(ids []BlockID) ([][]byte, error)
+	AccessBatch(ops []BatchOp) ([][]byte, error)
+	Stats() Stats
+}
+
+var (
+	_ Accessor = (*Client)(nil)
+	_ Accessor = (*ShardedClient)(nil)
+)
+
+// ErrShards rejects invalid shard configurations.
+var ErrShards = errors.New("oram: invalid shard configuration")
+
+// shardOf assigns a block to a shard by a stable hash of its id
+// (splitmix64 finalizer). The assignment is a pure function of the id,
+// so it survives restarts, is identical on every device sharing the
+// tree set, and — crucially for obliviousness — is independent of the
+// access sequence: the adversary learns only which shard serves a
+// block, which the partitioning already makes public, never anything
+// about the access pattern within a shard.
+func shardOf(id BlockID, shards int) int {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// deriveShardKey derives a per-shard bucket key from the master ORAM
+// key (HMAC-SHA256 with a shard-indexed label). Distinct keys
+// domain-separate the shards: a sealed bucket from shard i cannot be
+// relocated to the same node index of shard j without failing
+// authentication, extending the bucket-index associated data's
+// anti-relocation guarantee across trees.
+func deriveShardKey(master []byte, label string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+// ShardedClient partitions blocks across K independent Path ORAM trees
+// and fans batched accesses out across them in one overlapped round.
+// Every shard owns a full private client — stash, position map,
+// cryptor, scratch — so shards never share mutable structures and the
+// per-shard sub-batches run concurrently without locks. Like Client,
+// the ShardedClient is NOT safe for concurrent use: the Hypervisor
+// serializes logical queries, and the fan-out parallelism lives
+// entirely inside one call.
+type ShardedClient struct {
+	shards []*Client
+	// servers mirrors shards' backing stores, kept for Sync/Close of
+	// durable backends.
+	servers []Server
+	clock   *simclock.Clock
+	cal     simclock.Calibration
+	timed   bool
+	// stores, when non-nil, checkpoints each shard's stash + position
+	// map after every ckptEvery-th batch (see persist.go).
+	stores    []*CheckpointStore
+	ckptEvery int
+	rounds    uint64
+	// fan-out scratch, reused across calls (single-goroutine contract).
+	subOps [][]BatchOp
+	subIdx [][]int
+	subOut [][][]byte
+	subErr []error
+}
+
+// ShardOption configures a ShardedClient.
+type ShardOption func(*ShardedClient) error
+
+// WithShardClock makes the client charge virtual time per round: the
+// link RTT once, the slowest shard's serial server processing, and the
+// full batch's serial on-chip client work (one Hypervisor does all the
+// stash/crypto work regardless of the fan-out width).
+func WithShardClock(clock *simclock.Clock, cal simclock.Calibration) ShardOption {
+	return func(s *ShardedClient) error {
+		s.clock, s.cal, s.timed = clock, cal, true
+		return nil
+	}
+}
+
+// WithShardTelemetry instruments every shard client on reg. Counters
+// are shared series and sum across shards; the stash-peak gauge keeps
+// the maximum over shards (SetMax), while the instantaneous stash
+// gauge reflects the most recently reporting shard.
+func WithShardTelemetry(reg *telemetry.Registry) ShardOption {
+	return func(s *ShardedClient) error {
+		if reg == nil {
+			return nil
+		}
+		for _, c := range s.shards {
+			WithTelemetry(reg)(c)
+		}
+		return nil
+	}
+}
+
+// WithShardPersistence attaches one checkpoint store per shard and
+// checkpoints stash + position map every `every` batches (min 1). See
+// persist.go for the shadow-epoch scheme.
+func WithShardPersistence(stores []*CheckpointStore, every int) ShardOption {
+	return func(s *ShardedClient) error {
+		if len(stores) != len(s.shards) {
+			return fmt.Errorf("%w: %d checkpoint stores for %d shards", ErrShards, len(stores), len(s.shards))
+		}
+		if every < 1 {
+			every = 1
+		}
+		s.stores, s.ckptEvery = stores, every
+		return nil
+	}
+}
+
+// NewShardedClient builds a shard-aware client over one server per
+// shard. Each shard's bucket key is derived from the master key
+// (deriveShardKey), so sibling devices sharing the master key agree on
+// every shard's key.
+func NewShardedClient(servers []Server, key []byte, opts ...ShardOption) (*ShardedClient, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("%w: need at least one server", ErrShards)
+	}
+	if len(key) != KeySize {
+		return nil, ErrBadKey
+	}
+	s := &ShardedClient{
+		servers: servers,
+		shards:  make([]*Client, len(servers)),
+		subOps:  make([][]BatchOp, len(servers)),
+		subIdx:  make([][]int, len(servers)),
+		subOut:  make([][][]byte, len(servers)),
+		subErr:  make([]error, len(servers)),
+	}
+	for i, srv := range servers {
+		shardKey := deriveShardKey(key, fmt.Sprintf("hardtape-oram-shard-%d", i))
+		c, err := NewClient(srv, shardKey)
+		if err != nil {
+			return nil, fmt.Errorf("oram: shard %d: %w", i, err)
+		}
+		s.shards[i] = c
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedClient) Shards() int { return len(s.shards) }
+
+// Read fetches a block from its owning shard (one full oblivious path
+// access there; the other shards see nothing, which leaks only the
+// public id→shard hash).
+func (s *ShardedClient) Read(id BlockID) ([]byte, error) {
+	sh := s.shards[shardOf(id, len(s.shards))]
+	data, err := sh.Read(id)
+	s.chargeRound([]int{1}, sh.depth*BucketSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.maybeCheckpoint(); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Write stores a block on its owning shard.
+func (s *ShardedClient) Write(id BlockID, data []byte) error {
+	sh := s.shards[shardOf(id, len(s.shards))]
+	err := sh.Write(id, data)
+	s.chargeRound([]int{1}, sh.depth*BucketSize)
+	if err != nil {
+		return err
+	}
+	return s.maybeCheckpoint()
+}
+
+// ReadMany fetches many blocks in one overlapped round across all
+// shards holding any of them. The result is aligned with ids; missing
+// blocks yield nil entries.
+func (s *ShardedClient) ReadMany(ids []BlockID) ([][]byte, error) {
+	ops := make([]BatchOp, len(ids))
+	for i, id := range ids {
+		ops[i] = BatchOp{Op: OpRead, ID: id}
+	}
+	return s.AccessBatch(ops)
+}
+
+// AccessBatch splits the ops into per-shard sub-batches, fans them out
+// concurrently — each shard runs its own ReadPaths/WritePaths round
+// against its private tree — and reassembles the results in request
+// order. Obliviousness is preserved per shard: every sub-batch is a
+// regular Client.AccessBatch with fresh uniform remaps drawn from that
+// shard's own leaf space, and the adversary observing all shards sees
+// K independent uniform leaf sequences whose interleaving depends only
+// on the public id→shard hash.
+func (s *ShardedClient) AccessBatch(ops []BatchOp) ([][]byte, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	for _, op := range ops {
+		if op.Op == OpWrite && len(op.Data) > BlockSize {
+			return nil, ErrBlockTooBig
+		}
+	}
+	k := len(s.shards)
+	for i := 0; i < k; i++ {
+		s.subOps[i] = s.subOps[i][:0]
+		s.subIdx[i] = s.subIdx[i][:0]
+		s.subOut[i] = nil
+		s.subErr[i] = nil
+	}
+	for i, op := range ops {
+		sh := shardOf(op.ID, k)
+		s.subOps[sh] = append(s.subOps[sh], op)
+		s.subIdx[sh] = append(s.subIdx[sh], i)
+	}
+
+	// One overlapped round: every non-empty shard's sub-batch runs on
+	// its own goroutine against its own client (no shared mutable
+	// state). A shard client is touched by exactly one goroutine here,
+	// so the Client's single-goroutine contract holds per shard.
+	var wg sync.WaitGroup
+	queries := make([]int, 0, k)
+	blocks := 0
+	for i := 0; i < k; i++ {
+		if len(s.subOps[i]) == 0 {
+			continue
+		}
+		queries = append(queries, len(s.subOps[i]))
+		blocks += len(s.subOps[i]) * s.shards[i].depth * BucketSize
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.subOut[i], s.subErr[i] = s.shards[i].AccessBatch(s.subOps[i])
+		}(i)
+	}
+	wg.Wait()
+	s.chargeRound(queries, blocks)
+
+	var firstErr error
+	for i := 0; i < k; i++ {
+		if s.subErr[i] != nil && firstErr == nil {
+			firstErr = s.subErr[i]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([][]byte, len(ops))
+	for i := 0; i < k; i++ {
+		for j, idx := range s.subIdx[i] {
+			out[idx] = s.subOut[i][j]
+		}
+	}
+	if err := s.maybeCheckpoint(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chargeRound advances the virtual clock for one fan-out round: RTT
+// once (the sub-batches leave back to back and overlap on the link),
+// the slowest shard's serial per-query server work, and the whole
+// batch's serial on-chip per-block client work
+// (simclock.ORAMBatchCost arithmetic with max-shard queries).
+func (s *ShardedClient) chargeRound(queries []int, blocks int) {
+	s.rounds++
+	if !s.timed {
+		return
+	}
+	maxQ := 0
+	for _, q := range queries {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	s.clock.Advance(s.cal.ORAMBatchCost(maxQ, blocks))
+}
+
+// maybeCheckpoint persists every shard's client state at the
+// configured batch cadence (no-op without persistence).
+func (s *ShardedClient) maybeCheckpoint() error {
+	if s.stores == nil || s.rounds%uint64(s.ckptEvery) != 0 {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+// Sync flushes every durable shard server to stable storage (no-op for
+// in-memory or remote servers).
+func (s *ShardedClient) Sync() error {
+	for i, srv := range s.servers {
+		if fs, ok := srv.(interface{ Sync() error }); ok {
+			if err := fs.Sync(); err != nil {
+				return fmt.Errorf("oram: sync shard %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases every closable shard server (file handles, TCP
+// connections).
+func (s *ShardedClient) Close() error {
+	var firstErr error
+	for _, srv := range s.servers {
+		if c, ok := srv.(io.Closer); ok {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Stats aggregates the per-shard counters: accesses, round trips, and
+// bytes sum; MaxStash and StashSize report the worst shard (the stash
+// bound is a per-tree property); Depth reports the deepest shard.
+func (s *ShardedClient) Stats() Stats {
+	var agg Stats
+	agg.Shards = len(s.shards)
+	for _, c := range s.shards {
+		st := c.Stats()
+		agg.Accesses += st.Accesses
+		agg.Batches += st.Batches
+		agg.BytesMoved += st.BytesMoved
+		if st.MaxStash > agg.MaxStash {
+			agg.MaxStash = st.MaxStash
+		}
+		if st.StashSize > agg.StashSize {
+			agg.StashSize = st.StashSize
+		}
+		if st.Depth > agg.Depth {
+			agg.Depth = st.Depth
+		}
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own counters (tests, diagnostics).
+func (s *ShardedClient) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, c := range s.shards {
+		out[i] = c.Stats()
+	}
+	return out
+}

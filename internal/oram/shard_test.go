@@ -1,0 +1,347 @@
+package oram
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hardtape/internal/simclock"
+)
+
+// newShardedMem builds a K-shard client over fresh MemServers (aggregate
+// capacity split evenly) and returns the servers for observation.
+func newShardedMem(t testing.TB, shards int, totalCap uint64) (*ShardedClient, []*MemServer) {
+	t.Helper()
+	mems := make([]*MemServer, shards)
+	servers := make([]Server, shards)
+	perShard := (totalCap + uint64(shards) - 1) / uint64(shards)
+	for i := range servers {
+		m, err := NewMemServer(perShard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		servers[i] = m
+	}
+	cli, err := NewShardedClient(servers, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli, mems
+}
+
+func TestShardOfStableAndBalanced(t *testing.T) {
+	// Stability: the assignment is a pure function of the id.
+	for id := BlockID(0); id < 64; id++ {
+		if shardOf(id, 4) != shardOf(id, 4) {
+			t.Fatal("shardOf is not deterministic")
+		}
+	}
+	// Balance: a splitmix64-hashed id space spreads close to evenly.
+	for _, k := range []int{2, 4, 8} {
+		counts := make([]int, k)
+		const n = 1 << 14
+		for id := 0; id < n; id++ {
+			counts[shardOf(BlockID(id), k)]++
+		}
+		want := n / k
+		for sh, c := range counts {
+			if c < want*8/10 || c > want*12/10 {
+				t.Fatalf("%d shards: shard %d holds %d of %d ids (want ≈%d)", k, sh, c, n, want)
+			}
+		}
+	}
+}
+
+func TestShardedKeyDomainSeparation(t *testing.T) {
+	a := deriveShardKey(testKey(), "hardtape-oram-shard-0")
+	b := deriveShardKey(testKey(), "hardtape-oram-shard-1")
+	if bytes.Equal(a, b) {
+		t.Fatal("shard keys are not domain-separated")
+	}
+	if bytes.Equal(a, testKey()) {
+		t.Fatal("shard key equals the master key")
+	}
+}
+
+// TestShardedRoundTrip drives a mixed batched workload through 1/2/4/8
+// shards and checks every configuration against a plain map — the
+// partition must be invisible to the consumer.
+func TestShardedRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			cli, _ := newShardedMem(t, shards, 512)
+			want := make(map[BlockID][]byte)
+			rng := uint64(42)
+			next := func() uint64 { rng = rng*6364136223846793005 + 1; return rng >> 33 }
+			for round := 0; round < 30; round++ {
+				ops := make([]BatchOp, 8)
+				for i := range ops {
+					id := BlockID(next() % 96)
+					if next()%2 == 0 {
+						data := []byte(fmt.Sprintf("r%d-i%d-%d", round, i, id))
+						ops[i] = BatchOp{Op: OpWrite, ID: id, Data: data}
+					} else {
+						ops[i] = BatchOp{Op: OpRead, ID: id}
+					}
+				}
+				got, err := cli.AccessBatch(ops)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				for i, op := range ops {
+					if op.Op == OpWrite {
+						want[op.ID] = append([]byte(nil), op.Data...)
+						continue
+					}
+					exp := want[op.ID]
+					if exp == nil {
+						if got[i] != nil {
+							t.Fatalf("round %d: phantom block %d", round, op.ID)
+						}
+						continue
+					}
+					if got[i] == nil || !bytes.Equal(got[i][:len(exp)], exp) {
+						t.Fatalf("round %d: block %d corrupted", round, op.ID)
+					}
+				}
+			}
+			// The single-access path routes through the same shards.
+			if err := cli.Write(7, []byte("direct")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cli.Read(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got[:6]) != "direct" {
+				t.Fatal("single-access round trip failed")
+			}
+			if st := cli.Stats(); st.Shards != shards {
+				t.Fatalf("Stats().Shards = %d, want %d", st.Shards, shards)
+			}
+		})
+	}
+}
+
+// TestShardedLeafUniformityPerShard hammers hot blocks through the
+// batched fan-out and chi-square-tests EVERY shard's observed leaf
+// sequence against uniform over that shard's own leaf space: the
+// partition must not degrade any single tree's obliviousness.
+func TestShardedLeafUniformityPerShard(t *testing.T) {
+	const shards = 4
+	cli, mems := newShardedMem(t, shards, 1024)
+	observed := make([][]uint64, shards)
+	for i, m := range mems {
+		i := i
+		m.SetObserver(func(ev AccessEvent) {
+			if !ev.Write {
+				observed[i] = append(observed[i], ev.Leaf)
+			}
+		})
+	}
+	// One hot block per shard, found by the public hash.
+	hot := make([]BlockID, 0, shards)
+	seen := make(map[int]bool)
+	for id := BlockID(0); len(hot) < shards; id++ {
+		if sh := shardOf(id, shards); !seen[sh] {
+			seen[sh] = true
+			hot = append(hot, id)
+		}
+	}
+	for _, id := range hot {
+		if err := cli.Write(id, []byte("hot")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 1200
+	for i := 0; i < rounds; i++ {
+		if _, err := cli.ReadMany(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for sh, leaves := range observed {
+		n := mems[sh].Leaves()
+		if uint64(len(leaves)) < 4*n {
+			t.Fatalf("shard %d: only %d observations for %d leaves", sh, len(leaves), n)
+		}
+		counts := make(map[uint64]int)
+		for _, l := range leaves {
+			counts[l]++
+		}
+		expected := float64(len(leaves)) / float64(n)
+		var chi2 float64
+		for leaf := uint64(0); leaf < n; leaf++ {
+			diff := float64(counts[leaf]) - expected
+			chi2 += diff * diff / expected
+		}
+		df := float64(n - 1)
+		if chi2 > df+6*1.4142*df {
+			t.Fatalf("shard %d leaf distribution non-uniform: chi2=%.1f df=%.0f", sh, chi2, df)
+		}
+	}
+}
+
+// TestShardedNoCrossShardTraffic pins the isolation property: accessing
+// a block generates ORAM traffic ONLY on its owning shard. The other
+// trees see nothing — there is no cross-shard padding, batching side
+// channel, or shared state that could correlate them.
+func TestShardedNoCrossShardTraffic(t *testing.T) {
+	const shards = 4
+	cli, mems := newShardedMem(t, shards, 512)
+	events := make([]int, shards)
+	for i, m := range mems {
+		i := i
+		m.SetObserver(func(AccessEvent) { events[i]++ })
+	}
+	const id = BlockID(5)
+	owner := shardOf(id, shards)
+	if err := cli.Write(id, []byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := cli.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for sh, n := range events {
+		if sh == owner && n == 0 {
+			t.Fatalf("owning shard %d saw no traffic", sh)
+		}
+		if sh != owner && n != 0 {
+			t.Fatalf("shard %d saw %d events for a block owned by shard %d — cross-shard leak", sh, n, owner)
+		}
+	}
+}
+
+// TestShardedStashBounded checks the per-tree stash bound survives the
+// partition: every shard's stash stays O(log n) of ITS OWN tree under a
+// sustained batched workload.
+func TestShardedStashBounded(t *testing.T) {
+	cli, _ := newShardedMem(t, 4, 512)
+	rng := uint64(7)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1; return rng >> 33 }
+	payload := make([]byte, BlockSize)
+	for round := 0; round < 60; round++ {
+		ops := make([]BatchOp, 16)
+		for i := range ops {
+			id := BlockID(next() % 120)
+			if next()%3 == 0 {
+				ops[i] = BatchOp{Op: OpWrite, ID: id, Data: payload}
+			} else {
+				ops[i] = BatchOp{Op: OpRead, ID: id}
+			}
+		}
+		if _, err := cli.AccessBatch(ops); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	for sh, st := range cli.ShardStats() {
+		if st.MaxStash > 8*st.Depth {
+			t.Fatalf("shard %d stash grew to %d (depth %d)", sh, st.MaxStash, st.Depth)
+		}
+	}
+}
+
+// TestShardedClockCharging verifies the overlapped cost arithmetic: one
+// fan-out round charges the link RTT once, the SLOWEST shard's serial
+// server time, and the whole batch's serial on-chip client work.
+func TestShardedClockCharging(t *testing.T) {
+	const shards = 4
+	mems := make([]Server, shards)
+	perShard := uint64(128)
+	for i := range mems {
+		m, err := NewMemServer(perShard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+	}
+	clock := simclock.NewClock()
+	cal := simclock.DefaultCalibration()
+	cli, err := NewShardedClient(mems, testKey(), WithShardClock(clock, cal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]BlockID, 12)
+	for i := range ids {
+		ids[i] = BlockID(i)
+	}
+	start := clock.Now()
+	if _, err := cli.ReadMany(ids); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the expected charge from the public hash.
+	perShardQ := make([]int, shards)
+	for _, id := range ids {
+		perShardQ[shardOf(id, shards)]++
+	}
+	maxQ, blocks := 0, 0
+	depth := cli.ShardStats()[0].Depth
+	for _, q := range perShardQ {
+		if q > maxQ {
+			maxQ = q
+		}
+		blocks += q * depth * BucketSize
+	}
+	want := cal.ORAMBatchCost(maxQ, blocks)
+	if got := clock.Now() - start; got != want {
+		t.Fatalf("fan-out round charged %v, want ORAMBatchCost(maxQ=%d, blocks=%d) = %v",
+			got, maxQ, blocks, want)
+	}
+	// Sanity: the overlapped charge beats the single-tree charge for the
+	// same batch whenever the fan-out actually splits it.
+	if single := cal.ORAMBatchCost(len(ids), blocks); want >= single {
+		t.Fatalf("overlapped charge %v not below single-tree %v", want, single)
+	}
+}
+
+// TestShardedTamperDetected: corrupting one shard's bucket store must
+// surface ErrTampered through the fan-out on the next touch.
+func TestShardedTamperDetected(t *testing.T) {
+	cli, mems := newShardedMem(t, 4, 512)
+	const id = BlockID(9)
+	if err := cli.Write(id, []byte("integrity")); err != nil {
+		t.Fatal(err)
+	}
+	owner := shardOf(id, 4)
+	// Corrupt every stored bucket of the owning tree (in-package test
+	// hook — TamperBucket's single-byte flip could land on a bucket the
+	// next path read misses): wherever the block lives, its read fails
+	// authentication.
+	m := mems[owner]
+	m.mu.Lock()
+	for node := range m.buckets {
+		if len(m.buckets[node]) > 0 {
+			m.buckets[node][0] ^= 0x01
+		}
+	}
+	m.mu.Unlock()
+	if _, err := cli.ReadMany([]BlockID{id}); !errors.Is(err, ErrTampered) {
+		t.Fatalf("tampered shard read: %v, want ErrTampered", err)
+	}
+}
+
+func TestShardedConfigErrors(t *testing.T) {
+	if _, err := NewShardedClient(nil, testKey()); !errors.Is(err, ErrShards) {
+		t.Fatalf("no servers: %v, want ErrShards", err)
+	}
+	m, err := NewMemServer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedClient([]Server{m}, []byte("short")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key: %v, want ErrBadKey", err)
+	}
+	cli, _ := newShardedMem(t, 2, 128)
+	big := make([]byte, BlockSize+1)
+	if _, err := cli.AccessBatch([]BatchOp{{Op: OpWrite, ID: 1, Data: big}}); !errors.Is(err, ErrBlockTooBig) {
+		t.Fatalf("oversized write: %v, want ErrBlockTooBig", err)
+	}
+	if len(stats(cli)) != 2 {
+		t.Fatal("ShardStats length mismatch")
+	}
+}
+
+func stats(c *ShardedClient) []Stats { return c.ShardStats() }

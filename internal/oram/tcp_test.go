@@ -296,96 +296,155 @@ func BenchmarkTCPPath(b *testing.B) {
 	}
 }
 
-// linkServer wraps a Server with a fixed service latency per REQUEST
-// (not per path), modeling the off-chip link between the Hypervisor
-// and the SP's ORAM server. The paper measures that link at 2 ms RTT;
-// loopback TCP has essentially none, which would hide exactly the cost
-// the batched protocol amortizes — the per-message round trip. The
-// benchmark requests 100 µs (the OS timer may round the sleep up
-// toward the paper's 2 ms; both variants pay the identical
-// per-request latency either way).
+// linkServer wraps a Server with a modeled service latency: a fixed
+// per-REQUEST round trip (the off-chip link between the Hypervisor and
+// the SP's ORAM server — the paper measures 2 ms over Ethernet; the
+// benchmark requests 100 µs so loopback TCP pays a real but smaller
+// link cost) plus a per-PATH serial processing charge modeling the
+// server's bucket-store work: each path query is depth × Z random
+// ~1 KB bucket I/Os against a disk-backed store (oram.FileServer's
+// deployment shape) plus index logic, SSD-class. Server processing is
+// serial per path WITHIN a server — the very §VI-D bottleneck sharding
+// attacks — so a K-shard fan-out overlaps K of these queues.
 type linkServer struct {
 	Server
-	rtt time.Duration
+	rtt     time.Duration
+	perPath time.Duration
 }
 
 func (l *linkServer) ReadPath(leaf uint64) ([][]byte, error) {
-	time.Sleep(l.rtt)
+	time.Sleep(l.rtt + l.perPath)
 	return l.Server.ReadPath(leaf)
 }
 
 func (l *linkServer) WritePath(leaf uint64, buckets [][]byte) error {
-	time.Sleep(l.rtt)
+	time.Sleep(l.rtt + l.perPath)
 	return l.Server.WritePath(leaf, buckets)
 }
 
 func (l *linkServer) ReadPaths(leaves []uint64) ([][][]byte, error) {
-	time.Sleep(l.rtt)
+	time.Sleep(l.rtt + time.Duration(len(leaves))*l.perPath)
 	return l.Server.ReadPaths(leaves)
 }
 
 func (l *linkServer) WritePaths(leaves []uint64, paths [][][]byte) error {
-	time.Sleep(l.rtt)
+	time.Sleep(l.rtt + time.Duration(len(leaves))*l.perPath)
 	return l.Server.WritePaths(leaves, paths)
 }
 
-// BenchmarkORAMBatch compares N sequential Client.Read calls against
-// one ReadMany of the same N blocks, both over the TCP transport with
-// a modeled 100 µs link latency (see linkServer). The batched path
-// must win ≥2× on both ns/op and allocs/op: it pays one link round
-// trip for the whole batch and seals shared buckets once.
+// startLinkTCP spins up one TCP-served shard behind a linkServer and
+// returns the dialed transport.
+func startLinkTCP(b *testing.B, capacity uint64, rtt, perPath time.Duration) *RemoteServer {
+	b.Helper()
+	inner, err := NewMemServer(capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := ServeTCP(&linkServer{Server: inner, rtt: rtt, perPath: perPath}, l)
+	b.Cleanup(func() { _ = srv.Close() })
+	remote, err := DialServer(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = remote.Close() })
+	return remote
+}
+
+// balancedIDs returns `blocks` block ids interleaved so that every run
+// of `batch` consecutive ids touches each of the `shards` shards
+// exactly batch/shards times (batch and blocks must divide evenly).
+// The benchmark measures fan-out SCALING, so it feeds a shard-balanced
+// load: with only 32 ids per round, the hashed assignment's binomial
+// imbalance (E[max] ≈ 11 of 32 at K=4) would gate every round on the
+// luckiest shard and measure hash variance, not the fan-out. Real
+// pager batches are larger and amortize that variance; the benchtab
+// -oram sweep covers the hashed/unbalanced case.
+func balancedIDs(blocks, shards int) []BlockID {
+	pools := make([][]BlockID, shards)
+	per := blocks / shards
+	filled := 0
+	for id := 0; filled < blocks; id++ {
+		sh := shardOf(BlockID(id), shards)
+		if len(pools[sh]) < per {
+			pools[sh] = append(pools[sh], BlockID(id))
+			filled++
+		}
+	}
+	ids := make([]BlockID, blocks)
+	for i := range ids {
+		ids[i] = pools[i%shards][i/shards]
+	}
+	return ids
+}
+
+// BenchmarkORAMBatch measures one batched ReadMany round across shard
+// counts 1/2/4/8, each shard a TCP-served tree behind the modeled link
+// (see linkServer). Aggregate capacity is constant — a 4-shard point is
+// four quarter-size trees — so the comparison isolates the fan-out.
+// Each sub-benchmark reports "scaling-x": single-shard ns/op divided by
+// its own, i.e. the read-throughput multiple over the unsharded
+// baseline. The serial per-path server queue dominates a batch round,
+// and sharding divides that queue K ways, so shards-4 is expected to
+// clear 3x (on-chip client crypto stays serial and caps the gain below
+// the ideal 4x).
 func BenchmarkORAMBatch(b *testing.B) {
-	const batch = 8
-	const linkRTT = 100 * time.Microsecond
-	setup := func(b *testing.B) (*Client, []BlockID) {
-		inner, err := NewMemServer(1024)
-		if err != nil {
-			b.Fatal(err)
-		}
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		srv := ServeTCP(&linkServer{Server: inner, rtt: linkRTT}, l)
-		b.Cleanup(func() { _ = srv.Close() })
-		remote, err := DialServer(srv.Addr().String())
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Cleanup(func() { _ = remote.Close() })
-		cli, err := NewClient(remote, testKey())
-		if err != nil {
-			b.Fatal(err)
-		}
-		ids := make([]BlockID, batch)
-		for i := range ids {
-			ids[i] = BlockID(i)
-			if err := cli.Write(ids[i], []byte{byte(i)}); err != nil {
+	const (
+		batch    = 32
+		totalCap = 4096
+		blocks   = 128
+		linkRTT  = 100 * time.Microsecond
+		// perPath: one path query against a disk-backed bucket store is
+		// depth × Z ≈ 40-48 random ~1 KB bucket I/Os plus index logic at
+		// commodity-SSD latency — about 2 ms of serial server work.
+		perPath = 2 * time.Millisecond
+	)
+	var baselineNs float64 // shards-1 ns/op, set before the scaled runs
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			perShard := uint64((totalCap + shards - 1) / shards)
+			servers := make([]Server, shards)
+			for i := range servers {
+				servers[i] = startLinkTCP(b, perShard, linkRTT, perPath)
+			}
+			cli, err := NewShardedClient(servers, testKey())
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		return cli, ids
-	}
-	b.Run("sequential", func(b *testing.B) {
-		cli, ids := setup(b)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			for _, id := range ids {
-				if _, err := cli.Read(id); err != nil {
+			ids := balancedIDs(blocks, shards)
+			ops := make([]BatchOp, 0, batch)
+			for lo := 0; lo < blocks; lo += batch {
+				ops = ops[:0]
+				for i := lo; i < lo+batch; i++ {
+					ops = append(ops, BatchOp{Op: OpWrite, ID: ids[i], Data: []byte{byte(i)}})
+				}
+				if _, err := cli.AccessBatch(ops); err != nil {
 					b.Fatal(err)
 				}
 			}
-		}
-	})
-	b.Run("batched", func(b *testing.B) {
-		cli, ids := setup(b)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := cli.ReadMany(ids); err != nil {
-				b.Fatal(err)
+			reads := make([]BlockID, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			next := 0
+			for i := 0; i < b.N; i++ {
+				for j := range reads {
+					reads[j] = ids[next%blocks]
+					next++
+				}
+				if _, err := cli.ReadMany(reads); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if shards == 1 {
+				baselineNs = nsPerOp
+			} else if baselineNs > 0 {
+				b.ReportMetric(baselineNs/nsPerOp, "scaling-x")
+			}
+		})
+	}
 }

@@ -80,6 +80,27 @@ func (c Calibration) ORAMBatchCost(queries, blocks int) time.Duration {
 		time.Duration(blocks)*c.ORAMClientPerBlock
 }
 
+// ORAMShardedBatchCost models a batched access fanned out across
+// `shards` independent ORAM servers in ONE overlapped round: the link
+// RTT is paid once (all per-shard sub-batches leave back to back and
+// their responses overlap on the wire), server processing runs in
+// parallel across shards but stays serial per query *within* a shard
+// (the slowest shard gates the round — with a uniform block→shard hash
+// that is ⌈queries/shards⌉ queries), and the on-chip per-block client
+// work stays serial (one Hypervisor does all the stash/crypto work).
+// With shards ≤ 1 this degenerates to exactly ORAMBatchCost, so the
+// single-tree and sharded paths share one arithmetic.
+func (c Calibration) ORAMShardedBatchCost(queries, shards, blocks int) time.Duration {
+	if shards <= 1 {
+		return c.ORAMBatchCost(queries, blocks)
+	}
+	if queries <= 0 {
+		return 0
+	}
+	perShard := (queries + shards - 1) / shards
+	return c.ORAMBatchCost(perShard, blocks)
+}
+
 // ColdHandshakeCost models the device-side virtual time of a full
 // attest + DHKE handshake: the A53 signs the attestation report and
 // completes the key exchange (the report verification and user-side
