@@ -43,6 +43,7 @@ type jsonReport struct {
 	SessionScale *bench.SessionScaleReport `json:"session_scale,omitempty"`
 	Parallel     *bench.ParallelReport     `json:"parallel,omitempty"`
 	ORAM         *bench.ORAMSweepReport    `json:"oram,omitempty"`
+	Trace        *bench.TraceSweepReport   `json:"trace,omitempty"`
 }
 
 type jsonAblations struct {
@@ -73,6 +74,7 @@ func run() error {
 		sessions    = flag.Bool("sessions", false, "cold-dial vs ticket-resume sweep + gateway resume stampede")
 		parallel    = flag.Bool("parallel", false, "intra-bundle parallel pre-execution: lanes × conflict-rate sweep")
 		oramSweep   = flag.Bool("oram", false, "sharded ORAM fan-out: shards × batch-size sweep, modeled + measured")
+		traceSweep  = flag.Bool("trace", false, "distributed-tracing overhead: disabled vs flight-recorder wall time on the bundle path")
 		shards      = flag.Int("shards", 8, "maximum shard count for the -oram sweep (powers of two up to this)")
 		scaleN      = flag.Int("scale-sessions", 10000, "session count for the -sessions gateway stampede")
 		telem       = flag.Bool("telemetry", false, "drive an instrumented -full pipeline and dump the registry JSON snapshot on stdout")
@@ -87,15 +89,15 @@ func run() error {
 	flag.Parse()
 
 	if *all {
-		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions, *parallel, *oramSweep =
-			true, true, true, true, true, true, true, true, true, true, true
+		*table1, *fig4, *fig5, *correctness, *scalability, *resources, *ablations, *interp, *sessions, *parallel, *oramSweep, *traceSweep =
+			true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *telem {
 		// Telemetry mode is its own run: stdout carries exactly the
 		// registry snapshot (the same document /metrics.json serves).
 		return runTelemetry(*n, *seed, *eoas, *tokens, *dexes, *hevms)
 	}
-	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions || *parallel || *oramSweep) {
+	if !(*table1 || *fig4 || *fig5 || *correctness || *scalability || *resources || *ablations || *interp || *sessions || *parallel || *oramSweep || *traceSweep) {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
@@ -246,6 +248,15 @@ func run() error {
 			return fmt.Errorf("oram sweep: %w", err)
 		}
 		report.ORAM = rep
+		section(rep.Render())
+	}
+
+	if *traceSweep {
+		rep, err := bench.TraceSweep(env, 16, 8)
+		if err != nil {
+			return fmt.Errorf("trace sweep: %w", err)
+		}
+		report.Trace = rep
 		section(rep.Render())
 	}
 

@@ -61,6 +61,7 @@ func run() error {
 		remoteSess = flag.Int("backend-sessions", 3, "parallel sessions per remote backend")
 		statsEvery = flag.Duration("stats", 10*time.Second, "fleet stats print interval (0 = off)")
 		admin      = flag.String("admin", "", "admin endpoint address (e.g. 127.0.0.1:7441); empty disables telemetry")
+		traceOn    = flag.Bool("trace", false, "enable distributed tracing with the tail-sampling flight recorder (requires -admin; browse /traces)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,15 @@ func run() error {
 		reg = hardtape.NewTelemetry()
 		opts.Telemetry = reg
 		fcfg.Telemetry = reg
+	}
+	if *traceOn {
+		if reg == nil {
+			return fmt.Errorf("-trace requires -admin (traces are served on the admin endpoint)")
+		}
+		// One tracer for the whole gateway process: service admission,
+		// gateway scheduling, and local-device execution spans share it;
+		// remote backends propagate the context over their sessions.
+		reg.EnableTracing("gateway", 0)
 	}
 
 	fmt.Printf("Provisioning %d devices (%d HEVMs each) and syncing world state (seed %d)...\n",

@@ -41,6 +41,7 @@ func run() error {
 		dexes   = flag.Int("dexes", 2, "DEX pools")
 		credOut = flag.String("credentials", "mfr.pub", "file to write the manufacturer public key")
 		admin   = flag.String("admin", "", "admin endpoint address (e.g. 127.0.0.1:7338); empty disables telemetry")
+		traceOn = flag.Bool("trace", false, "enable distributed tracing with the tail-sampling flight recorder (requires -admin; browse /traces)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,12 @@ func run() error {
 	if *admin != "" {
 		reg = hardtape.NewTelemetry()
 		opts.Telemetry = reg
+	}
+	if *traceOn {
+		if reg == nil {
+			return fmt.Errorf("-trace requires -admin (traces are served on the admin endpoint)")
+		}
+		reg.EnableTracing("device", 0)
 	}
 
 	fmt.Printf("Provisioning device and syncing world state (seed %d)...\n", *seed)
@@ -103,7 +110,14 @@ func run() error {
 	}
 	fmt.Printf("HarDTAPE service (%s, %d HEVMs%s) listening on %s\n",
 		features.Name(), *hevms, laneNote, l.Addr())
-	return hardtape.NewService(tb.Device).ServeListener(l)
+	svc := hardtape.NewService(tb.Device)
+	if reg != nil {
+		// The service records wire metrics and, with -trace, starts
+		// "service.bundle" spans that parent the device's under the
+		// caller's propagated context.
+		svc.SetTelemetry(reg)
+	}
+	return svc.ServeListener(l)
 }
 
 func parseFeatures(name string) (hardtape.Features, error) {

@@ -2,7 +2,9 @@
 // burst of bundles through it, kill one device mid-run, and watch the
 // fleet degrade gracefully — accepted bundles fail over to the
 // survivors, over-capacity submissions get a typed ErrOverloaded, and
-// the drained device is re-admitted after it recovers.
+// the drained device is re-admitted after it recovers. The finale
+// traces one high-conflict MEV bundle end to end and prints the span
+// tree the flight recorder captured.
 //
 //	go run ./examples/fleet
 package main
@@ -12,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hardtape"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/workload"
 )
 
@@ -31,12 +35,18 @@ func run() error {
 	// 1. Three devices (2 HEVMs each) over one world, behind a gateway
 	//    with a deliberately small admission queue.
 	fmt.Println("① Provisioning 3 devices (2 HEVMs each) + gateway...")
+	reg := hardtape.NewTelemetry()
+	tr := reg.EnableTracing("fleet", 0)
+	defer reg.FlightRecorder().Close()
 	opts := hardtape.DefaultTestbedOptions()
 	opts.HEVMs = 2
+	opts.Lanes = 2 // parallel lanes, so conflicts re-execute (and trace)
+	opts.Telemetry = reg
 	fcfg := hardtape.DefaultFleetConfig()
 	fcfg.QueueDepth = 8
 	fcfg.HealthInterval = 20 * time.Millisecond
 	fcfg.HealthBackoff = 20 * time.Millisecond
+	fcfg.Telemetry = reg
 	ftb, err := hardtape.NewFleetTestbed(opts, 3, fcfg)
 	if err != nil {
 		return err
@@ -110,5 +120,68 @@ func run() error {
 		time.Sleep(5 * time.Millisecond)
 	}
 	fmt.Printf("   dev-1 healthy again; fleet slots free: %d/%d\n", g.FreeSlots(), g.SlotCount())
+
+	// 5. End-to-end tracing: a high-conflict MEV bundle (every tx swaps
+	//    on the same DEX pool) under a root span. Admission, dispatch,
+	//    device stages, and every conflict re-execution land in one
+	//    trace in the flight recorder.
+	fmt.Println("⑤ Tracing one high-conflict MEV bundle end to end...")
+	mev, err := ftb.World.MEVBundle(8, 1.0)
+	if err != nil {
+		return err
+	}
+	sp := tr.StartSpan("demo.mev_bundle", telemetry.SpanContext{})
+	ctx := telemetry.ContextWithSpan(context.Background(), sp.Context())
+	res, err := g.Submit(ctx, mev)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	if res.Aborted != nil {
+		return fmt.Errorf("mev bundle aborted: %w", res.Aborted)
+	}
+	trace := reg.FlightRecorder().Lookup(sp.TraceID())
+	if trace == nil {
+		return fmt.Errorf("mev trace %s not captured", sp.TraceID())
+	}
+	fmt.Printf("   trace %s (%d spans, root %v) — /traces/%s on an -admin endpoint\n",
+		trace.ID, len(trace.Spans), trace.Duration.Round(time.Microsecond), trace.ID)
+	printTraceTree(trace)
 	return nil
+}
+
+// printTraceTree renders the captured span tree, children indented
+// under parents and ordered by start time.
+func printTraceTree(trace *hardtape.Trace) {
+	children := make(map[telemetry.SpanID][]telemetry.SpanRecord)
+	var roots []telemetry.SpanRecord
+	for _, s := range trace.Spans {
+		if s.Parent.IsZero() {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	var walk func(s telemetry.SpanRecord, depth int)
+	walk = func(s telemetry.SpanRecord, depth int) {
+		attrs := ""
+		for _, a := range s.Attrs {
+			if a.IsInt {
+				attrs += fmt.Sprintf(" %s=%d", a.Key, a.Int) //hardtape:secret-ok recorder attrs were vetted at the AddAttr/AddInt sink; rendering them back is the recorder's purpose
+			} else {
+				attrs += fmt.Sprintf(" %s=%s", a.Key, a.Str) //hardtape:secret-ok recorder attrs were vetted at the AddAttr/AddInt sink; rendering them back is the recorder's purpose
+			}
+		}
+		fmt.Printf("   %*s%-16s %-8s %8v%s\n", //hardtape:secret-ok span names are compile-time constants (telemetrysafe) and procs are deployment labels
+			2*depth, "", s.Name, s.Proc, s.Duration.Round(time.Microsecond), attrs)
+		kids := children[s.Span]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
 }

@@ -84,9 +84,18 @@ type (
 
 	// Telemetry is the opt-in metrics registry threaded through the
 	// pipeline; AdminServer serves it over HTTP (Prometheus text, JSON
-	// snapshot, pprof).
+	// snapshot, pprof, and — with tracing enabled — /traces).
 	Telemetry   = telemetry.Registry
 	AdminServer = telemetry.AdminServer
+
+	// Tracer mints distributed-tracing spans (Telemetry.EnableTracing);
+	// FlightRecorder is the tail-sampling ring completed traces land
+	// in; TraceID identifies one end-to-end trace across processes.
+	Tracer         = telemetry.Tracer
+	FlightRecorder = telemetry.Recorder
+	TraceID        = telemetry.TraceID
+	// Trace is one assembled trace as kept by the flight recorder.
+	Trace = telemetry.Trace
 
 	// SessionTicket is a resumption ticket: the opaque service-sealed
 	// state plus the locally derived PSK. Present it to Resume to skip

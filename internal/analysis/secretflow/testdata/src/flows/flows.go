@@ -82,6 +82,22 @@ func flags(seedHex string) {
 	flag.String("seed", seedHex, "initial seed") // want `flag registration \(flag\.String\)`
 }
 
+// Positive 10a: secret material as a span attribute value — span
+// records ship to the untrusted side with the trace reply.
+func spanAttr(tr *telemetry.Tracer, stashKey []byte) {
+	sp := tr.StartSpan("oram.batch", telemetry.SpanContext{})
+	sp.AddAttr("key", string(stashKey)) // want `trace span name/attribute \(TraceSpan\.AddAttr\)`
+}
+
+// Positive 10b: a derived key smuggled into a span NAME (dynamic names
+// are also telemetrysafe violations, but the taint must be caught even
+// where the name is built from a secret).
+func spanName(tr *telemetry.Tracer, id uint64) {
+	var material [32]byte
+	k := session.TrafficKey(material, id)
+	tr.StartSpan(string(k[:]), telemetry.SpanContext{}) // want `trace span name/attribute \(Tracer\.StartSpan\)`
+}
+
 // Positive 10: copy moves the secret bytes themselves.
 func copied(psk []byte) {
 	out := make([]byte, len(psk))
@@ -124,4 +140,18 @@ func waived(psk []byte) {
 // Negative 6: wiping a key is not exfiltration.
 func zeroNeg(sessionKey []byte) {
 	session.Zero(sessionKey)
+}
+
+// Negative 7: span attributes carrying counts and public structure are
+// the sanctioned use; AddInt cannot carry byte taint at all.
+func spanNeg(tr *telemetry.Tracer, sessionKey []byte) {
+	sp := tr.StartSpan("device.bundle", telemetry.SpanContext{})
+	sp.AddAttr("backend", "device-1")
+	sp.AddInt("key_bytes", int64(len(sessionKey)))
+}
+
+// Negative 8: a waived span attribute stays reviewable.
+func spanWaived(tr *telemetry.Tracer, psk []byte) {
+	sp := tr.StartSpan("session.resume", telemetry.SpanContext{})
+	sp.AddAttr("psk", string(psk)) //hardtape:secret-ok fixture: documented debug-only build
 }

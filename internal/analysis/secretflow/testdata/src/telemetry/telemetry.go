@@ -11,3 +11,22 @@ func (r *Registry) Counter(name, help string, labels ...string) int { return 0 }
 
 // Gauge registers a gauge series.
 func (r *Registry) Gauge(name, help string, labels ...string) int { return 0 }
+
+// SpanContext mimics the propagated span identity.
+type SpanContext struct{}
+
+// Tracer mimics the distributed-tracing span factory; StartSpan's name
+// argument is a secretflow sink.
+type Tracer struct{}
+
+// StartSpan opens a named span.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *TraceSpan { return &TraceSpan{} }
+
+// TraceSpan mimics a live span; AddAttr values are secretflow sinks.
+type TraceSpan struct{}
+
+// AddAttr attaches a string attribute.
+func (s *TraceSpan) AddAttr(key, val string) {}
+
+// AddInt attaches an integer attribute (not a byte-like sink).
+func (s *TraceSpan) AddInt(key string, val int64) {}

@@ -9,9 +9,13 @@
 //
 // The analyzer flags any call to Registry.Counter / Registry.Gauge /
 // Registry.Histogram whose metric name or label arguments are not
-// compile-time constants. Operator-controlled dynamic labels (backend
-// deployment names, enum-driven class labels) are legitimate; they
-// must carry a visible waiver so the trust decision is reviewable.
+// compile-time constants, and any Tracer.StartSpan whose span name is
+// not — span names export on the admin trace endpoints exactly like
+// metric names, so they obey the same rule. Operator-controlled
+// dynamic labels (backend deployment names, enum-driven class labels)
+// are legitimate; they must carry a visible waiver so the trust
+// decision is reviewable. (Span ATTRIBUTE values may be dynamic — the
+// secretflow taint analyzer polices what reaches them.)
 //
 // Escape hatch (reason required): //hardtape:telemetry-ok reason —
 // on the call line, the line above, or the enclosing function's doc.
@@ -61,11 +65,18 @@ func run(pass *analysis.Pass) (any, error) {
 					return true
 				}
 				start, isReg := labelStart[sel.Sel.Name]
-				if !isReg {
+				isSpan := sel.Sel.Name == "StartSpan"
+				if !isReg && !isSpan {
 					return true
 				}
 				pkgPath, typeName, ok := analysis.NamedType(pass.TypesInfo, sel.X)
-				if !ok || !isTelemetryPackage(pkgPath) || typeName != "Registry" {
+				if !ok || !isTelemetryPackage(pkgPath) {
+					return true
+				}
+				if isSpan && typeName != "Tracer" {
+					return true
+				}
+				if isReg && typeName != "Registry" {
 					return true
 				}
 				if ann.Allowed(pass.Fset, call.Pos(), "telemetry-ok") ||
@@ -79,6 +90,12 @@ func run(pass *analysis.Pass) (any, error) {
 					pass.Reportf(arg.Pos(),
 						"dynamic %s in telemetry registration (%s.%s): exported series may only carry compile-time constants; annotate with //hardtape:telemetry-ok <reason> if the value is operator-controlled",
 						what, typeName, sel.Sel.Name)
+				}
+				if isSpan {
+					if len(call.Args) > 0 {
+						check(call.Args[0], "span name")
+					}
+					return true
 				}
 				if len(call.Args) > 0 {
 					check(call.Args[0], "metric name")

@@ -40,3 +40,22 @@ func silent(reg *telemetry.Registry, name string) {
 	//hardtape:telemetry-ok
 	reg.Counter("svc_silent_total", "silent", "backend", name) // want `dynamic label argument in telemetry registration \(Registry.Counter\)`
 }
+
+const stageSpan = "svc." + stage
+
+// spans applies the same constant-name rule to trace spans: the name
+// indexes the exported trace records, so a dynamic one leaks whatever
+// it interpolates (attribute VALUES may be dynamic — secretflow
+// checks their provenance).
+func spans(tr *telemetry.Tracer, user string, txHash string) {
+	// Constants, including named-constant concatenations, pass.
+	sp := tr.StartSpan("svc.handle", telemetry.SpanContext{})
+	sp.AddAttr("backend", user)
+	tr.StartSpan(stageSpan, telemetry.SpanContext{})
+
+	tr.StartSpan("svc."+user, telemetry.SpanContext{}) // want `dynamic span name in telemetry registration \(Tracer.StartSpan\)`
+	tr.StartSpan(txHash, telemetry.SpanContext{})      // want `dynamic span name in telemetry registration \(Tracer.StartSpan\)`
+
+	//hardtape:telemetry-ok fixture: operator-chosen stage name
+	tr.StartSpan(user, telemetry.SpanContext{})
+}

@@ -22,7 +22,24 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	return &Histogram{}
 }
 
+// SpanContext mimics the propagated span identity.
+type SpanContext struct{}
+
+// TraceSpan is a live distributed-tracing span.
+type TraceSpan struct{}
+
+// AddAttr attaches a string attribute (dynamic values allowed;
+// secretflow polices their content).
+func (s *TraceSpan) AddAttr(key, val string) {}
+
+// Tracer mints spans; StartSpan's name must be a compile-time
+// constant, same rule as metric names.
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string, parent SpanContext) *TraceSpan { return &TraceSpan{} }
+
 // internalUse shows in-package dynamic names are exempt.
-func internalUse(r *Registry, n string) {
+func internalUse(r *Registry, n string, tr *Tracer) {
 	r.Counter(n, "internal")
+	tr.StartSpan(n, SpanContext{})
 }

@@ -496,13 +496,35 @@ func (d *Device) ExecuteContext(ctx context.Context, bundle *types.Bundle) (*Bun
 	if bundle == nil || len(bundle.Txs) == 0 {
 		return nil, ErrBundleEmpty
 	}
+	// Continue the caller's distributed trace when one rides the
+	// context (tracer-nil check first: the disabled path never touches
+	// the context value).
+	var tsp *telemetry.TraceSpan
+	dtr := d.cfg.Telemetry.Tracer()
+	if dtr != nil {
+		if parent := telemetry.SpanFromContext(ctx); parent.Valid() {
+			tsp = dtr.StartSpan("device.bundle", parent)
+			tsp.AddInt("txs", int64(len(bundle.Txs)))
+		}
+	}
 	var s *slot
 	select {
 	case s = <-d.slots: // exclusive assignment
 	default:
+		// All cores busy: the queue wait is a span of its own, so a
+		// trace shows admission stalls apart from execution time.
+		var wsp *telemetry.TraceSpan
+		if tsp != nil {
+			wsp = dtr.StartSpan("device.slot_wait", tsp.Context())
+		}
 		select {
 		case s = <-d.slots:
+			wsp.End()
 		case <-ctx.Done():
+			wsp.SetError(ctx.Err())
+			wsp.End()
+			tsp.SetError(ctx.Err())
+			tsp.End()
 			return nil, ctx.Err()
 		}
 	}
@@ -511,14 +533,28 @@ func (d *Device) ExecuteContext(ctx context.Context, bundle *types.Bundle) (*Bun
 		d.slots <- s
 	}()
 	s.reset()
-	return d.executeOn(s, bundle)
+	res, err := d.executeOn(s, bundle, tsp)
+	tsp.SetError(err)
+	tsp.End()
+	return res, err
 }
 
-// executeOn runs the bundle on a specific slot.
-func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error) {
+// executeOn runs the bundle on a specific slot. tsp is the bundle's
+// "device.bundle" trace span (nil when untraced).
+func (d *Device) executeOn(s *slot, bundle *types.Bundle, tsp *telemetry.TraceSpan) (*BundleResult, error) {
 	sp := telemetry.StartSpan(d.tm.enabled)
 	cal := d.cfg.Calibration
 	feat := d.cfg.Features
+
+	// "device.exec" covers execution proper — HEVM stages between the
+	// border-crossing charges — and parents the lane and ORAM spans.
+	var xsp *telemetry.TraceSpan
+	if tsp != nil {
+		xsp = d.cfg.Telemetry.Tracer().StartSpan("device.exec", tsp.Context())
+		if len(s.lanes) > 0 && len(bundle.Txs) > 1 {
+			xsp.AddInt("lanes", int64(len(s.lanes)))
+		}
+	}
 
 	// Step 6: the user's message crosses the border. Charge the
 	// A.E.DMA decrypt and the per-bundle signature verification.
@@ -540,8 +576,10 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 	result := &BundleResult{}
 	if len(s.lanes) > 0 && len(bundle.Txs) > 1 {
 		// Optimistic intra-bundle parallelism (DESIGN.md §16).
-		if err := d.runTxsParallel(s, blockCtx, bundle, result); err != nil {
+		if err := d.runTxsParallel(s, blockCtx, bundle, result, xsp); err != nil {
 			d.tm.bundlesErr.Inc()
+			xsp.SetError(err)
+			xsp.End()
 			return nil, err
 		}
 	} else {
@@ -558,12 +596,15 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 			e.Hooks = evm.CombineHooks(e.Hooks, s.opCounts.Hooks())
 		}
 
-		if err := d.runTxs(e, tr, s, bundle, result); err != nil {
+		if err := d.runTxs(e, tr, s, bundle, result, xsp.Context()); err != nil {
 			d.tm.bundlesErr.Inc()
+			xsp.SetError(err)
+			xsp.End()
 			return nil, err
 		}
 		result.Trace = tr.Bundle()
 	}
+	xsp.End()
 
 	// Step 9: trace leaves through the secure channel.
 	traceBytes := traceSize(result.Trace)
@@ -587,12 +628,19 @@ func (d *Device) executeOn(s *slot, bundle *types.Bundle) (*BundleResult, error)
 // aborts (Memory Overflow, L3 tamper) into result errors.
 //
 //hardtape:locksafe-ok oramMu serializes the shared ORAM client for the whole bundle; ApplyTransaction's storage reads ARE the guarded resource
-func (d *Device) runTxs(e *evm.EVM, tr *tracer.Tracer, s *slot, bundle *types.Bundle, result *BundleResult) (err error) {
+func (d *Device) runTxs(e *evm.EVM, tr *tracer.Tracer, s *slot, bundle *types.Bundle, result *BundleResult, sc telemetry.SpanContext) (err error) {
 	// The ORAM client is shared across slots; serialize bundles that
 	// touch it. (Lock ordering: slots never nest bundle executions.)
 	if d.cfg.Features.ORAMStorage || d.cfg.Features.ORAMCode {
 		d.oramMu.Lock()
 		defer d.oramMu.Unlock()
+		// Attribute this bundle's ORAM rounds to its trace. Stamped
+		// unconditionally (sc is zero for untraced bundles) so an
+		// untraced bundle interleaving with a traced one can never ride
+		// the previous holder's span.
+		if dtr := d.cfg.Telemetry.Tracer(); dtr != nil {
+			d.oramClient.SetTrace(dtr, sc)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {

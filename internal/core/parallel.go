@@ -11,6 +11,7 @@ import (
 	"hardtape/internal/hevm"
 	"hardtape/internal/simclock"
 	"hardtape/internal/state"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/tracer"
 	"hardtape/internal/types"
 )
@@ -90,7 +91,7 @@ func (o *laneOutcome) failed() bool {
 // sequential execution.
 //
 //hardtape:poolsafe-ok laneOutcome buffers are bundle-scoped, never pooled; the slot channel hand-off in ExecuteContext covers the slot itself
-func (d *Device) runTxsParallel(s *slot, blockCtx evm.BlockContext, bundle *types.Bundle, result *BundleResult) (err error) {
+func (d *Device) runTxsParallel(s *slot, blockCtx evm.BlockContext, bundle *types.Bundle, result *BundleResult, xsp *telemetry.TraceSpan) (err error) {
 	lanes := s.lanes
 	n := len(bundle.Txs)
 	v := state.NewVersioned()
@@ -119,7 +120,7 @@ func (d *Device) runTxsParallel(s *slot, blockCtx evm.BlockContext, bundle *type
 		wg.Add(1)
 		go func(w int, l *laneState) {
 			defer wg.Done()
-			laneBase := d.newLaneReader(l)
+			laneBase := d.newLaneReader(l, xsp.Context())
 			for i := w; i < n; i += len(lanes) {
 				if stop.Load() {
 					close(done[i])
@@ -135,7 +136,7 @@ func (d *Device) runTxsParallel(s *slot, blockCtx evm.BlockContext, bundle *type
 	// set) validates, commits, and re-executes conflicts; its reader
 	// serializes against in-flight lanes per query.
 	cal := d.cfg.Calibration
-	commitReader := d.newLaneReader(&s.laneState)
+	commitReader := d.newLaneReader(&s.laneState, xsp.Context())
 	stats := &ParallelStats{Lanes: len(lanes)}
 	result.Parallel = stats
 	traces := make([]*tracer.TxTrace, 0, n)
@@ -192,9 +193,19 @@ func (d *Device) runTxsParallel(s *slot, blockCtx evm.BlockContext, bundle *type
 		if execs > stats.MaxTxExecs {
 			stats.MaxTxExecs = execs
 		}
+		// Conflict re-executions are first-class trace spans: a trace of
+		// a contended bundle shows exactly which transactions paid the
+		// serial re-run (the tx index is its bundle position — public
+		// structure, not content).
+		var rsp *telemetry.TraceSpan
+		if xsp != nil {
+			rsp = d.cfg.Telemetry.Tracer().StartSpan("lane.reexec", xsp.Context())
+			rsp.AddInt("tx", int64(i))
+		}
 		span := s.clock.StartSpan()
 		re := d.specOnce(&s.laneState, commitReader, v, blockCtx, bundle.Txs[i])
 		stats.ReExecTime += span.Elapsed()
+		rsp.End()
 		if re.bugPanic != nil {
 			panic(re.bugPanic)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"hardtape/internal/node"
 	"hardtape/internal/state"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/tracer"
 	"hardtape/internal/types"
 	"hardtape/internal/workload"
@@ -317,7 +318,7 @@ func TestParallelConflictTwiceReexecutesTwice(t *testing.T) {
 		return tx
 	}
 	v := state.NewVersioned()
-	reader := d.newLaneReader(&s.laneState)
+	reader := d.newLaneReader(&s.laneState, telemetry.SpanContext{})
 	run := func(i int) *laneOutcome {
 		out := d.specOnce(&s.laneState, reader, v, blockCtx, mkSwap(i))
 		if out.failed() {

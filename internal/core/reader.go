@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"hardtape/internal/hevm"
+	"hardtape/internal/oram"
 	"hardtape/internal/pager"
 	"hardtape/internal/state"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/types"
 )
 
@@ -223,36 +225,58 @@ func (d *Device) newReader(l *laneState) *hvReader {
 type lockedReader struct {
 	mu    *sync.Mutex
 	inner state.Reader
+	// acc/tr/sc re-stamp the shared ORAM client's trace attribution
+	// under the lock on every query: lanes from different bundles (and
+	// traced next to untraced ones) interleave here, so each holder
+	// must claim — or clear — the attribution for its own accesses.
+	acc oram.Accessor
+	tr  *telemetry.Tracer
+	sc  telemetry.SpanContext
 }
 
 var _ state.Reader = (*lockedReader)(nil)
 
+// stamp installs this lane's trace identity; callers hold r.mu.
+func (r *lockedReader) stamp() {
+	if r.tr != nil {
+		r.acc.SetTrace(r.tr, r.sc)
+	}
+}
+
 func (r *lockedReader) Account(addr types.Address) (*types.Account, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.stamp()
 	return r.inner.Account(addr)
 }
 
 func (r *lockedReader) Storage(addr types.Address, key types.Hash) types.Hash {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.stamp()
 	return r.inner.Storage(addr, key)
 }
 
 func (r *lockedReader) Code(codeHash types.Hash) []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.stamp()
 	return r.inner.Code(codeHash)
 }
 
 // newLaneReader wires the reader a parallel lane executes against.
 // With ORAM features the shared client is not concurrent-safe, so each
 // query takes oramMu for its duration; the -raw mirror is a plain map
-// safe for concurrent reads and needs no lock.
-func (d *Device) newLaneReader(l *laneState) state.Reader {
+// safe for concurrent reads and needs no lock. sc is the bundle's
+// execution span (zero when the bundle is untraced — still stamped, to
+// displace a previous holder's attribution).
+func (d *Device) newLaneReader(l *laneState, sc telemetry.SpanContext) state.Reader {
 	r := d.newReader(l)
 	if d.cfg.Features.ORAMStorage || d.cfg.Features.ORAMCode {
-		return &lockedReader{mu: &d.oramMu, inner: r}
+		return &lockedReader{
+			mu: &d.oramMu, inner: r,
+			acc: d.oramClient, tr: d.cfg.Telemetry.Tracer(), sc: sc,
+		}
 	}
 	return r
 }

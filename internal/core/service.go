@@ -64,6 +64,22 @@ type traceMsg struct {
 	VirtualTime time.Duration
 	AbortReason string
 	GasUsed     uint64
+	// TraceSpans carries this process's finished distributed-tracing
+	// spans for the request's trace back to the caller, which adopts
+	// them into its flight recorder — one contiguous tree per request
+	// no matter how many processes served it. Empty when the request
+	// was untraced.
+	TraceSpans []telemetry.SpanRecord
+}
+
+// wireTraceContext converts a span context to its channel encoding.
+func wireTraceContext(sc telemetry.SpanContext) channel.TraceContext {
+	return channel.TraceContext{Trace: [16]byte(sc.Trace), Span: [8]byte(sc.Span)}
+}
+
+// spanCtxFromWire converts a received wire context back.
+func spanCtxFromWire(tc channel.TraceContext) telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: telemetry.TraceID(tc.Trace), Span: telemetry.SpanID(tc.Span)}
 }
 
 // statusMsg is the occupancy-probe response (request carries a zero
@@ -104,6 +120,9 @@ type Service struct {
 	admission *session.Admission
 	// tm is always non-nil (nil instruments when disabled).
 	tm *svcMetrics
+	// reg is the telemetry registry (nil when disabled); the service
+	// picks up distributed tracing from it via reg.Tracer().
+	reg *telemetry.Registry
 }
 
 // NewService wraps a device, inheriting its telemetry registry.
@@ -126,6 +145,7 @@ func NewServiceFor(exec BundleExecutor, booted *attest.BootedDevice, sign bool) 
 // Call before serving connections.
 func (s *Service) SetTelemetry(reg *telemetry.Registry) {
 	s.tm = newSvcMetrics(reg)
+	s.reg = reg
 }
 
 // SetSessionPolicy replaces the ticket issuer (clock + lifetime in
@@ -348,7 +368,7 @@ func (s *Service) serveSession(conn io.ReadWriter, secure *channel.SecureChannel
 		}
 		switch hdr.Type {
 		case channel.MsgMux:
-			reqID, kind, body, err := session.ParseMuxFrame(payload)
+			reqID, kind, tc, body, err := session.ParseMuxFrameTraced(payload)
 			if err != nil {
 				return fmt.Errorf("%w: %v", ErrProtocol, err)
 			}
@@ -367,13 +387,25 @@ func (s *Service) serveSession(conn io.ReadWriter, secure *channel.SecureChannel
 					}
 					continue
 				}
+				// A traced frame parents this process's spans under the
+				// caller's; the finished records travel back in the reply.
+				// An untraced frame roots a NEW trace here, kept by the
+				// local flight recorder — so a -trace server is useful even
+				// when its clients don't propagate contexts. The two cases
+				// compose: a locally rooted trace assembles into the local
+				// ring when its root ends, and TakeSpans then finds nothing
+				// left to ship.
+				var sp *telemetry.TraceSpan
+				if tr := s.reg.Tracer(); tr != nil {
+					sp = tr.StartSpan("service.bundle", spanCtxFromWire(tc))
+				}
 				// Interleaving is the point of the mux: the bundle runs on
 				// its own goroutine while this loop keeps reading, so many
 				// bundles share the connection and the executor's slots.
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					out := s.executeBundle(&bm)
+					out := s.executeBundle(&bm, sp)
 					//hardtape:faulterr-ok a write race with connection teardown fails the conn, which the read loop reports
 					_ = writeSealed(channel.MsgMuxReply, session.EncodeMuxFrame(reqID, session.MuxOK, gobEncode(&out)))
 				}()
@@ -391,7 +423,7 @@ func (s *Service) serveSession(conn io.ReadWriter, secure *channel.SecureChannel
 			if err := gobDecode(payload, &bm); err != nil {
 				return err
 			}
-			out := s.executeBundle(&bm)
+			out := s.executeBundle(&bm, nil)
 			if err := writeSealed(channel.MsgTrace, gobEncode(&out)); err != nil {
 				return err
 			}
@@ -402,9 +434,16 @@ func (s *Service) serveSession(conn io.ReadWriter, secure *channel.SecureChannel
 }
 
 // executeBundle runs one decoded bundle and shapes the trace reply.
-func (s *Service) executeBundle(bm *bundleMsg) traceMsg {
+// sp, when non-nil, is the request's service span: the executor's
+// context carries its identity so device/ORAM spans parent under it,
+// and the reply collects every finished local span of the trace.
+func (s *Service) executeBundle(bm *bundleMsg, sp *telemetry.TraceSpan) traceMsg {
 	bsp := telemetry.StartSpan(s.tm.enabled)
-	res, err := s.exec.ExecuteContext(context.Background(), &bm.Bundle)
+	ctx := context.Background()
+	if sp != nil {
+		ctx = telemetry.ContextWithSpan(ctx, sp.Context())
+	}
+	res, err := s.exec.ExecuteContext(ctx, &bm.Bundle)
 	bsp.Mark(s.tm.execute)
 	var out traceMsg
 	if err != nil {
@@ -418,6 +457,11 @@ func (s *Service) executeBundle(bm *bundleMsg) traceMsg {
 			out.AbortReason = res.Aborted.Error()
 		}
 		s.tm.bundlesOK.Inc()
+	}
+	if sp != nil {
+		sp.SetError(err)
+		sp.End()
+		out.TraceSpans = s.reg.FlightRecorder().TakeSpans(sp.TraceID())
 	}
 	return out
 }
@@ -440,10 +484,18 @@ type Client struct {
 	// warm reports whether this client skipped asymmetric crypto
 	// (ticket resumption) rather than attesting from scratch.
 	warm bool
+	// tracer, when set, roots a distributed trace per PreExecute (or
+	// continues the caller's via PreExecuteContext) and adopts the
+	// remote spans the service returns.
+	tracer *telemetry.Tracer
 
 	tmu    sync.Mutex
 	ticket *session.ClientTicket
 }
+
+// SetTracer turns on distributed tracing for this client's requests
+// (nil disables). Usually reg.Tracer() for the process registry.
+func (c *Client) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
 
 // readWriteCloser adapts the io.ReadWriter handshake streams (net.Pipe
 // halves in tests, net.Conn in production) to the mux's closer needs.
@@ -591,13 +643,39 @@ func (c *Client) Close() error { return c.mux.Close() }
 // PreExecute submits a bundle and waits for its trace. Safe for
 // concurrent use: bundles interleave on the multiplexed connection.
 func (c *Client) PreExecute(bundle *types.Bundle) (*TraceResult, error) {
-	body, err := c.mux.RoundTrip(session.MuxBundle, gobEncode(&bundleMsg{Bundle: *bundle}))
+	return c.PreExecuteContext(context.Background(), bundle)
+}
+
+// PreExecuteContext is PreExecute carrying the caller's context: when
+// tracing is on, the submission span parents under any span context
+// in ctx (a gateway forwarding a traced request) or roots a fresh
+// trace, propagates over the wire, and the remote spans returned in
+// the reply are adopted into the local flight recorder.
+func (c *Client) PreExecuteContext(ctx context.Context, bundle *types.Bundle) (*TraceResult, error) {
+	var (
+		sp *telemetry.TraceSpan
+		tc channel.TraceContext
+	)
+	if c.tracer != nil {
+		sp = c.tracer.StartSpan("client.preexecute", telemetry.SpanFromContext(ctx))
+		sp.AddInt("txs", int64(len(bundle.Txs)))
+		tc = wireTraceContext(sp.Context())
+	}
+	body, err := c.mux.RoundTripTraced(session.MuxBundle, tc, gobEncode(&bundleMsg{Bundle: *bundle}))
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
 	var tm traceMsg
 	if err := gobDecode(body, &tm); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
+	}
+	if sp != nil {
+		c.tracer.Recorder().Adopt(tm.TraceSpans)
+		sp.End()
 	}
 	return &TraceResult{
 		Trace:       &tm.Trace,

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"hardtape/internal/attest"
+	"hardtape/internal/node"
+	"hardtape/internal/telemetry"
+	"hardtape/internal/workload"
+)
+
+// buildTracedServiceRig is buildServiceRig with tracing on at the
+// device side (its own registry, standing in for the device process)
+// and the parallel scheduler + sharded ORAM enabled so traced bundles
+// cover every span family.
+func buildTracedServiceRig(t testing.TB) (*serviceRig, *telemetry.Registry) {
+	t.Helper()
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.EOAs = 8
+	wcfg.Tokens = 2
+	wcfg.DEXes = 1
+	w, err := workload.BuildWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := node.New(w.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devReg := telemetry.NewRegistry()
+	devReg.EnableTracing("device", 0)
+	t.Cleanup(devReg.FlightRecorder().Close)
+	cfg := DefaultConfig()
+	cfg.Features = ConfigFull
+	cfg.HEVMs = 2
+	cfg.Lanes = 2
+	cfg.ORAMShards = 2
+	cfg.Telemetry = devReg
+	dev, err := NewDevice(cfg, mfr, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return &serviceRig{
+		rig: &rig{world: w, chain: chain, device: dev},
+		mfr: mfr,
+		svc: NewService(dev),
+	}, devReg
+}
+
+// TestConcurrentTracedMuxTraffic hammers one multiplexed session with
+// parallel traced bundles: concurrent span recording at the client,
+// service, device, and ORAM layers all funnel through two recorders
+// while replies interleave on the mux. Run under -race this is the
+// whole-pipeline data-race harness for the tracing tentpole.
+func TestConcurrentTracedMuxTraffic(t *testing.T) {
+	sr, _ := buildTracedServiceRig(t)
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	go func() {
+		defer serverConn.Close()
+		//hardtape:faulterr-ok the session ends when the test closes the pipe; its EOF is the shutdown signal
+		_ = sr.svc.ServeConn(serverConn)
+	}()
+
+	clientReg := telemetry.NewRegistry()
+	ctr := clientReg.EnableTracing("client", 0)
+	defer clientReg.FlightRecorder().Close()
+
+	c, err := Dial(clientConn, sr.verifier(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTracer(ctr)
+
+	const workers, rounds = 6, 4
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*rounds)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				bundle := sr.transferBundleFrom(t, g, uint64(10+g))
+				res, err := c.PreExecuteContext(context.Background(), bundle)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.AbortReason != "" {
+					errc <- fmt.Errorf("bundle aborted: %s", res.AbortReason)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("traced mux bundle: %v", err)
+	}
+
+	rec := clientReg.FlightRecorder()
+	traces := rec.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces kept after concurrent traced traffic")
+	}
+	// Every kept trace must be contiguous: client root, device-side
+	// segment adopted over the wire, all parent links resolving.
+	for _, trace := range traces {
+		procs := map[string]bool{}
+		spans := map[telemetry.SpanID]bool{}
+		for _, s := range trace.Spans {
+			procs[s.Proc] = true
+			spans[s.Span] = true
+		}
+		if !procs["client"] || !procs["device"] {
+			t.Fatalf("trace %s procs %v, want client and device", trace.ID, procs)
+		}
+		if trace.Root != "client.preexecute" {
+			t.Errorf("trace %s root %q, want client.preexecute", trace.ID, trace.Root)
+		}
+		for _, s := range trace.Spans {
+			if !s.Parent.IsZero() && !spans[s.Parent] {
+				t.Errorf("trace %s span %s (%s) has unresolved parent %s",
+					trace.ID, s.Span, s.Name, s.Parent)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"hardtape/internal/core"
 	"hardtape/internal/oram"
 	"hardtape/internal/session"
+	"hardtape/internal/telemetry"
 	"hardtape/internal/types"
 )
 
@@ -124,6 +125,12 @@ type RemoteBackend struct {
 
 	pool chan *remoteConn
 
+	// tracer, when non-nil, is handed to every dialed core.Client so
+	// bundle submissions propagate the caller's trace context over the
+	// wire and adopt the service's returned span segments. Set before
+	// first use (NewGateway wires it from its telemetry registry).
+	tracer *telemetry.Tracer
+
 	mu     sync.Mutex
 	probe  *remoteConn
 	closed bool
@@ -181,6 +188,11 @@ func NewRemoteBackend(name, addr string, verifier *attest.Verifier, sign bool, s
 	return b
 }
 
+// SetTracer installs the tracer future sessions propagate trace
+// contexts with (dial concurrency starts only after the backend is
+// handed to a gateway, so setting it at wiring time is race-free).
+func (b *RemoteBackend) SetTracer(tr *telemetry.Tracer) { b.tracer = tr }
+
 // Name implements Backend.
 func (b *RemoteBackend) Name() string { return b.name }
 
@@ -209,6 +221,7 @@ func (b *RemoteBackend) connect(rc *remoteConn) error {
 			return err
 		}
 		if client, rerr := core.Resume(conn, ticket); rerr == nil {
+			client.SetTracer(b.tracer)
 			rc.conn, rc.client = conn, client
 			return nil
 		}
@@ -223,6 +236,7 @@ func (b *RemoteBackend) connect(rc *remoteConn) error {
 		conn.Close()
 		return err
 	}
+	client.SetTracer(b.tracer)
 	rc.conn, rc.client = conn, client
 	return nil
 }
@@ -291,7 +305,10 @@ func (b *RemoteBackend) Execute(ctx context.Context, bundle *types.Bundle) (*cor
 			err = rc.conn.SetDeadline(dl)
 		}
 		if err == nil {
-			tr, err = rc.client.PreExecute(bundle)
+			// Context-carrying variant: the dispatch span on ctx rides
+			// the mux frame to the service, which returns its finished
+			// span segment for adoption into our flight recorder.
+			tr, err = rc.client.PreExecuteContext(ctx, bundle)
 		}
 		if err == nil {
 			err = rc.conn.SetDeadline(time.Time{})

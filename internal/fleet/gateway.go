@@ -141,6 +141,11 @@ func NewGateway(cfg Config, backends ...Backend) *Gateway {
 	}
 	capacity := 0
 	for _, b := range backends {
+		// Remote backends inherit the gateway's tracer so cross-process
+		// bundles keep one trace id (no-op when tracing is disabled).
+		if rb, ok := b.(*RemoteBackend); ok && rb.tracer == nil {
+			rb.SetTracer(cfg.Telemetry.Tracer())
+		}
 		bs := &backendState{b: b, m: newBackendMetrics(reg, b.Name())}
 		free, err := b.FreeSlots()
 		if err == nil {
@@ -175,16 +180,32 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 		return nil, core.ErrBundleEmpty
 	}
 
+	// Continue the submitter's distributed trace (the fronting
+	// core.Service puts its span on ctx); admission, queue wait, and
+	// dispatch each become their own span.
+	gtr := g.cfg.Telemetry.Tracer()
+	var ssp *telemetry.TraceSpan
+	if gtr != nil {
+		if parent := telemetry.SpanFromContext(ctx); parent.Valid() {
+			ssp = gtr.StartSpan("gateway.submit", parent)
+			ssp.AddInt("txs", int64(len(bundle.Txs)))
+		}
+	}
+
 	// Admission: a full queue rejects instead of blocking (the typed
 	// backpressure signal the single-device Execute never had).
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
+		ssp.SetError(ErrClosed)
+		ssp.End()
 		return nil, ErrClosed
 	}
 	if g.admitted >= g.cfg.QueueDepth {
 		g.tm.rejected.Inc()
 		g.mu.Unlock()
+		ssp.SetError(ErrOverloaded)
+		ssp.End()
 		return nil, ErrOverloaded
 	}
 	g.admitted++
@@ -206,6 +227,12 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 	start := time.Now()
 	waitDone := false
 	retries := 0
+	// The queue wait gets its own span AND stamps the wait histogram's
+	// exemplar, so a p99 queue-wait bucket points at a concrete trace.
+	var qsp *telemetry.TraceSpan
+	if ssp != nil {
+		qsp = gtr.StartSpan("gateway.queue_wait", ssp.Context())
+	}
 	for {
 		bs, wake := g.reserve()
 		if bs == nil {
@@ -217,23 +244,51 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 				g.waiting--
 				g.mu.Unlock()
 				g.tm.failed.Inc()
-				return nil, fmt.Errorf("%w: %w", ErrNoBackends, ctx.Err())
+				err := fmt.Errorf("%w: %w", ErrNoBackends, ctx.Err())
+				qsp.SetError(err)
+				qsp.End()
+				ssp.SetError(err)
+				ssp.End()
+				return nil, err
 			case <-g.stopCh:
 				g.mu.Lock()
 				g.waiting--
 				g.mu.Unlock()
+				qsp.SetError(ErrClosed)
+				qsp.End()
+				ssp.SetError(ErrClosed)
+				ssp.End()
 				return nil, ErrClosed
 			}
 		}
 		if !waitDone {
-			g.tm.queueWait.ObserveDuration(time.Since(start))
+			if ssp != nil {
+				g.tm.queueWait.ObserveDurationTraced(time.Since(start), ssp.TraceID())
+			} else {
+				g.tm.queueWait.ObserveDuration(time.Since(start))
+			}
+			qsp.End()
 			waitDone = true
 		}
 
-		res, err := bs.b.Execute(ctx, bundle)
+		// The dispatch span rides ctx into the backend: an in-process
+		// device (or the remote client's wire context) parents its
+		// "device.bundle" span on it. Backend names are deployment
+		// labels the operator chose — public, never tainted.
+		bctx := ctx
+		var dsp *telemetry.TraceSpan
+		if ssp != nil {
+			dsp = gtr.StartSpan("gateway.dispatch", ssp.Context())
+			dsp.AddAttr("backend", bs.b.Name())
+			bctx = telemetry.ContextWithSpan(ctx, dsp.Context())
+		}
+		res, err := bs.b.Execute(bctx, bundle)
+		dsp.SetError(err)
+		dsp.End()
 		g.release(bs, res, err)
 		if err == nil {
 			g.tm.completed.Inc()
+			ssp.End()
 			return res, nil
 		}
 		var be *BackendError
@@ -241,6 +296,8 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 			// The bundle's own fault (invalid tx, context expiry while
 			// holding a slot): no failover, surface it.
 			g.tm.failed.Inc()
+			ssp.SetError(err)
+			ssp.End()
 			return nil, err
 		}
 		// Infrastructure fault: drain the backend and retry the bundle
@@ -248,6 +305,8 @@ func (g *Gateway) Submit(ctx context.Context, bundle *types.Bundle) (*core.Bundl
 		retries++
 		if ctx.Err() != nil || retries > g.cfg.DispatchRetries {
 			g.tm.failed.Inc()
+			ssp.SetError(err)
+			ssp.End()
 			return nil, err
 		}
 		g.mu.Lock()

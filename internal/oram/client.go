@@ -63,6 +63,11 @@ type Client struct {
 	// tm is the optional telemetry sink (nil when disabled: the hot
 	// path pays one pointer check per access, nothing else).
 	tm *clientTelemetry
+	// ttr/tparent carry the current bundle's distributed-trace
+	// identity, installed via SetTrace under the same serialization
+	// that guards every access (the Hypervisor's query lock).
+	ttr     *telemetry.Tracer
+	tparent telemetry.SpanContext
 }
 
 // clientTelemetry holds the client's registered series. Exported
@@ -100,6 +105,17 @@ func WithTelemetry(reg *telemetry.Registry) ClientOption {
 	}
 }
 
+// SetTrace installs the distributed-trace identity the next accesses
+// attribute themselves to: batched accesses open an "oram.batch" span
+// under parent, and the batch-latency histogram's exemplars carry
+// parent's trace id. A zero parent detaches (accesses from untraced
+// bundles must not land on the previous bundle's trace). Callers MUST
+// hold whatever lock serializes this client's queries — the same
+// single-goroutine contract as every other method.
+func (c *Client) SetTrace(tr *telemetry.Tracer, parent telemetry.SpanContext) {
+	c.ttr, c.tparent = tr, parent
+}
+
 // recordAccess flushes one completed access (or batch) into the
 // telemetry sink; bytes is the bytesMoved delta for the operation.
 func (c *Client) recordAccess(sp *telemetry.Span, ops uint64, bytes uint64, batched bool) {
@@ -111,7 +127,10 @@ func (c *Client) recordAccess(sp *telemetry.Span, ops uint64, bytes uint64, batc
 	t.batches.Inc()
 	t.bytes.Add(bytes)
 	if batched {
-		sp.End(t.batch)
+		// Exemplar link: the batch-latency bucket this observation
+		// lands in remembers which trace produced it (zero trace id
+		// records plainly).
+		sp.EndTraced(t.batch, c.tparent.Trace)
 		t.batchSize.Observe(float64(ops))
 	} else {
 		sp.End(t.single)
@@ -210,7 +229,7 @@ func (c *Client) ReadMany(ids []BlockID) ([][]byte, error) {
 // AccessBatch performs a mixed read/write batch in one server round
 // trip. The returned slice is aligned with ops and holds each block's
 // prior contents (nil when absent).
-func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
+func (c *Client) AccessBatch(ops []BatchOp) (res [][]byte, err error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -225,6 +244,16 @@ func (c *Client) AccessBatch(ops []BatchOp) ([][]byte, error) {
 		if op.Op == OpWrite && len(op.Data) > BlockSize {
 			return nil, ErrBlockTooBig
 		}
+	}
+	if c.ttr != nil && c.tparent.Valid() {
+		// Attribute values are sizes only — never block ids or leaf
+		// positions (the secretflow sink discipline).
+		tsp := c.ttr.StartSpan("oram.batch", c.tparent)
+		tsp.AddInt("blocks", int64(len(ops)))
+		defer func() {
+			tsp.SetError(err)
+			tsp.End()
+		}()
 	}
 	sp := telemetry.StartSpan(c.tm != nil)
 	bytesBefore := c.bytesMoved

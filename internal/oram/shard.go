@@ -20,6 +20,10 @@ type Accessor interface {
 	Write(id BlockID, data []byte) error
 	ReadMany(ids []BlockID) ([][]byte, error)
 	AccessBatch(ops []BatchOp) ([][]byte, error)
+	// SetTrace attributes subsequent accesses to a distributed-trace
+	// span (zero parent detaches). Must be called under the same
+	// serialization as the access methods.
+	SetTrace(tr *telemetry.Tracer, parent telemetry.SpanContext)
 	Stats() Stats
 }
 
@@ -86,6 +90,10 @@ type ShardedClient struct {
 	subIdx [][]int
 	subOut [][][]byte
 	subErr []error
+	// ttr/tparent carry the current bundle's distributed-trace
+	// identity (SetTrace), under the caller's serialization.
+	ttr     *telemetry.Tracer
+	tparent telemetry.SpanContext
 }
 
 // ShardOption configures a ShardedClient.
@@ -172,6 +180,20 @@ func NewShardedClient(servers []Server, key []byte, opts ...ShardOption) (*Shard
 // Shards returns the shard count.
 func (s *ShardedClient) Shards() int { return len(s.shards) }
 
+// SetTrace installs the distributed-trace identity for subsequent
+// accesses. Shard clients receive a Trace-only context (Span zero):
+// invalid as a span parent, so they never open their own redundant
+// "oram.batch" spans under the per-shard fan-out spans this client
+// emits, yet their latency-histogram exemplars still carry the trace
+// id. Must be called under the caller's query serialization, like
+// every other method.
+func (s *ShardedClient) SetTrace(tr *telemetry.Tracer, parent telemetry.SpanContext) {
+	s.ttr, s.tparent = tr, parent
+	for _, c := range s.shards {
+		c.SetTrace(tr, telemetry.SpanContext{Trace: parent.Trace})
+	}
+}
+
 // Read fetches a block from its owning shard (one full oblivious path
 // access there; the other shards see nothing, which leaks only the
 // public id→shard hash).
@@ -253,11 +275,23 @@ func (s *ShardedClient) AccessBatch(ops []BatchOp) ([][]byte, error) {
 		}
 		queries = append(queries, len(s.subOps[i]))
 		blocks += len(s.subOps[i]) * s.shards[i].depth * BucketSize
+		// One trace span per shard sub-batch, started here (goroutine
+		// creation gives the worker a happens-before view of it) and
+		// ended on the worker; shard index and size are public — the
+		// id→shard hash already reveals them to the server.
+		var tsp *telemetry.TraceSpan
+		if s.ttr != nil && s.tparent.Valid() {
+			tsp = s.ttr.StartSpan("oram.shard_batch", s.tparent)
+			tsp.AddInt("shard", int64(i))
+			tsp.AddInt("blocks", int64(len(s.subOps[i])))
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, tsp *telemetry.TraceSpan) {
 			defer wg.Done()
 			s.subOut[i], s.subErr[i] = s.shards[i].AccessBatch(s.subOps[i])
-		}(i)
+			tsp.SetError(s.subErr[i])
+			tsp.End()
+		}(i, tsp)
 	}
 	wg.Wait()
 	s.chargeRound(queries, blocks)

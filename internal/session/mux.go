@@ -30,6 +30,13 @@ const (
 	MuxBundle byte = 1
 	// MuxStatus probes device occupancy; the reply is a status report.
 	MuxStatus byte = 2
+
+	// MuxFlagTraced marks a request frame that carries a 24-byte
+	// distributed-trace context (channel.TraceContext) between the
+	// kind byte and the body. Untraced frames stay byte-identical to
+	// the pre-tracing wire format, so tracing is never a protocol
+	// version bump.
+	MuxFlagTraced byte = 0x80
 )
 
 // Mux frame reply statuses.
@@ -50,12 +57,44 @@ func EncodeMuxFrame(reqID uint64, kind byte, body []byte) []byte {
 	return frame
 }
 
+// EncodeMuxFrameTraced builds a request frame carrying a trace
+// context: the kind byte gains MuxFlagTraced and the 24-byte context
+// precedes the body.
+func EncodeMuxFrameTraced(reqID uint64, kind byte, tc channel.TraceContext, body []byte) []byte {
+	frame := make([]byte, muxHeaderLen, muxHeaderLen+channel.TraceContextSize+len(body))
+	binary.BigEndian.PutUint64(frame[:8], reqID)
+	frame[8] = kind | MuxFlagTraced
+	frame = channel.AppendTraceContext(frame, tc)
+	return append(frame, body...)
+}
+
 // ParseMuxFrame splits a decrypted frame into id, kind/status, body.
+// A traced frame's context is stripped and discarded — untraced
+// consumers (legacy paths, tests) keep working; use
+// ParseMuxFrameTraced to recover it.
 func ParseMuxFrame(frame []byte) (reqID uint64, kind byte, body []byte, err error) {
+	reqID, kind, _, body, err = ParseMuxFrameTraced(frame)
+	return reqID, kind, body, err
+}
+
+// ParseMuxFrameTraced splits a decrypted frame into id, kind/status,
+// trace context (zero when the frame is untraced), and body. The
+// returned kind has MuxFlagTraced cleared.
+func ParseMuxFrameTraced(frame []byte) (reqID uint64, kind byte, tc channel.TraceContext, body []byte, err error) {
 	if len(frame) < muxHeaderLen {
-		return 0, 0, nil, fmt.Errorf("session: short mux frame (%d bytes)", len(frame))
+		return 0, 0, channel.TraceContext{}, nil, fmt.Errorf("session: short mux frame (%d bytes)", len(frame))
 	}
-	return binary.BigEndian.Uint64(frame[:8]), frame[8], frame[muxHeaderLen:], nil
+	reqID = binary.BigEndian.Uint64(frame[:8])
+	kind = frame[8]
+	body = frame[muxHeaderLen:]
+	if kind&MuxFlagTraced != 0 {
+		kind &^= MuxFlagTraced
+		tc, body, err = channel.ParseTraceContext(body)
+		if err != nil {
+			return 0, 0, channel.TraceContext{}, nil, err
+		}
+	}
+	return reqID, kind, tc, body, nil
 }
 
 // muxResult is one decoded reply (or the transport failure that killed
@@ -99,6 +138,12 @@ func (m *Mux) Close() error {
 // is safe for concurrent use; the send lock covers only seal+write,
 // never the link round trip, so requests pipeline.
 func (m *Mux) RoundTrip(kind byte, body []byte) ([]byte, error) {
+	return m.RoundTripTraced(kind, channel.TraceContext{}, body)
+}
+
+// RoundTripTraced is RoundTrip with a propagated trace context; a
+// zero context sends the untraced frame encoding.
+func (m *Mux) RoundTripTraced(kind byte, tc channel.TraceContext, body []byte) ([]byte, error) {
 	ch := make(chan muxResult, 1)
 	m.pmu.Lock()
 	if m.broken != nil {
@@ -111,7 +156,12 @@ func (m *Mux) RoundTrip(kind byte, body []byte) ([]byte, error) {
 	m.pending[id] = ch
 	m.pmu.Unlock()
 
-	frame := EncodeMuxFrame(id, kind, body)
+	var frame []byte
+	if tc.Valid() {
+		frame = EncodeMuxFrameTraced(id, kind, tc, body)
+	} else {
+		frame = EncodeMuxFrame(id, kind, body)
+	}
 	m.cmu.Lock()
 	sealed, err := m.ch.Seal(channel.MsgMux, frame)
 	if err == nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -17,6 +18,8 @@ import (
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot (same shape as `benchtab -telemetry`)
+//	/traces        flight-recorder index (when tracing is enabled)
+//	/traces/{id}   one trace; ?format=chrome for chrome://tracing
 //	/healthz       liveness probe
 //	/debug/pprof/  net/http/pprof profiles
 //
@@ -39,6 +42,41 @@ func NewAdminMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		rec := reg.FlightRecorder()
+		if rec == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		//hardtape:faulterr-ok a failed scrape write only ends that response; the server must keep serving
+		_ = writeTraceIndex(w, rec)
+	})
+	mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+		rec := reg.FlightRecorder()
+		if rec == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		id, ok := ParseTraceID(strings.TrimPrefix(r.URL.Path, "/traces/"))
+		if !ok {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		t := rec.Lookup(id)
+		if t == nil {
+			http.Error(w, "trace not found (evicted or sampled out)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "chrome" {
+			//hardtape:faulterr-ok a failed scrape write only ends that response; the server must keep serving
+			_ = WriteChromeTrace(w, t)
+			return
+		}
+		//hardtape:faulterr-ok a failed scrape write only ends that response; the server must keep serving
+		_ = WriteTraceJSON(w, t)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"time"
 )
 
 // WritePrometheus renders every series in the Prometheus text
@@ -93,10 +94,20 @@ type MetricSnapshot struct {
 
 // BucketSnapshot is one histogram bucket (non-cumulative count). The
 // bound is a string because the last bucket's bound is +Inf, which
-// JSON numbers cannot carry.
+// JSON numbers cannot carry. Exemplar, when present, names the most
+// recent traced observation that landed in the bucket — follow the
+// trace id to /traces/{id} on the admin endpoint.
 type BucketSnapshot struct {
-	UpperBound string `json:"le"`
-	Count      uint64 `json:"count"`
+	UpperBound string            `json:"le"`
+	Count      uint64            `json:"count"`
+	Exemplar   *ExemplarSnapshot `json:"exemplar,omitempty"`
+}
+
+// ExemplarSnapshot is the exported form of a bucket exemplar.
+type ExemplarSnapshot struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"ts"`
 }
 
 // Snapshot captures every series. A nil registry snapshots empty.
@@ -130,9 +141,13 @@ func (r *Registry) Snapshot() Snapshot {
 				if i < len(v.bounds) {
 					ub = formatFloat(v.bounds[i])
 				}
-				ms.Buckets = append(ms.Buckets, BucketSnapshot{
-					UpperBound: ub, Count: v.buckets[i].Load(),
-				})
+				bs := BucketSnapshot{UpperBound: ub, Count: v.buckets[i].Load()}
+				if ex := v.BucketExemplar(i); ex != nil {
+					bs.Exemplar = &ExemplarSnapshot{
+						TraceID: ex.Trace.String(), Value: ex.Value, Time: ex.When,
+					}
+				}
+				ms.Buckets = append(ms.Buckets, bs)
 			}
 			if count > 0 {
 				ms.Quantiles = map[string]float64{

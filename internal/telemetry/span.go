@@ -58,3 +58,13 @@ func (s *Span) End(h *Histogram) {
 	}
 	h.ObserveDuration(time.Since(s.start))
 }
+
+// EndTraced is End stamping the containing bucket's exemplar with a
+// trace id (zero trace records plainly) — how a latency histogram's
+// p99 bucket gets linked to a concrete flight-recorder trace.
+func (s *Span) EndTraced(h *Histogram, trace TraceID) {
+	if s.start.IsZero() {
+		return
+	}
+	h.ObserveDurationTraced(time.Since(s.start), trace)
+}

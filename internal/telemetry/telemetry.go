@@ -94,11 +94,48 @@ type Registry struct {
 	mu     sync.Mutex
 	byKey  map[string]any
 	series []any // registration order: *Counter | *Gauge | *Histogram
+
+	// tracer, when set, turns on distributed tracing for every
+	// subsystem sharing this registry (see trace.go / recorder.go).
+	tracer atomic.Pointer[Tracer]
 }
 
 // NewRegistry creates an enabled registry.
 func NewRegistry() *Registry {
 	return &Registry{byKey: make(map[string]any)}
+}
+
+// EnableTracing attaches a tracer and flight recorder to the registry
+// so tracing rides the same opt-in plumbing as metrics: every
+// subsystem holding the registry picks the tracer up via Tracer().
+// proc labels this process's spans (e.g. "gateway", "device-1");
+// ringSize is the flight-recorder capacity (<=0 selects
+// DefaultRingSize). Idempotent per registry: a second call replaces
+// the tracer; callers own closing the recorder they created. A nil
+// registry returns nil (tracing requires telemetry).
+func (r *Registry) EnableTracing(proc string, ringSize int) *Tracer {
+	if r == nil {
+		return nil
+	}
+	t := newTracer(NewRecorder(ringSize), proc)
+	r.tracer.Store(t)
+	return t
+}
+
+// Tracer returns the registry's tracer, nil when tracing (or the
+// registry itself) is disabled. One atomic load: cheap enough for
+// per-bundle hot paths.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
+}
+
+// FlightRecorder returns the recorder behind the registry's tracer
+// (nil when tracing is disabled).
+func (r *Registry) FlightRecorder() *Recorder {
+	return r.Tracer().Recorder()
 }
 
 // register interns a series, returning an existing instrument when the
@@ -168,6 +205,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	return r.register(d, func() any {
 		h := &Histogram{d: d, bounds: bounds}
 		h.buckets = make([]atomic.Uint64, len(bounds)+1)
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 		return h
 	}).(*Histogram)
 }
@@ -274,6 +312,27 @@ type Histogram struct {
 	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	// exemplars holds, per bucket, the most recent traced observation
+	// (len(bounds)+1, entries nil until a traced observation lands) —
+	// the link from a p99 bucket to a concrete flight-recorder trace.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one histogram bucket to a concrete trace: "the p99
+// queue wait looked like THIS request".
+type Exemplar struct {
+	Trace TraceID
+	Value float64
+	When  time.Time
+}
+
+// bucketIdx returns the index of the bucket containing v.
+func (h *Histogram) bucketIdx(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one value.
@@ -281,11 +340,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
+	h.buckets[h.bucketIdx(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -296,12 +351,42 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveTraced records one value and, when trace is non-zero, stamps
+// the containing bucket's exemplar with it. Call sites pass
+// span.TraceID() unconditionally: a nil span yields a zero id and the
+// exemplar store is skipped, keeping the untraced path allocation-free.
+func (h *Histogram) ObserveTraced(v float64, trace TraceID) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if !trace.IsZero() {
+		h.exemplars[h.bucketIdx(v)].Store(&Exemplar{Trace: trace, Value: v, When: time.Now()})
+	}
+}
+
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) {
 	if h == nil {
 		return
 	}
 	h.Observe(d.Seconds())
+}
+
+// ObserveDurationTraced is ObserveTraced for latency histograms.
+func (h *Histogram) ObserveDurationTraced(d time.Duration, trace TraceID) {
+	if h == nil {
+		return
+	}
+	h.ObserveTraced(d.Seconds(), trace)
+}
+
+// BucketExemplar returns bucket i's exemplar (nil when none landed).
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count reads the number of observations.

@@ -1,0 +1,299 @@
+// Distributed tracing: request-scoped span trees that follow one
+// bundle end to end — client submit → gateway admission → device
+// dispatch → HEVM stages → parallel-lane conflict re-execution →
+// per-shard ORAM fan-out — across process boundaries.
+//
+// The same two disciplines as the metrics layer apply:
+//
+//   - Disabled tracing costs one branch and zero allocations. A nil
+//     *Tracer returns nil spans, and every *TraceSpan method no-ops on
+//     a nil receiver, so call sites record unconditionally.
+//
+//   - Span names are compile-time constants (telemetrysafe) and
+//     attribute values carry only what the untrusted SP already
+//     observes — counts, stage names, shard indices — never keys,
+//     calldata, addresses, or ORAM leaf positions (secretflow treats
+//     StartSpan/AddAttr as sinks).
+//
+// Trace and span IDs are correlation handles, not secrets: they are
+// minted from a splitmix64 stream seeded once per tracer from
+// crypto/rand, which keeps the per-span cost to one atomic add and a
+// few shifts without ever touching math/rand.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request tree (128-bit, hex on the
+// wire-facing admin endpoints).
+type TraceID [16]byte
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID decodes a 32-hex-digit trace id.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// SpanID identifies one span within a trace (64-bit).
+type SpanID [8]byte
+
+// IsZero reports whether the id is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated identity of a live span: enough for a
+// remote process to attach children to it. It is exactly what the
+// 24-byte wire encoding in internal/channel carries.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real span.
+func (c SpanContext) Valid() bool { return !c.Trace.IsZero() && !c.Span.IsZero() }
+
+// Attr is one typed span attribute. Either Str or Int is set,
+// discriminated by IsInt.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// SpanRecord is one finished span, gob-encodable so remote processes
+// can ship their segment of a trace back to the caller (see
+// Recorder.TakeSpans / Adopt).
+type SpanRecord struct {
+	Trace    TraceID
+	Span     SpanID
+	Parent   SpanID // zero for the trace root
+	Name     string
+	Proc     string // process label (e.g. "gateway", "device-1")
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Err      string // non-empty when the span failed
+}
+
+// Tracer mints spans for one process. A nil tracer is the disabled
+// state: StartSpan returns nil and the caller's span calls no-op. Get
+// one from Registry.EnableTracing so tracing rides the same opt-in
+// plumbing as metrics.
+type Tracer struct {
+	rec  *Recorder
+	proc string
+	ids  idStream
+}
+
+// newTracer builds a tracer whose spans land in rec.
+func newTracer(rec *Recorder, proc string) *Tracer {
+	t := &Tracer{rec: rec, proc: proc}
+	t.ids.seedFromOS()
+	return t
+}
+
+// Recorder returns the flight recorder the tracer records into (nil
+// when the tracer is nil).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Proc returns the tracer's process label ("" when nil).
+func (t *Tracer) Proc() string {
+	if t == nil {
+		return ""
+	}
+	return t.proc
+}
+
+// StartSpan opens a named span under parent. An invalid parent makes
+// the span a trace root and mints a fresh TraceID. The name MUST be a
+// compile-time constant (telemetrysafe enforces this) and attributes
+// added later must not carry secret material (secretflow enforces
+// that). A nil tracer returns nil.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *TraceSpan {
+	if t == nil {
+		return nil
+	}
+	s := &TraceSpan{t: t, name: name}
+	s.ctx.Span = t.ids.nextSpanID()
+	if parent.Valid() {
+		s.ctx.Trace = parent.Trace
+		s.parent = parent.Span
+	} else {
+		s.ctx.Trace = t.ids.nextTraceID()
+		s.root = true
+	}
+	s.start = time.Now()
+	t.rec.spanStarted(s.ctx.Trace, s.root)
+	return s
+}
+
+// TraceSpan is one live span. All methods are nil-receiver safe; the
+// zero cost of disabled tracing rests on that.
+type TraceSpan struct {
+	t      *Tracer
+	ctx    SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  []Attr
+	err    string
+	root   bool
+	ended  bool
+}
+
+// Context returns the span's propagatable identity (zero when nil).
+func (s *TraceSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// TraceID returns the span's trace id (zero when nil) — the handle
+// histogram exemplars store.
+func (s *TraceSpan) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.ctx.Trace
+}
+
+// AddAttr attaches a string attribute. Values are a secretflow sink:
+// secret material must never reach them.
+func (s *TraceSpan) AddAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: val})
+}
+
+// AddInt attaches an integer attribute.
+func (s *TraceSpan) AddInt(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: val, IsInt: true})
+}
+
+// SetError marks the span failed; error traces are always kept by the
+// flight recorder's tail sampler.
+func (s *TraceSpan) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.err = err.Error()
+}
+
+// End closes the span and hands its record to the flight recorder.
+// Ending twice is a no-op.
+func (s *TraceSpan) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		Trace:    s.ctx.Trace,
+		Span:     s.ctx.Span,
+		Parent:   s.parent,
+		Name:     s.name,
+		Proc:     s.t.proc,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+		Err:      s.err,
+	}
+	s.t.rec.spanEnded(rec, s.root)
+}
+
+// idStream generates trace/span ids: splitmix64 over an atomic
+// counter with a crypto/rand seed and gamma. Unique with high
+// probability and -race clean (one atomic add per id); explicitly NOT
+// key material.
+type idStream struct {
+	ctr   atomic.Uint64
+	seed  uint64
+	gamma uint64
+}
+
+func (g *idStream) seedFromOS() {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not fatal for correlation ids; fall
+		// back to the clock rather than refusing to trace.
+		binary.LittleEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(b[8:], uint64(time.Now().UnixNano())^0x9e3779b97f4a7c15)
+	}
+	g.seed = binary.LittleEndian.Uint64(b[:8])
+	// An odd gamma keeps the additive walk full-period.
+	g.gamma = binary.LittleEndian.Uint64(b[8:]) | 1
+}
+
+// next draws the counter's next splitmix64 output: bijective mixing,
+// so distinct counter values give distinct ids.
+func (g *idStream) next() uint64 {
+	z := g.seed + g.ctr.Add(1)*g.gamma
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *idStream) nextSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], g.next())
+	}
+	return id
+}
+
+func (g *idStream) nextTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], g.next())
+		binary.BigEndian.PutUint64(id[8:], g.next())
+	}
+	return id
+}
+
+// ctxKey keys the propagated SpanContext in a context.Context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc so in-process callees
+// (gateway → device → ORAM) can parent their spans without new
+// plumbing through every signature.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the propagated span context (zero when
+// absent). Callers guard with a tracer-nil check first so the
+// disabled path never performs the context lookup.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -1,0 +1,373 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkTraceID builds a distinct id per call for recorder-level tests
+// that bypass the tracer.
+func mkTraceID(n uint64) TraceID {
+	var id TraceID
+	for i := 0; i < 8; i++ {
+		id[i] = byte(n >> (8 * i))
+	}
+	id[15] = 1 // never zero
+	return id
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	reg := NewRegistry()
+	tr := reg.EnableTracing("test", 8)
+	defer reg.FlightRecorder().Close()
+
+	root := tr.StartSpan("test.root", SpanContext{})
+	if !root.Context().Valid() {
+		t.Fatal("root span context invalid")
+	}
+	child := tr.StartSpan("test.child", root.Context())
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	child.AddAttr("backend", "local-0")
+	child.AddInt("txs", 16)
+	child.SetError(errors.New("boom"))
+	child.End()
+	root.End()
+
+	trace := reg.FlightRecorder().Lookup(root.TraceID())
+	if trace == nil {
+		t.Fatal("completed trace not in flight recorder")
+	}
+	if !trace.Err {
+		t.Error("trace with a failed span not marked Err")
+	}
+	if trace.Root != "test.root" {
+		t.Errorf("root name %q, want test.root", trace.Root)
+	}
+	if len(trace.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(trace.Spans))
+	}
+	var c *SpanRecord
+	for i := range trace.Spans {
+		if trace.Spans[i].Name == "test.child" {
+			c = &trace.Spans[i]
+		}
+	}
+	if c == nil {
+		t.Fatal("child span missing from assembled trace")
+	}
+	if c.Parent != root.Context().Span {
+		t.Errorf("child parent %s, want %s", c.Parent, root.Context().Span)
+	}
+	if c.Err != "boom" {
+		t.Errorf("child err %q, want boom", c.Err)
+	}
+	if len(c.Attrs) != 2 {
+		t.Errorf("child attrs %v, want backend + txs", c.Attrs)
+	}
+}
+
+// TestTraceDisabledZeroAllocs pins the tracing-disabled hot path to
+// the same bar as the metric instruments: a nil tracer (the default —
+// EnableTracing was never called) must cost one nil check and zero
+// allocations at every span site the pipeline runs.
+func TestTraceDisabledZeroAllocs(t *testing.T) {
+	var nilReg *Registry
+	tr := nilReg.Tracer()
+	if tr != nil {
+		t.Fatal("nil registry handed out a live tracer")
+	}
+	if on := NewRegistry(); on.Tracer() != nil {
+		t.Fatal("registry without EnableTracing handed out a live tracer")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("test.disabled", SpanContext{})
+		sp.AddAttr("k", "v")
+		sp.AddInt("n", 7)
+		sp.SetError(nil)
+		_ = sp.Context()
+		_ = sp.TraceID()
+		sp.End()
+		nilReg.FlightRecorder().TakeSpans(TraceID{})
+		nilReg.FlightRecorder().Adopt(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceDisabledParity is the CI gate for the disabled path:
+// it must report 0 B/op and 0 allocs/op.
+func BenchmarkTraceDisabledParity(b *testing.B) {
+	var nilReg *Registry
+	tr := nilReg.Tracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("bench.disabled", SpanContext{})
+		sp.AddInt("n", int64(i))
+		sp.SetError(nil)
+		sp.End()
+	}
+}
+
+// TestTailSampling drives the sampler with synthetic, fixed-duration
+// roots: warmup keeps everything, then only errors and roots at or
+// above the keep quantile of the recent window survive.
+func TestTailSampling(t *testing.T) {
+	r := NewRecorder(512)
+	defer r.Close()
+
+	seq := uint64(0)
+	push := func(d time.Duration, errStr string) TraceID {
+		seq++
+		id := mkTraceID(seq)
+		r.spanStarted(id, true)
+		r.spanEnded(SpanRecord{
+			Trace: id, Span: SpanID{1}, Name: "t.root",
+			Start: time.Now(), Duration: d, Err: errStr,
+		}, true)
+		return id
+	}
+
+	// Fill the warmup with uniform 10ms roots: all kept.
+	for i := 0; i < recorderWarmup; i++ {
+		if id := push(10*time.Millisecond, ""); r.Lookup(id) == nil {
+			t.Fatalf("warmup trace %d not kept", i)
+		}
+	}
+	// Post-warmup: a fast clean root is below the 10ms threshold.
+	if id := push(time.Millisecond, ""); r.Lookup(id) != nil {
+		t.Error("fast clean trace kept; want dropped by tail sampling")
+	}
+	// A slow root is at/above the threshold.
+	if id := push(20*time.Millisecond, ""); r.Lookup(id) == nil {
+		t.Error("slow trace dropped; want kept (tail)")
+	}
+	// A fast root with an error is always kept.
+	if id := push(time.Millisecond, "deadline exceeded"); r.Lookup(id) == nil {
+		t.Error("error trace dropped; want kept unconditionally")
+	}
+	st := r.Stats()
+	if st.Dropped == 0 {
+		t.Error("sampler reported zero drops")
+	}
+	if st.ErrKept == 0 {
+		t.Error("sampler reported zero error keeps")
+	}
+}
+
+// TestRecorderExpiry covers the janitor path directly: a pending
+// segment whose trace never completes is expired; error-bearing
+// partials are published, clean ones are dropped silently.
+func TestRecorderExpiry(t *testing.T) {
+	r := NewRecorder(8)
+	defer r.Close()
+
+	clean := mkTraceID(1001)
+	r.Adopt([]SpanRecord{{Trace: clean, Span: SpanID{1}, Name: "t.partial", Start: time.Now()}})
+	failed := mkTraceID(1002)
+	r.Adopt([]SpanRecord{{Trace: failed, Span: SpanID{2}, Name: "t.partial", Start: time.Now(), Err: "conn reset"}})
+
+	r.expireStale(time.Now().Add(time.Hour))
+
+	if r.Lookup(clean) != nil {
+		t.Error("clean expired partial was published")
+	}
+	if r.Lookup(failed) == nil {
+		t.Error("error-bearing expired partial was not published")
+	}
+	if st := r.Stats(); st.Expired != 2 || st.Pending != 0 {
+		t.Errorf("stats after expiry: %+v, want Expired 2 Pending 0", st)
+	}
+}
+
+// TestRecorderCloseGoroutineLeak: every recorder starts a janitor;
+// Close must stop it. Mirrors the admin server leak test.
+func TestRecorderCloseGoroutineLeak(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 32; i++ {
+		r := NewRecorder(4)
+		r.spanStarted(mkTraceID(uint64(i+1)), true)
+		r.Close()
+		r.Close() // idempotent
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after recorder churn", before, runtime.NumGoroutine())
+}
+
+// TestTakeSpansAdopt is the cross-process shipping contract in one
+// process: a "remote" recorder accumulates a trace segment rooted
+// elsewhere, TakeSpans drains it, Adopt files it locally, and the
+// local root completion assembles one contiguous tree.
+func TestTakeSpansAdopt(t *testing.T) {
+	localReg, remoteReg := NewRegistry(), NewRegistry()
+	local := localReg.EnableTracing("gateway", 8)
+	remote := remoteReg.EnableTracing("device", 8)
+	defer localReg.FlightRecorder().Close()
+	defer remoteReg.FlightRecorder().Close()
+
+	root := local.StartSpan("test.root", SpanContext{})
+
+	// Remote side serves under the propagated context.
+	rsp := remote.StartSpan("test.remote", root.Context())
+	rchild := remote.StartSpan("test.remote_child", rsp.Context())
+	rchild.End()
+	rsp.End()
+	shipped := remoteReg.FlightRecorder().TakeSpans(root.TraceID())
+	if len(shipped) != 2 {
+		t.Fatalf("TakeSpans returned %d spans, want 2", len(shipped))
+	}
+	if again := remoteReg.FlightRecorder().TakeSpans(root.TraceID()); len(again) != 0 {
+		t.Fatalf("second TakeSpans returned %d spans, want 0", len(again))
+	}
+
+	localReg.FlightRecorder().Adopt(shipped)
+	root.End()
+
+	trace := localReg.FlightRecorder().Lookup(root.TraceID())
+	if trace == nil {
+		t.Fatal("trace not assembled after adoption")
+	}
+	if len(trace.Spans) != 3 {
+		t.Fatalf("assembled trace has %d spans, want 3", len(trace.Spans))
+	}
+	procs := map[string]bool{}
+	for _, s := range trace.Spans {
+		procs[s.Proc] = true
+	}
+	if !procs["gateway"] || !procs["device"] {
+		t.Errorf("trace procs %v, want gateway and device segments", procs)
+	}
+}
+
+// TestConcurrentTraceRecording hammers one tracer from many goroutines
+// while readers walk the ring — the -race harness for the recorder's
+// lock-free publication path.
+func TestConcurrentTraceRecording(t *testing.T) {
+	reg := NewRegistry()
+	tr := reg.EnableTracing("race", 16)
+	rec := reg.FlightRecorder()
+	defer rec.Close()
+	h := reg.Histogram("hardtape_trace_race_seconds", "race", nil)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				root := tr.StartSpan("race.root", SpanContext{})
+				child := tr.StartSpan("race.child", root.Context())
+				child.AddInt("i", int64(i))
+				child.End()
+				h.ObserveTraced(float64(i)*1e-6, root.TraceID())
+				if g%2 == 0 {
+					root.SetError(errors.New("induced"))
+				}
+				root.End()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers against the ring and stats
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, tce := range rec.Traces() {
+				_ = tce.Root
+			}
+			_ = rec.Stats()
+			_ = rec.LastExemplar()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if st := rec.Stats(); st.Kept == 0 {
+		t.Error("no traces kept under concurrent recording")
+	}
+	if rec.LastExemplar().IsZero() {
+		t.Error("no exemplar id after traced observations")
+	}
+}
+
+// TestHistogramExemplar: a traced observation stamps its bucket's
+// exemplar; an untraced one records plainly without clearing it.
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hardtape_trace_ex_seconds", "exemplar", []float64{0.001, 1})
+	id := mkTraceID(7)
+	h.ObserveTraced(0.5, id)
+	h.Observe(0.5)
+	h.ObserveTraced(0.25, TraceID{}) // zero id: plain record
+	ex := h.BucketExemplar(1)
+	if ex == nil || ex.Trace != id || ex.Value != 0.5 {
+		t.Fatalf("bucket exemplar %+v, want trace %s value 0.5", ex, id)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name != "hardtape_trace_ex_seconds" {
+			continue
+		}
+		for _, b := range m.Buckets {
+			if b.Exemplar != nil && b.Exemplar.TraceID == id.String() {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("exemplar trace id missing from registry snapshot (/metrics.json)")
+	}
+}
+
+// TestAdminTraceEndpoints scrapes the flight recorder over the admin
+// server: index, one trace as JSON, and the chrome trace-event form.
+func TestAdminTraceEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	tr := reg.EnableTracing("admin", 8)
+	defer reg.FlightRecorder().Close()
+
+	root := tr.StartSpan("admin.root", SpanContext{})
+	child := tr.StartSpan("admin.child", root.Context())
+	child.End()
+	root.End()
+	id := root.TraceID().String()
+
+	a, err := StartAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	base := "http://" + a.Addr()
+
+	if code, body := scrape(t, base+"/traces"); code != 200 || !strings.Contains(body, id) {
+		t.Fatalf("/traces: %d\n%s", code, body)
+	}
+	code, body := scrape(t, base+"/traces/"+id)
+	if code != 200 || !strings.Contains(body, `"admin.child"`) || !strings.Contains(body, `"proc"`) {
+		t.Fatalf("/traces/%s: %d\n%s", id, code, body)
+	}
+	code, body = scrape(t, base+"/traces/"+id+"?format=chrome")
+	if code != 200 || !strings.Contains(body, `"traceEvents"`) || !strings.Contains(body, `"ph"`) {
+		t.Fatalf("chrome format: %d\n%s", code, body)
+	}
+	if code, _ := scrape(t, base+"/traces/"+fmt.Sprintf("%032x", 12345)); code != 404 {
+		t.Fatalf("unknown trace id: %d, want 404", code)
+	}
+	if code, _ := scrape(t, base+"/traces/nonsense"); code != 400 {
+		t.Fatalf("malformed trace id: %d, want 400", code)
+	}
+}
